@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperimentsWithSVG(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.txt")
+	svg := filepath.Join(dir, "maps")
+	err := run([]string{
+		"-scale", "0.01", "-k", "4",
+		"-exp", "fig11,fig15",
+		"-svg", svg,
+		"-o", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 11", "Figure 15", "eps-link"} {
+		if !strings.Contains(string(report), want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	maps, err := filepath.Glob(filepath.Join(svg, "*.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 6 {
+		t.Fatalf("%d SVGs, want 6 (five method maps + the Figure 15 plot)", len(maps))
+	}
+	for _, m := range maps {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "</svg>") {
+			t.Fatalf("%s is not well-formed", m)
+		}
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.txt")
+	if err := run([]string{"-exp", "nonsense", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("unknown selection produced output: %q", data)
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run([]string{"-o", filepath.Join(string(os.PathSeparator), "no-such-dir-xyz", "r.txt")}); err == nil {
+		t.Fatal("want error for unwritable output path")
+	}
+}

@@ -1,0 +1,132 @@
+package netclus_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netclus"
+)
+
+// twoIslands builds a network with two dense point groups joined by one
+// long road, used by the examples below.
+func twoIslands() *netclus.Network {
+	b := netclus.NewBuilder()
+	for i := 0; i < 8; i++ {
+		b.AddNode(netclus.Coord{X: float64(i)})
+	}
+	// 0-1-2-3 island, long bridge 3-4, 4-5-6-7 island.
+	for i := 0; i < 7; i++ {
+		w := 1.0
+		if i == 3 {
+			w = 50.0
+		}
+		b.AddEdge(netclus.NodeID(i), netclus.NodeID(i+1), w)
+	}
+	for _, e := range []int{0, 1, 2, 4, 5, 6} {
+		b.AddPoint(netclus.NodeID(e), netclus.NodeID(e+1), 0.25, 0)
+		b.AddPoint(netclus.NodeID(e), netclus.NodeID(e+1), 0.75, 0)
+	}
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func ExampleEpsLink() {
+	n := twoIslands()
+	res, err := netclus.EpsLink(n, netclus.EpsLinkOptions{Eps: 1.0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters)
+	// Output: clusters: 2
+}
+
+func ExampleDBSCAN() {
+	n := twoIslands()
+	res, err := netclus.DBSCAN(n, netclus.DBSCANOptions{Eps: 1.0, MinPts: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters, "core points:", res.CorePoints)
+	// Output: clusters: 2 core points: 12
+}
+
+func ExampleSingleLink() {
+	n := twoIslands()
+	res, err := netclus.SingleLink(n, netclus.SingleLinkOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// The largest merge distance joins the two islands across the bridge.
+	last := res.Dendrogram.Merges[len(res.Dendrogram.Merges)-1]
+	fmt.Printf("merges: %d, final join at %.2f\n", len(res.Dendrogram.Merges), last.Dist)
+	// Output: merges: 11, final join at 50.50
+}
+
+func ExampleKMedoids() {
+	n := twoIslands()
+	res, err := netclus.KMedoids(n, netclus.KMedoidsOptions{
+		K: 2, Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", netclus.CountClusters(res.Labels))
+	// Output: clusters: 2
+}
+
+func ExampleOPTICS() {
+	n := twoIslands()
+	res, err := netclus.OPTICS(n, netclus.OPTICSOptions{Eps: 60, MinPts: 3})
+	if err != nil {
+		panic(err)
+	}
+	// One ordering answers every smaller radius.
+	fine := res.ExtractDBSCAN(1.0)
+	coarse := res.ExtractDBSCAN(55.0)
+	fmt.Println("at eps'=1:", netclus.CountClusters(fine), "— at eps'=55:", netclus.CountClusters(coarse))
+	// Output: at eps'=1: 2 — at eps'=55: 1
+}
+
+func ExampleKNearestNeighbors() {
+	n := twoIslands()
+	nn, err := netclus.KNearestNeighbors(n, 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d neighbours, nearest at %.2f\n", len(nn), nn[0].Dist)
+	// Output: 2 neighbours, nearest at 0.50
+}
+
+func ExampleTimeSweep() {
+	n := twoIslands()
+	res, err := netclus.TimeSweep(n, netclus.TimeSweepOptions{
+		Times: []float64{6, 9},
+		Weight: func(u, v netclus.NodeID, base, t float64) float64 {
+			if t == 9 { // rush hour slows everything 5x
+				return base * 5
+			}
+			return base
+		},
+		Eps: 2.0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("06:00 clusters:", res.Snapshots[0].NumClusters,
+		"— 09:00 clusters:", res.Snapshots[1].NumClusters)
+	// Output: 06:00 clusters: 2 — 09:00 clusters: 12
+}
+
+func ExampleDendrogram_InterestingLevels() {
+	n := twoIslands()
+	res, err := netclus.SingleLink(n, netclus.SingleLinkOptions{})
+	if err != nil {
+		panic(err)
+	}
+	levels := res.Dendrogram.InterestingLevels(4, 3)
+	fmt.Println("levels found:", len(levels) > 0)
+	// Output: levels found: true
+}

@@ -1,0 +1,171 @@
+// Multimodal: the paper's §6 extension — clustering across different
+// networks joined by transition edges. A coastal road network and a ferry
+// network are combined through piers; shortest paths (and therefore
+// clusters) may cross between them, paying the boarding cost on the
+// transition edge.
+//
+// The example shows the same point set clustered three ways: roads only,
+// ferries only, and the combined network — where harbour-side clusters from
+// both modes merge through the piers.
+//
+//	go run ./examples/multimodal
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netclus"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// The road network: a 20x20 street grid along the coast.
+	roads, err := netclus.GridNetwork(20, 20, 1.0, 0.3, 80, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The ferry network: a sparse line of sea routes with long hops.
+	fb := netclus.NewBuilder()
+	const stops = 8
+	for i := 0; i < stops; i++ {
+		fb.AddNode(netclus.Coord{X: float64(i) * 4, Y: 25})
+	}
+	for i := 0; i+1 < stops; i++ {
+		fb.AddEdge(netclus.NodeID(i), netclus.NodeID(i+1), 4)
+	}
+	ferries, err := fb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Piers: two harbours connect street corners to ferry stops. Boarding
+	// costs 1.5 (waiting + walking aboard).
+	transitions := []netclus.Transition{
+		{A: 19*20 + 2, B: 1, Weight: 1.5},  // west harbour
+		{A: 19*20 + 17, B: 6, Weight: 1.5}, // east harbour
+	}
+	combined, offset, err := netclus.Combine(roads, ferries, transitions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combined network: %d nodes (%d road + %d ferry), %d edges, %d transitions\n",
+		combined.NumNodes(), roads.NumNodes(), ferries.NumNodes(), combined.NumEdges(), len(transitions))
+
+	// Scatter cafés near both harbours — some on streets, some at ferry
+	// stops (floating cafés) — and a distant inland cluster.
+	cb := netclus.NewBuilder()
+	for i := 0; i < combined.NumNodes(); i++ {
+		cb.AddNode(combined.Coord(netclus.NodeID(i)))
+	}
+	for u := 0; u < combined.NumNodes(); u++ {
+		adj, err := combined.Neighbors(netclus.NodeID(u))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, nb := range adj {
+			if netclus.NodeID(u) < nb.Node {
+				cb.AddEdge(netclus.NodeID(u), nb.Node, nb.Weight)
+			}
+		}
+	}
+	place := func(u, v netclus.NodeID, n int, tag int32) {
+		w := mustWeight(combined, u, v)
+		for i := 0; i < n; i++ {
+			cb.AddPoint(u, v, rng.Float64()*w, tag)
+		}
+	}
+	// West harbour: street cafés near the pier + floating cafés on the
+	// first ferry leg. The pier transition keeps them within linking range.
+	place(19*20+1, 19*20+2, 12, 0)   // streets by the west pier
+	place(offset+1, offset+2, 6, 0)  // sea side of the west pier
+	place(19*20+16, 19*20+17, 12, 1) // streets by the east pier
+	place(offset+5, offset+6, 6, 1)  // sea side of the east pier
+	place(2*20+2, 2*20+3, 10, 2)     // inland cluster, far from the sea
+	cafes, err := cb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const eps = 2.5
+	res, err := netclus.EpsLink(cafes, netclus.EpsLinkOptions{Eps: eps, MinSup: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncombined clustering (eps=%.1f): %d clusters\n", eps, res.NumClusters)
+	report(cafes, res.Labels, offset)
+
+	// Cross-mode check: one street café and one floating café at the west
+	// harbour should share a cluster only thanks to the pier.
+	var street, sea netclus.PointID = -1, -1
+	for p := 0; p < cafes.NumPoints(); p++ {
+		pi, err := cafes.PointInfo(netclus.PointID(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cafes.Tag(netclus.PointID(p)) == 0 {
+			if pi.N1 >= offset && sea < 0 {
+				sea = netclus.PointID(p)
+			}
+			if pi.N2 < offset && street < 0 {
+				street = netclus.PointID(p)
+			}
+		}
+	}
+	d, err := netclus.PointDistance(cafes, street, sea)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreet cafe %d and floating cafe %d: network distance %.2f (same cluster: %v)\n",
+		street, sea, d, res.Labels[street] == res.Labels[sea])
+}
+
+func mustWeight(g *netclus.Network, u, v netclus.NodeID) float64 {
+	adj, err := g.Neighbors(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range adj {
+		if nb.Node == v {
+			return nb.Weight
+		}
+	}
+	log.Fatalf("no edge (%d,%d)", u, v)
+	return 0
+}
+
+func report(g *netclus.Network, labels []int32, offset netclus.NodeID) {
+	type stat struct{ road, sea int }
+	stats := map[int32]*stat{}
+	for p, l := range labels {
+		if l == netclus.Noise {
+			continue
+		}
+		s, ok := stats[l]
+		if !ok {
+			s = &stat{}
+			stats[l] = s
+		}
+		pi, err := g.PointInfo(netclus.PointID(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pi.N1 >= offset {
+			s.sea++
+		} else {
+			s.road++
+		}
+	}
+	for l, s := range stats {
+		kind := "road-only"
+		switch {
+		case s.road > 0 && s.sea > 0:
+			kind = "cross-modal (via pier)"
+		case s.sea > 0:
+			kind = "sea-only"
+		}
+		fmt.Printf("  cluster %d: %d street cafes + %d floating cafes — %s\n", l, s.road, s.sea, kind)
+	}
+}

@@ -1,0 +1,144 @@
+// Restaurants: the paper's §1 motivating scenario. Cluster the restaurants
+// of a city by their road-network distance to find the dining districts a
+// location-based service would advertise — or where a chain should open its
+// next branch.
+//
+// The example generates an Oldenburg-sized road map with restaurant
+// clusters, discovers the districts with ε-Link, ranks them, picks the most
+// central restaurant of the top district (its network medoid) as the branch
+// suggestion, and writes an SVG map.
+//
+//	go run ./examples/restaurants [out.svg]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"netclus"
+)
+
+func main() {
+	out := "restaurants.svg"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+
+	// A city road map (Oldenburg-sized stand-in) with 2,500 restaurants
+	// concentrated in 8 dining districts plus 1% scattered ones.
+	city, err := netclus.RoadNetwork("OL", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := netclus.DefaultClusterConfig(2500, 8, 0)
+	cfg.SInit = suggestSInit(city, 2500, 8)
+	rng := rand.New(rand.NewSource(7))
+	g, err := netclus.GeneratePoints(city, cfg, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d junctions, %d road segments, %d restaurants\n\n",
+		g.NumNodes(), g.NumEdges(), g.NumPoints())
+
+	// Discover districts: restaurants chained within eps of each other
+	// along the road network belong to the same district; districts with
+	// fewer than 10 restaurants are ignored.
+	res, err := netclus.EpsLink(g, netclus.EpsLinkOptions{Eps: cfg.Eps(), MinSup: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type district struct {
+		label   int32
+		members []netclus.PointID
+	}
+	byLabel := map[int32]*district{}
+	for p, l := range res.Labels {
+		if l == netclus.Noise {
+			continue
+		}
+		d, ok := byLabel[l]
+		if !ok {
+			d = &district{label: l}
+			byLabel[l] = d
+		}
+		d.members = append(d.members, netclus.PointID(p))
+	}
+	districts := make([]*district, 0, len(byLabel))
+	for _, d := range byLabel {
+		districts = append(districts, d)
+	}
+	sort.Slice(districts, func(i, j int) bool {
+		return len(districts[i].members) > len(districts[j].members)
+	})
+
+	fmt.Println("dining districts by size:")
+	for i, d := range districts {
+		fmt.Printf("  #%d: %4d restaurants\n", i+1, len(d.members))
+	}
+
+	// Where should the chain open a branch? Inside the biggest district, at
+	// its most central member: run 1-medoid clustering restricted to the
+	// district via the evaluation function — here simply pick the member
+	// minimizing the sum of network distances to a sample of its peers.
+	top := districts[0]
+	best, bestSum := netclus.PointID(-1), 0.0
+	sample := top.members
+	if len(sample) > 60 {
+		sample = sample[:60]
+	}
+	for _, cand := range sample {
+		sum := 0.0
+		for _, other := range sample {
+			d, err := netclus.PointDistance(g, cand, other)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += d
+		}
+		if best < 0 || sum < bestSum {
+			best, bestSum = cand, sum
+		}
+	}
+	pi, err := g.PointInfo(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsuggested branch location: restaurant %d on road (%d,%d), %.2f from junction %d\n",
+		best, pi.N1, pi.N2, pi.Pos, pi.N1)
+	fmt.Printf("(mean network distance to %d district peers: %.3f)\n",
+		len(sample), bestSum/float64(len(sample)))
+
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	err = netclus.RenderSVG(f, g, res.Labels, netclus.RenderOptions{
+		Title: "dining districts (eps-link)", MinClusterSize: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("map written to %s\n", out)
+}
+
+// suggestSInit spaces each cluster over ~1% of the city's road length.
+func suggestSInit(city *netclus.Network, n, k int) float64 {
+	total := 0.0
+	for u := 0; u < city.NumNodes(); u++ {
+		adj, err := city.Neighbors(netclus.NodeID(u))
+		if err != nil {
+			continue
+		}
+		for _, nb := range adj {
+			if netclus.NodeID(u) < nb.Node {
+				total += nb.Weight
+			}
+		}
+	}
+	return total * 0.01 / (float64(n) / float64(k) * 3)
+}

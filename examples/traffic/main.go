@@ -1,0 +1,136 @@
+// Traffic: the paper's §6 time-dependent variant. Edge weights model travel
+// TIME rather than length, and they change with the hour: at rush hour the
+// arterial roads through the city centre slow down 4x. Clustering the same
+// delivery stops at 4am and at 8am yields different time-parameterized
+// clusters: at rush hour the centre splits what free-flowing traffic keeps
+// together.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netclus"
+)
+
+// congestion returns the rush-hour multiplier of an edge. Arterials are the
+// edges crossing the city's central band (8 <= x <= 12 on a 20-wide grid).
+func congestion(g *netclus.Network, u, v netclus.NodeID) float64 {
+	a, b := g.Coord(u), g.Coord(v)
+	mid := (a.X + b.X) / 2
+	if mid >= 8 && mid <= 12 {
+		return 4.0
+	}
+	return 1.0
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	city, err := netclus.GridNetwork(20, 20, 1.0, 0.3, 60, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Delivery stops: two dense groups on either side of the central band,
+	// close enough that free-flowing traffic links them through it.
+	b := netclus.NewBuilder()
+	for i := 0; i < city.NumNodes(); i++ {
+		b.AddNode(city.Coord(netclus.NodeID(i)))
+	}
+	type edge struct {
+		u, v netclus.NodeID
+		w    float64
+	}
+	var edges []edge
+	for u := 0; u < city.NumNodes(); u++ {
+		adj, err := city.Neighbors(netclus.NodeID(u))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, nb := range adj {
+			if netclus.NodeID(u) < nb.Node {
+				edges = append(edges, edge{netclus.NodeID(u), nb.Node, nb.Weight})
+				b.AddEdge(netclus.NodeID(u), nb.Node, nb.Weight)
+			}
+		}
+	}
+	placed := 0
+	for _, e := range edges {
+		ax, bx := city.Coord(e.u).X, city.Coord(e.v).X
+		ay, by := city.Coord(e.u).Y, city.Coord(e.v).Y
+		mx, my := (ax+bx)/2, (ay+by)/2
+		// West group around (6,10), east group around (14,10), and a thin
+		// trail of stops across the central band linking them.
+		near := func(cx, cy, r float64) bool {
+			return (mx-cx)*(mx-cx)+(my-cy)*(my-cy) <= r*r
+		}
+		switch {
+		case near(6, 10, 2.5), near(14, 10, 2.5):
+			for i := 0; i < 4; i++ {
+				b.AddPoint(e.u, e.v, rng.Float64()*e.w, 0)
+				placed++
+			}
+		case my >= 9 && my <= 11 && mx > 8 && mx < 12:
+			b.AddPoint(e.u, e.v, rng.Float64()*e.w, 1)
+			placed++
+		}
+	}
+	stops, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivery stops: %d on a %d-junction city\n\n", stops.NumPoints(), stops.NumNodes())
+
+	// Cluster by travel time with eps = 1.6 minutes between consecutive
+	// stops, at two times of day.
+	const eps = 1.6
+	cluster := func(label string, hour float64) int {
+		snapshot := stops
+		if hour >= 7 && hour <= 10 { // rush hour snapshot
+			var err error
+			snapshot, err = netclus.Reweight(stops, func(u, v netclus.NodeID, base float64) float64 {
+				return base * congestion(stops, u, v)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := netclus.EpsLink(snapshot, netclus.EpsLinkOptions{Eps: eps, MinSup: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, noise := clusterSizes(res.Labels)
+		fmt.Printf("%s: %d clusters (%d stops unreachable in time)\n", label, res.NumClusters, noise)
+		return res.NumClusters
+	}
+
+	free := cluster("04:00 (free flow)", 4)
+	rush := cluster("08:00 (rush hour)", 8)
+
+	fmt.Println()
+	switch {
+	case rush > free:
+		fmt.Println("=> congestion splits the free-flow clusters: the central band is now 4x slower,")
+		fmt.Println("   so the west and east groups cannot be served as one time-coherent route.")
+	case rush == free:
+		fmt.Println("=> congestion did not change the cluster structure at this eps.")
+	default:
+		fmt.Println("=> unexpected: fewer clusters at rush hour.")
+	}
+}
+
+func clusterSizes(labels []int32) (map[int32]int, int) {
+	m := map[int32]int{}
+	noise := 0
+	for _, l := range labels {
+		if l == netclus.Noise {
+			noise++
+		} else {
+			m[l]++
+		}
+	}
+	return m, noise
+}

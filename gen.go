@@ -1,0 +1,81 @@
+package netclus
+
+import (
+	"math/rand"
+
+	"netclus/internal/datagen"
+	"netclus/internal/evalx"
+)
+
+// Workload generation (see internal/datagen).
+type (
+	// ClusterConfig parameterizes the paper's §5 synthetic cluster
+	// generator: K traversal-grown clusters with initial separation SInit
+	// and magnification F, plus uniform outliers.
+	ClusterConfig = datagen.ClusterConfig
+	// RoadSpec describes one of the paper's four road networks.
+	RoadSpec = datagen.RoadSpec
+)
+
+// OutlierTag marks generated outlier points in the network tags.
+const OutlierTag = datagen.OutlierTag
+
+// Roads lists the paper's four evaluation networks (NA, SF, TG, OL).
+var Roads = datagen.Roads
+
+// DefaultClusterConfig returns the paper's standard workload shape.
+func DefaultClusterConfig(n, k int, sInit float64) ClusterConfig {
+	return datagen.DefaultClusterConfig(n, k, sInit)
+}
+
+// GeneratePoints places cfg.NumPoints objects on base per the paper's
+// generator; ground-truth cluster labels travel in the point tags.
+func GeneratePoints(base *Network, cfg ClusterConfig, rng *rand.Rand) (*Network, error) {
+	return datagen.GeneratePoints(base, cfg, rng)
+}
+
+// GenerateUniform places n uniformly distributed points on base.
+func GenerateUniform(base *Network, n int, rng *rand.Rand) (*Network, error) {
+	return datagen.GenerateUniform(base, n, rng)
+}
+
+// GridNetwork builds a connected road-like network: a jittered lattice with
+// a random spanning tree plus extraEdges shortcuts, Euclidean edge weights.
+func GridNetwork(rows, cols int, spacing, jitter float64, extraEdges int, rng *rand.Rand) (*Network, error) {
+	return datagen.GridNetwork(rows, cols, spacing, jitter, extraEdges, rng)
+}
+
+// RoadNetwork builds the synthetic stand-in for one of the paper's four road
+// networks (NA, SF, TG, OL) at the given scale in (0, 1].
+func RoadNetwork(name string, scale float64) (*Network, error) {
+	return datagen.RoadNetwork(name, scale)
+}
+
+// RoadDataset builds a road stand-in and the paper's Tables 1-2 workload on
+// it (k clusters, ~3|V| points, 1% outliers).
+func RoadDataset(name string, scale float64, k int) (*Network, ClusterConfig, error) {
+	return datagen.RoadDataset(name, scale, k)
+}
+
+// Quality indices (see internal/evalx).
+
+// ARI is the Adjusted Rand Index between two labelings (1 = identical
+// partitions, ~0 = independent).
+func ARI(truth, pred []int32) (float64, error) { return evalx.ARI(truth, pred) }
+
+// NMI is normalized mutual information in [0, 1].
+func NMI(truth, pred []int32) (float64, error) { return evalx.NMI(truth, pred) }
+
+// Purity is the majority-label accuracy of the predicted clusters.
+func Purity(truth, pred []int32) (float64, error) { return evalx.Purity(truth, pred) }
+
+// PairwiseF1 returns precision, recall and F1 over co-clustered pairs.
+func PairwiseF1(truth, pred []int32) (precision, recall, f1 float64, err error) {
+	return evalx.PairwiseF1(truth, pred)
+}
+
+// NoiseAsSingletons maps each noise-labelled point to a fresh unique label
+// so quality indices treat outliers as singleton clusters.
+func NoiseAsSingletons(labels []int32, noise int32) []int32 {
+	return evalx.NoiseAsSingletons(labels, noise)
+}

@@ -1,0 +1,131 @@
+package bptree
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"netclus/internal/pagebuf"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	pool, err := pagebuf.NewPool(4<<20, pagebuf.DefaultPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := pool.Open(filepath.Join(b.TempDir(), "t.idx"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	tr, err := Create(f, pagebuf.DefaultPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+		vals[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys, vals); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := benchTree(b, 200000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Search(uint64(rng.Intn(200000)) * 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloor(b *testing.B) {
+	tr := benchTree(b, 200000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := tr.Floor(uint64(rng.Intn(600000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	pool, err := pagebuf.NewPool(4<<20, pagebuf.DefaultPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := pool.Open(filepath.Join(b.TempDir(), "t.idx"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := Create(f, pagebuf.DefaultPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := rng.Uint64()
+		if err := tr.Insert(k, k); err != nil && !errors.Is(err, ErrDuplicate) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	const n = 100000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = uint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pool, err := pagebuf.NewPool(4<<20, pagebuf.DefaultPageSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := pool.Open(filepath.Join(b.TempDir(), "t.idx"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := Create(f, pagebuf.DefaultPageSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := tr.BulkLoad(keys, vals); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkScanAll(b *testing.B) {
+	tr := benchTree(b, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := tr.Scan(0, func(k, v uint64) (bool, error) {
+			n++
+			return true, nil
+		})
+		if err != nil || n != 200000 {
+			b.Fatalf("%v %d", err, n)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package bptree
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"netclus/internal/pagebuf"
+)
+
+// TestQuickAgainstMap drives random operation sequences against a map model
+// with testing/quick generating the operations.
+func TestQuickAgainstMap(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	prop := func(ops []uint32) bool {
+		pool, err := pagebuf.NewPool(64*smallPage, smallPage)
+		if err != nil {
+			return false
+		}
+		f, err := pool.Open(filepath.Join(t.TempDir(), "q.idx"))
+		if err != nil {
+			return false
+		}
+		defer f.Close()
+		tr, err := Create(f, smallPage)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op % 512) // small key space forces duplicates
+			switch (op >> 16) % 3 {
+			case 0: // insert
+				_, dup := model[k]
+				err := tr.Insert(k, uint64(op))
+				if dup != errors.Is(err, ErrDuplicate) {
+					t.Logf("insert %d: dup=%v err=%v", k, dup, err)
+					return false
+				}
+				if !dup {
+					if err != nil {
+						return false
+					}
+					model[k] = uint64(op)
+				}
+			case 1: // search
+				v, ok, err := tr.Search(k)
+				if err != nil {
+					return false
+				}
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Logf("search %d: (%d,%v) vs model (%d,%v)", k, v, ok, mv, mok)
+					return false
+				}
+			case 2: // floor
+				fk, fv, ok, err := tr.Floor(k)
+				if err != nil {
+					return false
+				}
+				var bk uint64
+				found := false
+				for mk := range model {
+					if mk <= k && (!found || mk > bk) {
+						bk, found = mk, true
+					}
+				}
+				if ok != found || (ok && (fk != bk || fv != model[bk])) {
+					t.Logf("floor %d: (%d,%d,%v) vs model (%d,%v)", k, fk, fv, ok, bk, found)
+					return false
+				}
+			}
+		}
+		if tr.Count() != int64(len(model)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rnd, MaxCountScale: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+// benchDataset is a mid-size clustered workload shared by the algorithm
+// micro-benchmarks (distinct from the paper-scale benches at the repo root).
+func benchDataset(b *testing.B) (g interface {
+	network.Graph
+}, eps, delta float64) {
+	b.Helper()
+	net, cfg, err := testnet.RandomClustered(1, 4000, 12000, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, cfg.Eps(), cfg.Delta()
+}
+
+func BenchmarkEpsLink(b *testing.B) {
+	g, eps, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EpsLink(g, core.EpsLinkOptions{Eps: eps, MinSup: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBSCAN(b *testing.B) {
+	g, eps, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DBSCAN(g, core.DBSCANOptions{Eps: eps, MinPts: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleLinkFull(b *testing.B) {
+	g, _, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SingleLink(g, core.SingleLinkOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleLinkDelta(b *testing.B) {
+	g, _, delta := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SingleLink(g, core.SingleLinkOptions{Delta: delta}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMedoidsLocalOptimum(b *testing.B) {
+	g, _, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := core.KMedoids(g, core.KMedoidsOptions{K: 10, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncMedoidUpdate(b *testing.B) {
+	g, _, _ := benchDataset(b)
+	rng := rand.New(rand.NewSource(7))
+	k := 10
+	infos := make([]network.PointInfo, k)
+	for i := range infos {
+		pi, err := g.PointInfo(network.PointID(rng.Intn(g.NumPoints())))
+		if err != nil {
+			b.Fatal(err)
+		}
+		infos[i] = pi
+	}
+	st := core.NewMedoidState(g.NumNodes())
+	var stats core.Stats
+	if err := core.MedoidDistFind(g, infos, st, &stats); err != nil {
+		b.Fatal(err)
+	}
+	backup := core.NewMedoidState(g.NumNodes())
+	backup.CopyFrom(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % k
+		ci, err := g.PointInfo(network.PointID(rng.Intn(g.NumPoints())))
+		if err != nil {
+			b.Fatal(err)
+		}
+		old := infos[slot]
+		infos[slot] = ci
+		if err := core.IncMedoidUpdate(g, infos, slot, st, &stats); err != nil {
+			b.Fatal(err)
+		}
+		infos[slot] = old
+		st.CopyFrom(backup)
+	}
+}
+
+func BenchmarkAssignPoints(b *testing.B) {
+	g, _, _ := benchDataset(b)
+	rng := rand.New(rand.NewSource(7))
+	infos := make([]network.PointInfo, 10)
+	for i := range infos {
+		pi, err := g.PointInfo(network.PointID(rng.Intn(g.NumPoints())))
+		if err != nil {
+			b.Fatal(err)
+		}
+		infos[i] = pi
+	}
+	st := core.NewMedoidState(g.NumNodes())
+	var stats core.Stats
+	if err := core.MedoidDistFind(g, infos, st, &stats); err != nil {
+		b.Fatal(err)
+	}
+	labels := make([]int32, g.NumPoints())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AssignPoints(g, infos, st, labels, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/datagen"
+	"netclus/internal/evalx"
+	"netclus/internal/matrix"
+	"netclus/internal/testnet"
+)
+
+func TestDBSCANMinPts2EqualsEpsLink(t *testing.T) {
+	// §4.3: ε-Link is DBSCAN specialized to MinPts = 2 (no border-point
+	// ambiguity there), so the partitions must coincide exactly.
+	for seed := int64(1); seed <= 8; seed++ {
+		g, err := testnet.Random(seed, 40, 70)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.5, 1.0, 2.0} {
+			db, err := core.DBSCAN(g, core.DBSCANOptions{Eps: eps, MinPts: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			el, err := core.EpsLink(g, core.EpsLinkOptions{Eps: eps, MinSup: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePartition(t,
+				evalx.NoiseAsSingletons(db.Labels, core.Noise),
+				evalx.NoiseAsSingletons(el.Labels, core.Noise),
+				fmt.Sprintf("seed %d eps %v", seed, eps))
+		}
+	}
+}
+
+func TestDBSCANMatchesMatrixDBSCAN(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g, err := testnet.Random(seed+40, 36, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := matrix.PointDistances(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, minPts := range []int{2, 3, 4} {
+			const eps = 1.0
+			got, err := core.DBSCAN(g, core.DBSCANOptions{Eps: eps, MinPts: minPts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := matrix.DBSCAN(dist, eps, minPts)
+
+			// Noise is order-independent and must agree exactly; border
+			// points may legally land in either adjacent cluster, so the
+			// partition comparison is restricted to core points.
+			nCore := 0
+			for p := range want {
+				coreWant := countWithin(dist, p, eps) >= minPts
+				if coreWant != got.Core[p] {
+					t.Fatalf("seed %d minPts %d: point %d core flag %v, want %v",
+						seed, minPts, p, got.Core[p], coreWant)
+				}
+				if (want[p] == -1) != (got.Labels[p] == core.Noise) {
+					t.Fatalf("seed %d minPts %d: point %d noise mismatch (got %d, want %d)",
+						seed, minPts, p, got.Labels[p], want[p])
+				}
+				if coreWant {
+					nCore++
+				}
+			}
+			var wc, gc []int32
+			for p := range want {
+				if got.Core[p] {
+					wc = append(wc, want[p])
+					gc = append(gc, got.Labels[p])
+				}
+			}
+			if nCore > 0 {
+				samePartition(t, wc, gc, fmt.Sprintf("seed %d minPts %d core partition", seed, minPts))
+			}
+			if got.NumClusters != evalx.NumClusters(want, -1) {
+				t.Fatalf("seed %d minPts %d: %d clusters, matrix found %d",
+					seed, minPts, got.NumClusters, evalx.NumClusters(want, -1))
+			}
+		}
+	}
+}
+
+func countWithin(dist [][]float64, p int, eps float64) int {
+	n := 0
+	for q := range dist[p] {
+		if dist[p][q] <= eps {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDBSCANDiscoversGeneratedClusters(t *testing.T) {
+	g, cfg, err := testnet.RandomClustered(5, 400, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.DBSCAN(g, core.DBSCANOptions{Eps: cfg.Eps(), MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := append([]int32(nil), g.Tags()...)
+	ari, err := evalx.ARI(
+		evalx.NoiseAsSingletons(truth, datagen.OutlierTag),
+		evalx.NoiseAsSingletons(res.Labels, core.Noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Fatalf("ARI = %v (< 0.9), %d clusters for k = %d", ari, res.NumClusters, cfg.K)
+	}
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	g, err := testnet.Random(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.DBSCAN(g, core.DBSCANOptions{Eps: 0, MinPts: 2}); err == nil {
+		t.Fatal("want error for Eps = 0")
+	}
+	if _, err := core.DBSCAN(g, core.DBSCANOptions{Eps: 1, MinPts: 0}); err == nil {
+		t.Fatal("want error for MinPts = 0")
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Far-apart points with a high density requirement: everything is noise.
+	g, err := testnet.Line(30, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.DBSCAN(g, core.DBSCANOptions{Eps: 0.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || res.CorePoints != 0 {
+		t.Fatalf("expected all noise, got %+v", res)
+	}
+	for p, l := range res.Labels {
+		if l != core.Noise {
+			t.Fatalf("point %d labelled %d", p, l)
+		}
+	}
+}

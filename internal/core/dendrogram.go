@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+
+	"netclus/internal/network"
+	"netclus/internal/unionfind"
+)
+
+// MergeStep is one agglomeration of the Single-Link dendrogram: the clusters
+// represented by points A and B (their union-find roots at merge time) were
+// joined at network distance Dist, producing a cluster of Size points.
+type MergeStep struct {
+	A, B network.PointID
+	Dist float64
+	Size int32
+}
+
+// Dendrogram records the merge history of a hierarchical clustering over
+// NumPoints initial singleton clusters. Merges appear in merge order; when
+// the δ scalability heuristic is active, the leading pre-merges (all with
+// Dist <= δ) are unordered among themselves, and every later merge is in
+// ascending distance order. Cutting below δ is therefore not meaningful —
+// exactly the detail the paper trades away for heap size (§4.4.2).
+type Dendrogram struct {
+	NumPoints int
+	// PreMerges counts the leading δ-heuristic merges.
+	PreMerges int
+	Merges    []MergeStep
+}
+
+// MergeDistances returns the distance of every merge, in merge order.
+func (d *Dendrogram) MergeDistances() []float64 {
+	out := make([]float64, len(d.Merges))
+	for i, m := range d.Merges {
+		out[i] = m.Dist
+	}
+	return out
+}
+
+// LastMergeDistances returns the distances of the final n merges (Figure 15
+// plots the last 49). Fewer are returned when the dendrogram is shorter.
+func (d *Dendrogram) LastMergeDistances(n int) []float64 {
+	all := d.MergeDistances()
+	if n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// replay applies merges while keep returns true and labels the resulting
+// partition 0..C-1.
+func (d *Dendrogram) replay(keep func(i int, m MergeStep) bool) []int32 {
+	uf := unionfind.New(d.NumPoints)
+	for i, m := range d.Merges {
+		if !keep(i, m) {
+			break
+		}
+		uf.Union(int(m.A), int(m.B))
+	}
+	labels := make([]int32, d.NumPoints)
+	next := int32(0)
+	byRoot := make(map[int]int32)
+	for p := 0; p < d.NumPoints; p++ {
+		r := uf.Find(p)
+		l, ok := byRoot[r]
+		if !ok {
+			l = next
+			next++
+			byRoot[r] = l
+		}
+		labels[p] = l
+	}
+	return labels
+}
+
+// LabelsAtDistance cuts the dendrogram at distance t: every merge with
+// Dist <= t is applied. A Single-Link run cut at t equals ε-Link with ε = t
+// (§5.1's closing observation); pair it with SuppressSmallClusters for the
+// min_sup analogue.
+func (d *Dendrogram) LabelsAtDistance(t float64) []int32 {
+	return d.replay(func(i int, m MergeStep) bool {
+		// Pre-merges are all <= δ <= any meaningful cut; later merges
+		// ascend, so stopping at the first larger one is exact.
+		return i < d.PreMerges || m.Dist <= t
+	})
+}
+
+// LabelsAtCount cuts the dendrogram where k clusters remain (or where the
+// merge history ends, whichever comes first).
+func (d *Dendrogram) LabelsAtCount(k int) []int32 {
+	limit := d.NumPoints - k
+	if limit < 0 {
+		limit = 0
+	}
+	return d.replay(func(i int, m MergeStep) bool { return i < limit })
+}
+
+// InterestingLevel marks a §5.3 "interesting" clustering level: merge index
+// Index (the merge whose distance jumped) and the jump ratio against the
+// running average of the preceding window's distance deltas.
+type InterestingLevel struct {
+	Index int
+	Dist  float64
+	Ratio float64
+}
+
+// InterestingLevels implements the paper's §5.3 heuristic: maintain the
+// average d_avg of the distance deltas of the last window merges; whenever
+// the next delta exceeds factor * d_avg, hint that the clustering just
+// before that merge is an interesting level. Multiple levels of different
+// resolution are reported in merge order. The scan starts after the δ
+// pre-merges, whose ordering (and therefore deltas) carries no structure.
+func (d *Dendrogram) InterestingLevels(window int, factor float64) []InterestingLevel {
+	if window < 1 {
+		window = 8
+	}
+	if factor <= 1 {
+		factor = 3
+	}
+	dists := d.MergeDistances()
+	if len(dists) < 2 {
+		return nil
+	}
+	var levels []InterestingLevel
+	deltas := make([]float64, 0, window)
+	sum := 0.0
+	start := d.PreMerges + 1
+	if start < 1 {
+		start = 1
+	}
+	for i := start; i < len(dists); i++ {
+		delta := dists[i] - dists[i-1]
+		if len(deltas) == window {
+			avg := sum / float64(window)
+			switch {
+			case avg > 0 && delta > factor*avg && delta > 1e-9*dists[i-1]:
+				levels = append(levels, InterestingLevel{Index: i, Dist: dists[i], Ratio: delta / avg})
+			case avg <= 0 && delta > 1e-9*dists[i-1]:
+				// A positive jump after a plateau of identical merge
+				// distances is maximally significant (the relative floor
+				// ignores float round-off between tied distances).
+				levels = append(levels, InterestingLevel{Index: i, Dist: dists[i], Ratio: math.Inf(1)})
+			}
+		}
+		if len(deltas) == window {
+			sum -= deltas[0]
+			deltas = deltas[1:]
+		}
+		deltas = append(deltas, delta)
+		sum += delta
+	}
+	return levels
+}

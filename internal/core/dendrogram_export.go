@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"netclus/internal/network"
+)
+
+// CutInfo summarizes one dendrogram cut: the number of clusters, their size
+// distribution and how many points sit in clusters below minSup.
+type CutInfo struct {
+	Distance    float64
+	Clusters    int
+	Sizes       []int // descending
+	SmallPoints int   // points in clusters smaller than minSup
+}
+
+// CutAt labels the partition at distance t and summarizes it.
+func (d *Dendrogram) CutAt(t float64, minSup int) ([]int32, CutInfo) {
+	labels := d.LabelsAtDistance(t)
+	info := CutInfo{Distance: t}
+	counts := map[int32]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	info.Clusters = len(counts)
+	for _, n := range counts {
+		info.Sizes = append(info.Sizes, n)
+		if n < minSup {
+			info.SmallPoints += n
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(info.Sizes)))
+	return labels, info
+}
+
+// WriteNewick serializes the dendrogram in Newick tree format with branch
+// lengths derived from merge heights (leaf branch length = height of the
+// leaf's first merge; internal branch length = parent height - own height).
+// Leaves are named p<PointID>. Disconnected forests serialize each root as
+// its own tree, one per line. The format round-trips into any standard
+// dendrogram/phylogeny viewer.
+func (d *Dendrogram) WriteNewick(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	type node struct {
+		left, right int // node indices; -1 = absent
+		point       network.PointID
+		height      float64
+	}
+	// Leaves first, then one internal node per merge.
+	nodes := make([]node, d.NumPoints, d.NumPoints+len(d.Merges))
+	for p := range nodes {
+		nodes[p] = node{left: -1, right: -1, point: network.PointID(p)}
+	}
+	// current maps a union-find-free view: representative point -> node.
+	current := make(map[network.PointID]int, d.NumPoints)
+	parent := make([]int32, d.NumPoints)
+	for p := 0; p < d.NumPoints; p++ {
+		current[network.PointID(p)] = p
+		parent[p] = int32(p)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range d.Merges {
+		ra, rb := find(int32(m.A)), find(int32(m.B))
+		na, nb := current[network.PointID(ra)], current[network.PointID(rb)]
+		nodes = append(nodes, node{left: na, right: nb, point: -1, height: m.Dist})
+		parent[rb] = ra
+		current[network.PointID(ra)] = len(nodes) - 1
+		delete(current, network.PointID(rb))
+	}
+
+	var write func(i int, parentHeight float64) error
+	write = func(i int, parentHeight float64) error {
+		n := nodes[i]
+		if n.left < 0 {
+			_, err := fmt.Fprintf(bw, "p%d:%g", n.point, parentHeight)
+			return err
+		}
+		if _, err := bw.WriteString("("); err != nil {
+			return err
+		}
+		if err := write(n.left, n.height); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(","); err != nil {
+			return err
+		}
+		if err := write(n.right, n.height); err != nil {
+			return err
+		}
+		branch := parentHeight - n.height
+		if branch < 0 {
+			branch = 0 // δ pre-merges are unordered; clamp
+		}
+		_, err := fmt.Fprintf(bw, "):%g", branch)
+		return err
+	}
+
+	// Roots in deterministic order.
+	var roots []int
+	for _, idx := range current {
+		roots = append(roots, idx)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		if err := write(r, nodes[r].height); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(";\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

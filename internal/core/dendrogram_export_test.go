@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+// combineNoTransit joins two networks without transition edges, keeping
+// their components (and dendrograms) disjoint.
+func combineNoTransit(a, b *network.Network) (*network.Network, network.NodeID, error) {
+	return network.Combine(a, b, nil)
+}
+
+func TestCutAt(t *testing.T) {
+	g, cfg, err := testnet.RandomClustered(7, 300, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SingleLink(g, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, info := res.Dendrogram.CutAt(cfg.Eps(), 3)
+	if len(labels) != g.NumPoints() {
+		t.Fatalf("%d labels", len(labels))
+	}
+	if info.Clusters < 3 {
+		t.Fatalf("cut found %d clusters, want >= 3", info.Clusters)
+	}
+	total := 0
+	for i, s := range info.Sizes {
+		if i > 0 && s > info.Sizes[i-1] {
+			t.Fatal("sizes not descending")
+		}
+		total += s
+	}
+	if total != g.NumPoints() {
+		t.Fatalf("sizes sum %d, want %d", total, g.NumPoints())
+	}
+	if info.Distance != cfg.Eps() {
+		t.Fatal("distance not recorded")
+	}
+}
+
+func TestWriteNewick(t *testing.T) {
+	g, err := testnet.Random(17, 25, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SingleLink(g, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Dendrogram.WriteNewick(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// A connected network yields a single tree.
+	if strings.Count(s, ";") != 1 {
+		t.Fatalf("expected one tree, got %d", strings.Count(s, ";"))
+	}
+	// Every leaf appears exactly once.
+	for p := 0; p < g.NumPoints(); p++ {
+		if strings.Count(s, leafToken(s, p)) != 1 {
+			t.Fatalf("leaf p%d count != 1 in %q", p, s)
+		}
+	}
+	// Balanced parentheses, one merge per open paren.
+	if strings.Count(s, "(") != strings.Count(s, ")") {
+		t.Fatal("unbalanced parentheses")
+	}
+	if strings.Count(s, "(") != len(res.Dendrogram.Merges) {
+		t.Fatalf("%d internal nodes, want %d merges", strings.Count(s, "("), len(res.Dendrogram.Merges))
+	}
+}
+
+// leafToken builds the unambiguous search token for leaf p ("p<N>:" so p1
+// does not match p10).
+func leafToken(s string, p int) string {
+	_ = s
+	return "p" + itoa(p) + ":"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestWriteNewickForest(t *testing.T) {
+	// Two disconnected populated components -> two trees.
+	g, err := testnet.Line(4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := testnet.Line(4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, _, err := combineNoTransit(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SingleLink(comb, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalClusters != 2 {
+		t.Fatalf("expected 2 final clusters, got %d", res.FinalClusters)
+	}
+	var buf bytes.Buffer
+	if err := res.Dendrogram.WriteNewick(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), ";") != 2 {
+		t.Fatalf("expected two trees:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/datagen"
+	"netclus/internal/evalx"
+	"netclus/internal/matrix"
+	"netclus/internal/testnet"
+)
+
+// samePartition asserts two labelings describe the same partition
+// (label values may differ).
+func samePartition(t *testing.T, want, got []int32, what string) {
+	t.Helper()
+	ari, err := evalx.ARI(want, got)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if ari != 1 {
+		t.Fatalf("%s: partitions differ, ARI = %v\nwant %v\ngot  %v", what, ari, want, got)
+	}
+}
+
+func TestEpsLinkMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g, err := testnet.Random(seed, 36, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := matrix.PointDistances(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eps := range []float64{0.3, 0.7, 1.2, 2.5, 5.0} {
+				want := matrix.EpsComponents(dist, eps, 1)
+				res, err := core.EpsLink(g, core.EpsLinkOptions{Eps: eps})
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePartition(t, want, res.Labels, fmt.Sprintf("eps=%v", eps))
+			}
+		})
+	}
+}
+
+func TestEpsLinkMinSup(t *testing.T) {
+	g, err := testnet.Random(7, 30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := matrix.PointDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1.0
+	want := matrix.EpsComponents(dist, eps, 3)
+	res, err := core.EpsLink(g, core.EpsLinkOptions{Eps: eps, MinSup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare partitions with noise as singletons on both sides so that
+	// outliers must agree exactly.
+	samePartition(t,
+		evalx.NoiseAsSingletons(want, -1),
+		evalx.NoiseAsSingletons(res.Labels, core.Noise),
+		"min_sup partitions")
+	if res.NumClusters != evalx.NumClusters(want, -1) {
+		t.Fatalf("NumClusters = %d, brute force found %d", res.NumClusters, evalx.NumClusters(want, -1))
+	}
+}
+
+func TestEpsLinkDiscoversGeneratedClusters(t *testing.T) {
+	g, cfg, err := testnet.RandomClustered(3, 400, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.EpsLink(g, core.EpsLinkOptions{Eps: cfg.Eps(), MinSup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := append([]int32(nil), g.Tags()...)
+	ari, err := evalx.ARI(
+		evalx.NoiseAsSingletons(truth, datagen.OutlierTag),
+		evalx.NoiseAsSingletons(res.Labels, core.Noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Fatalf("ARI vs generated ground truth = %v (< 0.9); found %d clusters, want %d",
+			ari, res.NumClusters, cfg.K)
+	}
+}
+
+func TestEpsLinkValidation(t *testing.T) {
+	g, err := testnet.Random(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.EpsLink(g, core.EpsLinkOptions{Eps: 0}); err == nil {
+		t.Fatal("want error for Eps = 0")
+	}
+	if _, err := core.EpsLink(g, core.EpsLinkOptions{Eps: -1}); err == nil {
+		t.Fatal("want error for negative Eps")
+	}
+}
+
+func TestEpsLinkLineChain(t *testing.T) {
+	// Points every 1.0 along a line: eps >= 1 links everything, eps < 1
+	// leaves every point alone.
+	g, err := testnet.Line(12, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.EpsLink(g, core.EpsLinkOptions{Eps: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("eps=1.0 on unit chain: %d clusters, want 1", res.NumClusters)
+	}
+	res, err = core.EpsLink(g, core.EpsLinkOptions{Eps: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != g.NumPoints() {
+		t.Fatalf("eps=0.99 on unit chain: %d clusters, want %d", res.NumClusters, g.NumPoints())
+	}
+}

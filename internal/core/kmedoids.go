@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"netclus/internal/heapx"
+	"netclus/internal/network"
+)
+
+// MedoidState holds, for every network node, the index of its nearest medoid
+// (in the current medoid set) and the network distance to it — the output of
+// the Fig. 4 concurrent expansion, updated in place by the Fig. 5 incremental
+// replacement. Unreachable/unassigned nodes have Med -1 and Dist +Inf.
+type MedoidState struct {
+	Med  []int32
+	Dist []float64
+}
+
+// NewMedoidState returns a state for a graph with n nodes, all unassigned.
+func NewMedoidState(n int) *MedoidState {
+	s := &MedoidState{Med: make([]int32, n), Dist: make([]float64, n)}
+	s.Reset()
+	return s
+}
+
+// Reset unassigns every node.
+func (s *MedoidState) Reset() {
+	for i := range s.Med {
+		s.Med[i] = -1
+		s.Dist[i] = network.Inf
+	}
+}
+
+// CopyFrom overwrites s with o (same length required).
+func (s *MedoidState) CopyFrom(o *MedoidState) {
+	copy(s.Med, o.Med)
+	copy(s.Dist, o.Dist)
+}
+
+// medEntry is a queue entry B of Figs. 4-5: node, medoid index, distance.
+type medEntry struct {
+	node network.NodeID
+	med  int32
+	dist float64
+}
+
+func lessMedEntry(a, b medEntry) bool { return a.dist < b.dist }
+
+// MedoidDistFind implements Fig. 4: a concurrent (multi-source) Dijkstra
+// expansion from all medoids that tags every node with its nearest medoid
+// and distance. The state is fully recomputed.
+func MedoidDistFind(g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats) error {
+	st.Reset()
+	h := heapx.New(lessMedEntry)
+	for i, m := range medoids {
+		h.Push(medEntry{node: m.N1, med: int32(i), dist: m.Pos})
+		h.Push(medEntry{node: m.N2, med: int32(i), dist: m.Weight - m.Pos})
+		stats.HeapPushes += 2
+	}
+	return concurrentExpansion(g, h, st, stats)
+}
+
+// IncMedoidUpdate implements Fig. 5: after medoid slot replacedIdx has been
+// replaced (medoids is the new set, already holding the new medoid in that
+// slot), nodes of the old medoid's cluster are unassigned and re-expanded
+// from (a) the frontier of the surviving clusters, (b) the new medoid and
+// (c) the direct edge-endpoint seeds of every surviving medoid, touching only
+// the part of the network whose nearest medoid can have changed. st must
+// hold a consistent assignment for the previous medoid set.
+//
+// Seed source (c) is a correction to the paper's pseudocode: when a
+// surviving medoid's own edge endpoint was assigned to the replaced medoid,
+// the endpoint's direct d_L connection to that medoid is not reachable
+// through any neighbouring node's retained distance, so Fig. 5's two seed
+// sources alone under-estimate it. Re-pushing the (cheap, 2k) Fig. 4 seeds
+// restores exactness; they are skipped unless they improve a node.
+func IncMedoidUpdate(g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats) error {
+	h := heapx.New(lessMedEntry)
+
+	// Unassign the replaced medoid's cluster.
+	var affected []network.NodeID
+	for n := range st.Med {
+		if st.Med[n] == int32(replacedIdx) {
+			affected = append(affected, network.NodeID(n))
+			st.Med[n] = -1
+			st.Dist[n] = network.Inf
+		}
+	}
+	// Seed from neighbours that still belong to some surviving medoid.
+	for _, ni := range affected {
+		adj, err := g.Neighbors(ni)
+		if err != nil {
+			return err
+		}
+		stats.EdgesVisited += len(adj)
+		for _, nb := range adj {
+			if st.Med[nb.Node] >= 0 {
+				h.Push(medEntry{node: ni, med: st.Med[nb.Node], dist: st.Dist[nb.Node] + nb.Weight})
+				stats.HeapPushes++
+			}
+		}
+	}
+	// Seed every medoid's edge endpoints (the new medoid's seeds are what
+	// Fig. 5 prescribes; the survivors' are the pseudocode correction).
+	for i, m := range medoids {
+		h.Push(medEntry{node: m.N1, med: int32(i), dist: m.Pos})
+		h.Push(medEntry{node: m.N2, med: int32(i), dist: m.Weight - m.Pos})
+		stats.HeapPushes += 2
+	}
+
+	return concurrentExpansion(g, h, st, stats)
+}
+
+// concurrentExpansion is the shared Concurrent_Expansion of Figs. 4-5. The
+// acceptance test B.dist < Dist[B.node] subsumes both variants: with a reset
+// state it is Fig. 4's "not assigned" check, and on a partially retained
+// state it is Fig. 5's "can this node get closer" check.
+func concurrentExpansion(g network.Graph, h *heapx.Heap[medEntry], st *MedoidState, stats *Stats) error {
+	for !h.Empty() {
+		b := h.Pop()
+		if b.dist >= st.Dist[b.node] {
+			continue
+		}
+		st.Med[b.node] = b.med
+		st.Dist[b.node] = b.dist
+		stats.NodesSettled++
+		adj, err := g.Neighbors(b.node)
+		if err != nil {
+			return err
+		}
+		stats.EdgesVisited += len(adj)
+		for _, nb := range adj {
+			if nd := b.dist + nb.Weight; nd < st.Dist[nb.Node] {
+				h.Push(medEntry{node: nb.Node, med: b.med, dist: nd})
+				stats.HeapPushes++
+			}
+		}
+	}
+	return nil
+}
+
+// AssignPoints assigns every point to its nearest medoid using Equation 1:
+// the best of (i) via its edge's endpoints using the node assignment in st
+// and (ii) directly along its own edge when a medoid shares the edge. It
+// fills labels (length NumPoints; Noise for points unreachable from every
+// medoid) and returns the evaluation function R = Σ d(p, m_p). The scan is a
+// single sequential pass over the point groups.
+func AssignPoints(g network.Graph, medoids []network.PointInfo, st *MedoidState, labels []int32, stats *Stats) (r float64, err error) {
+	if len(labels) != g.NumPoints() {
+		return 0, fmt.Errorf("core: labels slice has %d entries for %d points", len(labels), g.NumPoints())
+	}
+	// Medoids that share an edge with candidate points, keyed by group.
+	onEdge := make(map[network.GroupID][]int32)
+	for i, m := range medoids {
+		onEdge[m.Group] = append(onEdge[m.Group], int32(i))
+	}
+	err = g.ScanGroups(func(gid network.GroupID, pg network.PointGroup, offsets []float64) error {
+		stats.GroupsRead++
+		d1 := st.Dist[pg.N1]
+		d2 := st.Dist[pg.N2]
+		m1 := st.Med[pg.N1]
+		m2 := st.Med[pg.N2]
+		same := onEdge[gid]
+		for i, off := range offsets {
+			best, bestM := network.Inf, int32(-1)
+			if d := d1 + off; d < best {
+				best, bestM = d, m1
+			}
+			if d := d2 + (pg.Weight - off); d < best {
+				best, bestM = d, m2
+			}
+			for _, mi := range same {
+				m := medoids[mi]
+				dl := off - m.Pos
+				if dl < 0 {
+					dl = -dl
+				}
+				if dl < best {
+					best, bestM = dl, mi
+				}
+			}
+			labels[pg.First+network.PointID(i)] = bestM
+			if bestM >= 0 {
+				r += best
+			}
+		}
+		return nil
+	})
+	return r, err
+}
+
+// KMedoidsOptions configures the partitioning algorithm of §4.2.
+type KMedoidsOptions struct {
+	// K is the number of medoids (clusters).
+	K int
+	// MaxBadSwaps is the number of consecutive unsuccessful medoid
+	// replacements after which a local optimum is declared. The paper's
+	// experiments use 15, the default.
+	MaxBadSwaps int
+	// Restarts is the number of random initial medoid sets evaluated; the
+	// best local optimum wins. Default 1 (the cost the paper reports is
+	// per local optimum).
+	Restarts int
+	// Recompute disables the Fig. 5 incremental update: every swap re-runs
+	// MedoidDistFind from scratch (the ablation baseline of Figure 12).
+	Recompute bool
+	// InitialMedoids, when non-empty, seeds the first restart with these
+	// points instead of a random sample (the paper's "ideal start" of
+	// Fig. 11b). Must contain exactly K distinct points.
+	InitialMedoids []network.PointID
+	// Parallel runs the restarts on separate goroutines. Results are
+	// identical to the serial run (each restart draws its own seed from
+	// Rand up front). Requires a Graph that is safe for concurrent reads:
+	// the in-memory Network is; the disk Store is not.
+	Parallel bool
+	// Rand is the randomness source; nil falls back to a fixed-seed
+	// generator so runs are reproducible by default.
+	Rand *rand.Rand
+}
+
+func (o *KMedoidsOptions) defaults(g network.Graph) error {
+	if o.K < 1 {
+		return fmt.Errorf("core: KMedoids needs K >= 1, got %d", o.K)
+	}
+	if o.K > g.NumPoints() {
+		return fmt.Errorf("core: K = %d exceeds the %d points", o.K, g.NumPoints())
+	}
+	if o.MaxBadSwaps == 0 {
+		o.MaxBadSwaps = 15
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 1
+	}
+	if len(o.InitialMedoids) > 0 && len(o.InitialMedoids) != o.K {
+		return fmt.Errorf("core: %d initial medoids for K = %d", len(o.InitialMedoids), o.K)
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return nil
+}
+
+// KMedoidsResult is the outcome of one KMedoids run.
+type KMedoidsResult struct {
+	// Labels assigns each point the index (0..K-1) of its medoid, or Noise
+	// when unreachable from every medoid.
+	Labels []int32
+	// Medoids are the final medoid points.
+	Medoids []network.PointID
+	// R is the final value of the evaluation function Σ d(p, m_p).
+	R float64
+	// Iterations counts full cluster evaluations that were kept: the
+	// initial assignment plus every committed swap (Table 1's
+	// "# iterations").
+	Iterations int
+	// AttemptedSwaps and AcceptedSwaps count medoid replacements tried and
+	// committed across all restarts.
+	AttemptedSwaps, AcceptedSwaps int
+	// FirstIterTime is the duration of the initial MedoidDistFind plus
+	// point assignment (Table 1's "first one"); SwapIterTime is the total
+	// and SwapIters the count of subsequent swap evaluations ("next ones"
+	// are SwapIterTime/SwapIters).
+	FirstIterTime time.Duration
+	SwapIterTime  time.Duration
+	SwapIters     int
+	// Stats aggregates traversal work across the run.
+	Stats Stats
+}
+
+// AvgSwapIterTime returns the mean duration of one swap evaluation.
+func (r *KMedoidsResult) AvgSwapIterTime() time.Duration {
+	if r.SwapIters == 0 {
+		return 0
+	}
+	return r.SwapIterTime / time.Duration(r.SwapIters)
+}
+
+// KMedoids runs the §4.2 partitioning algorithm: random medoids, concurrent
+// expansion, then randomized medoid replacement (incremental by default)
+// until MaxBadSwaps consecutive replacements fail to improve R, repeated for
+// the configured number of restarts; the best local optimum is returned.
+// Every restart runs on its own seed drawn from opts.Rand up front, so the
+// serial and Parallel modes produce identical results.
+func KMedoids(g network.Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
+	if err := opts.defaults(g); err != nil {
+		return nil, err
+	}
+	seeds := make([]int64, opts.Restarts)
+	for i := range seeds {
+		seeds[i] = opts.Rand.Int63()
+	}
+
+	results := make([]*restartResult, opts.Restarts)
+	accs := make([]*KMedoidsResult, opts.Restarts)
+	errs := make([]error, opts.Restarts)
+	runOne := func(restart int) {
+		rng := rand.New(rand.NewSource(seeds[restart]))
+		var init []network.PointID
+		if restart == 0 && len(opts.InitialMedoids) > 0 {
+			init = opts.InitialMedoids
+		} else {
+			init = samplePoints(g.NumPoints(), opts.K, rng)
+		}
+		accs[restart] = &KMedoidsResult{}
+		results[restart], errs[restart] = kmedoidsOnce(g, opts, init, rng, accs[restart])
+	}
+	if opts.Parallel && opts.Restarts > 1 {
+		var wg sync.WaitGroup
+		for restart := 0; restart < opts.Restarts; restart++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				runOne(r)
+			}(restart)
+		}
+		wg.Wait()
+	} else {
+		for restart := 0; restart < opts.Restarts; restart++ {
+			runOne(restart)
+		}
+	}
+
+	res := &KMedoidsResult{}
+	var best *restartResult
+	for restart := 0; restart < opts.Restarts; restart++ {
+		if errs[restart] != nil {
+			return nil, errs[restart]
+		}
+		a := accs[restart]
+		res.Iterations += a.Iterations
+		res.AttemptedSwaps += a.AttemptedSwaps
+		res.AcceptedSwaps += a.AcceptedSwaps
+		res.FirstIterTime += a.FirstIterTime
+		res.SwapIterTime += a.SwapIterTime
+		res.SwapIters += a.SwapIters
+		res.Stats.add(a.Stats)
+		if rr := results[restart]; best == nil || rr.r < best.r {
+			best = rr
+		}
+	}
+	res.Labels = best.labels
+	res.Medoids = best.medoids
+	res.R = best.r
+	return res, nil
+}
+
+type restartResult struct {
+	labels  []int32
+	medoids []network.PointID
+	r       float64
+}
+
+func kmedoidsOnce(g network.Graph, opts KMedoidsOptions, init []network.PointID, rng *rand.Rand, res *KMedoidsResult) (*restartResult, error) {
+	medoidIDs := append([]network.PointID(nil), init...)
+	infos := make([]network.PointInfo, len(medoidIDs))
+	inSet := make(map[network.PointID]bool, len(medoidIDs))
+	for i, id := range medoidIDs {
+		pi, err := g.PointInfo(id)
+		if err != nil {
+			return nil, err
+		}
+		infos[i] = pi
+		inSet[id] = true
+	}
+	if len(inSet) != len(medoidIDs) {
+		return nil, fmt.Errorf("core: initial medoids contain duplicates")
+	}
+
+	st := NewMedoidState(g.NumNodes())
+	labels := make([]int32, g.NumPoints())
+	start := time.Now()
+	if err := MedoidDistFind(g, infos, st, &res.Stats); err != nil {
+		return nil, err
+	}
+	r, err := AssignPoints(g, infos, st, labels, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.FirstIterTime += time.Since(start)
+	res.Iterations++
+
+	backup := NewMedoidState(g.NumNodes())
+	trial := make([]int32, g.NumPoints())
+	bad := 0
+	for bad < opts.MaxBadSwaps {
+		mi := rng.Intn(opts.K)
+		cand := randomNonMedoid(g.NumPoints(), inSet, rng)
+		if cand < 0 {
+			break // every point is a medoid: nothing to swap
+		}
+		candInfo, err := g.PointInfo(cand)
+		if err != nil {
+			return nil, err
+		}
+
+		backup.CopyFrom(st)
+		start := time.Now()
+		oldInfo, oldID := infos[mi], medoidIDs[mi]
+		infos[mi], medoidIDs[mi] = candInfo, cand
+		if opts.Recompute {
+			if err := MedoidDistFind(g, infos, st, &res.Stats); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := IncMedoidUpdate(g, infos, mi, st, &res.Stats); err != nil {
+				return nil, err
+			}
+		}
+		r2, err := AssignPoints(g, infos, st, trial, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.SwapIterTime += time.Since(start)
+		res.SwapIters++
+		res.AttemptedSwaps++
+
+		if r2 < r {
+			// Commit the replacement.
+			r = r2
+			labels, trial = trial, labels
+			delete(inSet, oldID)
+			inSet[cand] = true
+			res.AcceptedSwaps++
+			res.Iterations++
+			bad = 0
+		} else {
+			// Roll back.
+			infos[mi], medoidIDs[mi] = oldInfo, oldID
+			st.CopyFrom(backup)
+			bad++
+		}
+	}
+	return &restartResult{labels: labels, medoids: medoidIDs, r: r}, nil
+}
+
+// samplePoints draws k distinct point IDs uniformly from [0, n).
+func samplePoints(n, k int, rng *rand.Rand) []network.PointID {
+	if k > n/2 {
+		perm := rng.Perm(n)
+		out := make([]network.PointID, k)
+		for i := 0; i < k; i++ {
+			out[i] = network.PointID(perm[i])
+		}
+		return out
+	}
+	seen := make(map[network.PointID]bool, k)
+	out := make([]network.PointID, 0, k)
+	for len(out) < k {
+		p := network.PointID(rng.Intn(n))
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomNonMedoid draws a point outside the medoid set, or -1 when none
+// exists.
+func randomNonMedoid(n int, inSet map[network.PointID]bool, rng *rand.Rand) network.PointID {
+	if len(inSet) >= n {
+		return -1
+	}
+	for {
+		p := network.PointID(rng.Intn(n))
+		if !inSet[p] {
+			return p
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/datagen"
+	"netclus/internal/evalx"
+	"netclus/internal/matrix"
+	"netclus/internal/testnet"
+)
+
+func TestOPTICSOrderingInvariants(t *testing.T) {
+	g, err := testnet.Random(5, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.OPTICS(g, core.OPTICSOptions{Eps: 2.0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != g.NumPoints() || len(res.Reach) != g.NumPoints() {
+		t.Fatalf("ordering covers %d of %d points", len(res.Order), g.NumPoints())
+	}
+	seen := map[int32]bool{}
+	for _, p := range res.Order {
+		if seen[int32(p)] {
+			t.Fatalf("point %d emitted twice", p)
+		}
+		seen[int32(p)] = true
+	}
+	if res.Stats.RangeQueries != g.NumPoints() {
+		t.Fatalf("%d range queries for %d points", res.Stats.RangeQueries, g.NumPoints())
+	}
+	// Core distances match a brute-force MinPts-th neighbour computation.
+	dist, err := matrix.PointDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < g.NumPoints(); p++ {
+		want := bruteCoreDist(dist, p, 2.0, 3)
+		if math.Abs(res.CoreDist[p]-want) > 1e-9 && !(math.IsInf(want, 1) && math.IsInf(res.CoreDist[p], 1)) {
+			t.Fatalf("core dist of %d: %v, want %v", p, res.CoreDist[p], want)
+		}
+	}
+}
+
+func bruteCoreDist(dist [][]float64, p int, eps float64, minPts int) float64 {
+	var within []float64
+	for q := range dist[p] {
+		if dist[p][q] <= eps {
+			within = append(within, dist[p][q])
+		}
+	}
+	if len(within) < minPts {
+		return math.Inf(1)
+	}
+	// selection by simple sort
+	for i := 1; i < len(within); i++ {
+		for j := i; j > 0 && within[j] < within[j-1]; j-- {
+			within[j], within[j-1] = within[j-1], within[j]
+		}
+	}
+	return within[minPts-1]
+}
+
+func TestOPTICSExtractionMatchesDBSCAN(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g, err := testnet.Random(seed+70, 40, 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const eps = 2.5
+			for _, minPts := range []int{2, 3, 4} {
+				opt, err := core.OPTICS(g, core.OPTICSOptions{Eps: eps, MinPts: minPts})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, epsPrime := range []float64{eps, 0.6 * eps, 0.3 * eps} {
+					got := opt.ExtractDBSCAN(epsPrime)
+					db, err := core.DBSCAN(g, core.DBSCANOptions{Eps: epsPrime, MinPts: minPts})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// DBSCAN noise must be extraction noise; extraction may
+					// additionally miss some border points (the OPTICS
+					// paper's known approximation), never core points.
+					var coreGot, coreWant []int32
+					for p := range got {
+						if db.Labels[p] == core.Noise && got[p] != core.Noise {
+							t.Fatalf("minPts=%d eps'=%v: DBSCAN noise %d clustered by extraction",
+								minPts, epsPrime, p)
+						}
+						if db.Core[p] {
+							if got[p] == core.Noise {
+								t.Fatalf("minPts=%d eps'=%v: core point %d lost by extraction",
+									minPts, epsPrime, p)
+							}
+							coreGot = append(coreGot, got[p])
+							coreWant = append(coreWant, db.Labels[p])
+						}
+					}
+					if len(coreWant) > 0 {
+						ari, err := evalx.ARI(coreWant, coreGot)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if ari != 1 {
+							t.Fatalf("minPts=%d eps'=%v: core partition ARI %v", minPts, epsPrime, ari)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOPTICSFindsClustersAtMultipleScales(t *testing.T) {
+	g, cfg, err := testnet.RandomClustered(9, 400, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.OPTICS(g, core.OPTICSOptions{Eps: 4 * cfg.Eps(), MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := core.SuppressSmallClusters(res.ExtractDBSCAN(cfg.Eps()), 3)
+	truth := append([]int32(nil), g.Tags()...)
+	ari, err := evalx.ARI(
+		evalx.NoiseAsSingletons(truth, datagen.OutlierTag),
+		evalx.NoiseAsSingletons(labels, core.Noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Fatalf("OPTICS extraction ARI %v < 0.9 (%d clusters)", ari, core.CountClusters(labels))
+	}
+	if len(res.ReachabilityPlot()) != g.NumPoints() {
+		t.Fatal("plot length mismatch")
+	}
+}
+
+func TestOPTICSValidation(t *testing.T) {
+	g, err := testnet.Random(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OPTICS(g, core.OPTICSOptions{Eps: 0, MinPts: 2}); err == nil {
+		t.Fatal("want error for Eps = 0")
+	}
+	if _, err := core.OPTICS(g, core.OPTICSOptions{Eps: 1, MinPts: 0}); err == nil {
+		t.Fatal("want error for MinPts = 0")
+	}
+}

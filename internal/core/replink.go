@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"netclus/internal/network"
+)
+
+// Linkage selects the inter-cluster distance used by RepLink.
+type Linkage int
+
+const (
+	// CompleteLinkage merges by the maximum pairwise distance.
+	CompleteLinkage Linkage = iota
+	// AverageLinkage merges by the average pairwise distance.
+	AverageLinkage
+)
+
+// RepLinkOptions configures the representative-based hierarchical algorithm
+// — the paper's §7 future work ("hierarchical algorithms that consider
+// distances between multiple points from the merged clusters (e.g.
+// representatives)"). Unlike Single-Link, complete and average linkage have
+// no network-Voronoi shortcut; RepLink approximates them by keeping up to
+// MaxReps well-spread representative points per cluster and evaluating the
+// linkage over representative pairs with on-demand shortest-path queries.
+type RepLinkOptions struct {
+	// Linkage is the merge criterion (default CompleteLinkage).
+	Linkage Linkage
+	// MaxReps caps the representatives per cluster, chosen by farthest-point
+	// sampling (CURE-flavoured). 0 keeps every member — exact linkage, but
+	// quadratic in cluster size; use it only on small inputs.
+	MaxReps int
+	// StopAtClusters stops the agglomeration at this many clusters
+	// (0/1 computes the full dendrogram).
+	StopAtClusters int
+	// PreEps, when positive, first collapses ε-Link components (ε = PreEps)
+	// into starting clusters — the scalability pre-phase that keeps the
+	// quadratic agglomeration over a small number of dense groups. The
+	// collapsed levels are recorded as pre-merges at height PreEps.
+	PreEps float64
+}
+
+// RepLinkResult is the outcome of a RepLink run.
+type RepLinkResult struct {
+	Dendrogram    *Dendrogram
+	FinalClusters int
+	// DistanceCalls counts the shortest-path evaluations performed.
+	DistanceCalls int
+	Stats         Stats
+}
+
+// repCluster is one active cluster during agglomeration.
+type repCluster struct {
+	members []network.PointID
+	reps    []network.PointID
+}
+
+// RepLink runs representative-based agglomerative clustering under the
+// network distance. With MaxReps = 0 and PreEps = 0 it computes the exact
+// complete- or average-linkage dendrogram (verified against the matrix
+// baseline in the tests); with a representative cap and the ε pre-phase it
+// scales to larger inputs at bounded approximation.
+func RepLink(g network.Graph, opts RepLinkOptions) (*RepLinkResult, error) {
+	if opts.MaxReps < 0 {
+		return nil, fmt.Errorf("core: negative MaxReps %d", opts.MaxReps)
+	}
+	if opts.PreEps < 0 {
+		return nil, fmt.Errorf("core: negative PreEps %v", opts.PreEps)
+	}
+	n := g.NumPoints()
+	res := &RepLinkResult{Dendrogram: &Dendrogram{NumPoints: n}}
+	if n == 0 {
+		return res, nil
+	}
+	stop := opts.StopAtClusters
+	if stop < 1 {
+		stop = 1
+	}
+
+	// Distance oracle with memoization over point pairs.
+	cache := map[uint64]float64{}
+	dist := func(p, q network.PointID) (float64, error) {
+		if p == q {
+			return 0, nil
+		}
+		a, b := p, q
+		if a > b {
+			a, b = b, a
+		}
+		key := uint64(uint32(a))<<32 | uint64(uint32(b))
+		if d, ok := cache[key]; ok {
+			return d, nil
+		}
+		d, err := network.PointDistance(g, p, q)
+		if err != nil {
+			return 0, err
+		}
+		res.DistanceCalls++
+		cache[key] = d
+		return d, nil
+	}
+
+	// Starting clusters: singletons, or ε-Link components under PreEps.
+	var clusters []*repCluster
+	if opts.PreEps > 0 {
+		el, err := EpsLink(g, EpsLinkOptions{Eps: opts.PreEps})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.add(el.Stats)
+		byLabel := map[int32]*repCluster{}
+		for p, l := range el.Labels {
+			c, ok := byLabel[l]
+			if !ok {
+				c = &repCluster{}
+				byLabel[l] = c
+				clusters = append(clusters, c)
+			}
+			c.members = append(c.members, network.PointID(p))
+		}
+		// Record the collapsed levels so dendrogram replays stay connected.
+		for _, c := range clusters {
+			for i := 1; i < len(c.members); i++ {
+				res.Dendrogram.Merges = append(res.Dendrogram.Merges, MergeStep{
+					A: c.members[0], B: c.members[i], Dist: opts.PreEps, Size: int32(i + 1),
+				})
+			}
+		}
+		res.Dendrogram.PreMerges = len(res.Dendrogram.Merges)
+	} else {
+		for p := 0; p < n; p++ {
+			clusters = append(clusters, &repCluster{members: []network.PointID{network.PointID(p)}})
+		}
+	}
+	for _, c := range clusters {
+		if err := c.pickReps(opts.MaxReps, dist); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pairwise cluster distances (symmetric, lazily maintained).
+	linkDist := func(a, b *repCluster) (float64, error) {
+		switch opts.Linkage {
+		case CompleteLinkage:
+			worst := 0.0
+			for _, p := range a.reps {
+				for _, q := range b.reps {
+					d, err := dist(p, q)
+					if err != nil {
+						return 0, err
+					}
+					if d > worst {
+						worst = d
+					}
+				}
+			}
+			return worst, nil
+		case AverageLinkage:
+			sum, cnt := 0.0, 0
+			for _, p := range a.reps {
+				for _, q := range b.reps {
+					d, err := dist(p, q)
+					if err != nil {
+						return 0, err
+					}
+					sum += d
+					cnt++
+				}
+			}
+			return sum / float64(cnt), nil
+		default:
+			return 0, fmt.Errorf("core: unknown linkage %d", opts.Linkage)
+		}
+	}
+
+	C := len(clusters)
+	d := make([][]float64, C)
+	for i := range d {
+		d[i] = make([]float64, C)
+	}
+	active := make([]bool, C)
+	for i := range active {
+		active[i] = true
+	}
+	for i := 0; i < C; i++ {
+		for j := i + 1; j < C; j++ {
+			v, err := linkDist(clusters[i], clusters[j])
+			if err != nil {
+				return nil, err
+			}
+			d[i][j], d[j][i] = v, v
+		}
+	}
+
+	remaining := C
+	for remaining > stop {
+		bi, bj, bd := -1, -1, network.Inf
+		for i := 0; i < C; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < C; j++ {
+				if active[j] && d[i][j] < bd {
+					bi, bj, bd = i, j, d[i][j]
+				}
+			}
+		}
+		if bi < 0 || bd == network.Inf {
+			break // disconnected components
+		}
+		a, b := clusters[bi], clusters[bj]
+		res.Dendrogram.Merges = append(res.Dendrogram.Merges, MergeStep{
+			A: a.members[0], B: b.members[0], Dist: bd,
+			Size: int32(len(a.members) + len(b.members)),
+		})
+		a.members = append(a.members, b.members...)
+		if err := a.pickReps(opts.MaxReps, dist); err != nil {
+			return nil, err
+		}
+		active[bj] = false
+		remaining--
+		for k := 0; k < C; k++ {
+			if active[k] && k != bi {
+				v, err := linkDist(a, clusters[k])
+				if err != nil {
+					return nil, err
+				}
+				d[bi][k], d[k][bi] = v, v
+			}
+		}
+	}
+	res.FinalClusters = remaining
+	return res, nil
+}
+
+// pickReps selects up to maxReps well-spread members by farthest-point
+// sampling (0 keeps all members).
+func (c *repCluster) pickReps(maxReps int, dist func(p, q network.PointID) (float64, error)) error {
+	if maxReps == 0 || len(c.members) <= maxReps {
+		c.reps = c.members
+		return nil
+	}
+	reps := make([]network.PointID, 0, maxReps)
+	minD := make([]float64, len(c.members))
+	for i := range minD {
+		minD[i] = network.Inf
+	}
+	// Start from the first member for determinism; then repeatedly take the
+	// member farthest from the chosen set.
+	next := 0
+	for len(reps) < maxReps {
+		reps = append(reps, c.members[next])
+		chosen := c.members[next]
+		far, farD := -1, -1.0
+		for i, m := range c.members {
+			if minD[i] == 0 {
+				continue
+			}
+			dd, err := dist(chosen, m)
+			if err != nil {
+				return err
+			}
+			if dd < minD[i] {
+				minD[i] = dd
+			}
+			if minD[i] > farD {
+				far, farD = i, minD[i]
+			}
+		}
+		if far < 0 || farD == 0 {
+			break
+		}
+		next = far
+	}
+	c.reps = reps
+	return nil
+}

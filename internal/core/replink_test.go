@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/datagen"
+	"netclus/internal/evalx"
+	"netclus/internal/matrix"
+	"netclus/internal/testnet"
+)
+
+func TestRepLinkExactMatchesMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		linkage core.Linkage
+		brute   matrix.Linkage
+	}{
+		{"complete", core.CompleteLinkage, matrix.CompleteLinkage},
+		{"average", core.AverageLinkage, matrix.AverageLinkage},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				g, err := testnet.Random(seed+90, 20, 22)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dist, err := matrix.PointDistances(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := matrix.Agglomerative(dist, tc.brute)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := core.RepLink(g, core.RepLinkOptions{Linkage: tc.linkage})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Dendrogram.Merges) != len(want) {
+					t.Fatalf("seed %d: %d merges, want %d", seed, len(got.Dendrogram.Merges), len(want))
+				}
+				for i := range want {
+					if math.Abs(got.Dendrogram.Merges[i].Dist-want[i].Dist) > 1e-9 {
+						t.Fatalf("seed %d merge %d: %v, want %v",
+							seed, i, got.Dendrogram.Merges[i].Dist, want[i].Dist)
+					}
+				}
+				if got.FinalClusters != 1 {
+					t.Fatalf("seed %d: %d final clusters", seed, got.FinalClusters)
+				}
+			}
+		})
+	}
+}
+
+func TestRepLinkPartitionsMatchMatrixAtCuts(t *testing.T) {
+	g, err := testnet.Random(123, 18, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := matrix.PointDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := matrix.Agglomerative(dist, matrix.CompleteLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.RepLink(g, core.RepLinkOptions{Linkage: core.CompleteLinkage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare partitions after the same number of merges.
+	for _, k := range []int{3, 6, 12} {
+		gotLabels := got.Dendrogram.LabelsAtCount(k)
+		wantLabels := bruteLabelsAtCount(want, g.NumPoints(), k)
+		samePartition(t, wantLabels, gotLabels, fmt.Sprintf("cut at %d clusters", k))
+	}
+}
+
+func bruteLabelsAtCount(merges []matrix.Merge, n, k int) []int32 {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	limit := n - k
+	if limit > len(merges) {
+		limit = len(merges)
+	}
+	for _, m := range merges[:limit] {
+		parent[find(m.A)] = find(m.B)
+	}
+	labels := make([]int32, n)
+	byRoot := map[int]int32{}
+	next := int32(0)
+	for i := range labels {
+		r := find(i)
+		l, ok := byRoot[r]
+		if !ok {
+			l = next
+			next++
+			byRoot[r] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+func TestRepLinkWithRepresentativesAndPrePhase(t *testing.T) {
+	g, cfg, err := testnet.RandomClustered(33, 400, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RepLink(g, core.RepLinkOptions{
+		Linkage:        core.CompleteLinkage,
+		MaxReps:        4,
+		PreEps:         cfg.Eps(),
+		StopAtClusters: 8, // 4 clusters + a few outlier groups
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalClusters > 8 {
+		t.Fatalf("stopped at %d clusters", res.FinalClusters)
+	}
+	labels := core.SuppressSmallClusters(res.Dendrogram.LabelsAtCount(8), 3)
+	truth := append([]int32(nil), g.Tags()...)
+	ari, err := evalx.ARI(
+		evalx.NoiseAsSingletons(truth, datagen.OutlierTag),
+		evalx.NoiseAsSingletons(labels, core.Noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.85 {
+		t.Fatalf("RepLink approximation ARI %v < 0.85", ari)
+	}
+	// The pre-phase must have collapsed most of the work: far fewer
+	// distance calls than the quadratic 400^2/2.
+	if res.DistanceCalls > 400*400/4 {
+		t.Fatalf("%d distance calls: pre-phase not effective", res.DistanceCalls)
+	}
+}
+
+func TestRepLinkValidationAndEdgeCases(t *testing.T) {
+	g, err := testnet.Random(3, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RepLink(g, core.RepLinkOptions{MaxReps: -1}); err == nil {
+		t.Fatal("want error for negative MaxReps")
+	}
+	if _, err := core.RepLink(g, core.RepLinkOptions{PreEps: -1}); err == nil {
+		t.Fatal("want error for negative PreEps")
+	}
+	// Empty network.
+	empty, err := testnet.Random(4, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RepLink(empty, core.RepLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dendrogram.Merges) != 0 {
+		t.Fatal("empty network produced merges")
+	}
+	// StopAtClusters respected.
+	res, err = core.RepLink(g, core.RepLinkOptions{StopAtClusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalClusters != 4 {
+		t.Fatalf("stopped at %d, want 4", res.FinalClusters)
+	}
+}

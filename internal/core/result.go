@@ -1,0 +1,100 @@
+// Package core implements the paper's three network-based clustering
+// algorithms (Yiu & Mamoulis, SIGMOD 2004, §4):
+//
+//   - KMedoids: partitioning clustering with concurrent multi-source medoid
+//     expansion (Fig. 4) and incremental medoid replacement (Fig. 5);
+//   - EpsLink: the ε-Link density-based algorithm (Fig. 6), together with a
+//     network adaptation of DBSCAN used as the paper's density baseline;
+//   - SingleLink: hierarchical single-link clustering via interleaved
+//     network-Voronoi expansion and cluster merging (Fig. 8), with the δ
+//     scalability heuristic and §5.3 interesting-level detection.
+//
+// All algorithms operate through the network.Graph interface, so they run
+// unchanged over the in-memory network and the disk-based store, and they
+// never compute all-pairs distances: each traverses the network at most a
+// constant number of times per iteration.
+package core
+
+import "netclus/internal/network"
+
+// Noise is the label of points not assigned to any cluster (outliers).
+const Noise int32 = -1
+
+// Stats counts the work an algorithm performed, independent of wall time.
+// Benchmarks report them next to durations so the paper's cost arguments
+// (which algorithm traverses how much of the graph) can be checked directly.
+type Stats struct {
+	NodesSettled int // priority-queue dequeues that were accepted
+	HeapPushes   int // priority-queue insertions
+	EdgesVisited int // adjacency entries examined
+	GroupsRead   int // point-group fetches
+	RangeQueries int // ε-range queries issued (DBSCAN)
+}
+
+func (s *Stats) add(o Stats) {
+	s.NodesSettled += o.NodesSettled
+	s.HeapPushes += o.HeapPushes
+	s.EdgesVisited += o.EdgesVisited
+	s.GroupsRead += o.GroupsRead
+	s.RangeQueries += o.RangeQueries
+}
+
+// CountClusters returns the number of distinct non-noise labels.
+func CountClusters(labels []int32) int {
+	seen := make(map[int32]struct{})
+	for _, l := range labels {
+		if l != Noise {
+			seen[l] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// ClusterSizes returns the size of every non-noise cluster keyed by label,
+// and the number of noise points.
+func ClusterSizes(labels []int32) (sizes map[int32]int, noise int) {
+	sizes = make(map[int32]int)
+	for _, l := range labels {
+		if l == Noise {
+			noise++
+		} else {
+			sizes[l]++
+		}
+	}
+	return sizes, noise
+}
+
+// SuppressSmallClusters relabels clusters with fewer than minSup members to
+// Noise, in place, and returns labels. It implements the paper's min_sup
+// post-filter for ε-Link (§4.3.1).
+func SuppressSmallClusters(labels []int32, minSup int) []int32 {
+	if minSup <= 1 {
+		return labels
+	}
+	sizes, _ := ClusterSizes(labels)
+	for i, l := range labels {
+		if l != Noise && sizes[l] < minSup {
+			labels[i] = Noise
+		}
+	}
+	return labels
+}
+
+// allPointInfos resolves every point once. Several algorithms need a
+// sequential pass over point positions; Graph.ScanGroups keeps it a single
+// sequential read of the points file.
+func allPointInfos(g network.Graph) ([]network.PointInfo, error) {
+	infos := make([]network.PointInfo, g.NumPoints())
+	err := g.ScanGroups(func(gid network.GroupID, pg network.PointGroup, offsets []float64) error {
+		for i, off := range offsets {
+			infos[pg.First+network.PointID(i)] = network.PointInfo{
+				Group: gid, N1: pg.N1, N2: pg.N2, Pos: off, Weight: pg.Weight,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return infos, nil
+}

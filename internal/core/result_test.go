@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"netclus/internal/core"
+)
+
+func TestCountClustersAndSizes(t *testing.T) {
+	labels := []int32{0, 0, 1, core.Noise, 2, 2, 2, core.Noise}
+	if n := core.CountClusters(labels); n != 3 {
+		t.Fatalf("CountClusters = %d", n)
+	}
+	sizes, noise := core.ClusterSizes(labels)
+	if noise != 2 {
+		t.Fatalf("noise = %d", noise)
+	}
+	want := map[int32]int{0: 2, 1: 1, 2: 3}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if n := core.CountClusters(nil); n != 0 {
+		t.Fatalf("empty CountClusters = %d", n)
+	}
+}
+
+func TestSuppressSmallClusters(t *testing.T) {
+	labels := []int32{0, 0, 0, 1, 2, 2}
+	out := core.SuppressSmallClusters(labels, 2)
+	want := []int32{0, 0, 0, core.Noise, 2, 2}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("minSup=2: %v", out)
+	}
+	// minSup <= 1 is a no-op and must not copy.
+	same := core.SuppressSmallClusters(labels, 1)
+	if &same[0] != &labels[0] {
+		t.Fatal("minSup=1 should return the input slice")
+	}
+	// Everything below a huge minSup becomes noise.
+	out = core.SuppressSmallClusters([]int32{0, 1, 2}, 10)
+	for _, l := range out {
+		if l != core.Noise {
+			t.Fatalf("all should be noise: %v", out)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"netclus/internal/heapx"
+	"netclus/internal/network"
+	"netclus/internal/unionfind"
+)
+
+// SingleLinkOptions configures the hierarchical algorithm of §4.4.
+type SingleLinkOptions struct {
+	// Delta is the scalability heuristic (§4.4.2): points on the same edge
+	// at gap <= Delta are merged immediately during the initialization
+	// scan, shrinking the pair heap by orders of magnitude at the price of
+	// the first (analytically uninteresting) dendrogram levels. 0 disables.
+	Delta float64
+	// StopAtClusters stops the agglomeration when this many clusters
+	// remain (0 computes the full dendrogram). Note that outliers count as
+	// singleton clusters.
+	StopAtClusters int
+}
+
+// SingleLinkResult is the outcome of one SingleLink run.
+type SingleLinkResult struct {
+	// Dendrogram is the recorded merge history.
+	Dendrogram *Dendrogram
+	// FinalClusters is the number of clusters remaining when the run
+	// stopped (> 1 when StopAtClusters was set or the points fall in
+	// disconnected network components).
+	FinalClusters int
+	// Stats aggregates traversal work.
+	Stats Stats
+}
+
+// pairEntry is an entry of heap P: a candidate merge of the clusters
+// currently containing points a and b, connected by a path of length dist.
+type pairEntry struct {
+	a, b network.PointID
+	dist float64
+}
+
+// slEntry is an entry of heap Q: node is reachable from cluster-seed point
+// owner at network distance dist.
+type slEntry struct {
+	node  network.NodeID
+	dist  float64
+	owner network.PointID
+}
+
+// SingleLink computes the single-link dendrogram of the points under the
+// network distance with a single traversal of the graph, following the
+// paper's two-phase Fig. 8 design:
+//
+// Initialization scans the point groups sequentially; every point becomes a
+// singleton cluster, consecutive same-edge points become candidate pairs in
+// heap P (or merge immediately under the δ heuristic), and each populated
+// edge seeds heap Q with its endpoints' distances to their nearest on-edge
+// cluster.
+//
+// Expansion then interleaves a network-Voronoi construction with merging:
+// popping Q in ascending distance settles each node with its nearest cluster
+// (owner) exactly once; every edge between settled nodes of different owners
+// contributes a candidate pair (owner_u, owner_v, d_u + W + d_v), and every
+// populated edge met during expansion contributes (owner_u, nearest on-edge
+// cluster, d_u + d_L). A pair is merged from P as soon as its distance is at
+// most the smallest frontier distance in Q, because every pair discovered
+// later costs at least that much — so merges happen in exactly ascending
+// order (Kruskal over the network-Voronoi candidate pairs, which by
+// Mehlhorn's shortest-path-forest argument carries the exact single-link
+// dendrogram; cross-validated against the brute-force matrix implementation
+// in the tests).
+//
+// The paper's pseudocode paces merges with 2*Q.top instead and re-derives
+// the same candidates through its hash table T; the variant here generates
+// each candidate when its node settles, which keeps the pacing bound simple
+// and exact also for edges that carry points (DESIGN.md, decision 4).
+func SingleLink(g network.Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
+	if opts.Delta < 0 {
+		return nil, fmt.Errorf("core: negative Delta %v", opts.Delta)
+	}
+	n := g.NumPoints()
+	res := &SingleLinkResult{Dendrogram: &Dendrogram{NumPoints: n}}
+	uf := unionfind.New(n)
+	stop := opts.StopAtClusters
+	if stop < 1 {
+		stop = 1
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	P := heapx.New(func(a, b pairEntry) bool { return a.dist < b.dist })
+	Q := heapx.New(func(a, b slEntry) bool { return a.dist < b.dist })
+
+	merge := func(a, b network.PointID, dist float64) bool {
+		root, merged := uf.Union(int(a), int(b))
+		if merged {
+			res.Dendrogram.Merges = append(res.Dendrogram.Merges, MergeStep{
+				A: a, B: b, Dist: dist, Size: int32(uf.Size(root)),
+			})
+		}
+		return merged
+	}
+
+	// Phase 1 (lines 1-22): a single sequential scan of the point groups.
+	err := g.ScanGroups(func(gid network.GroupID, pg network.PointGroup, offsets []float64) error {
+		res.Stats.GroupsRead++
+		for i := 1; i < len(offsets); i++ {
+			gap := offsets[i] - offsets[i-1]
+			a, b := pg.First+network.PointID(i-1), pg.First+network.PointID(i)
+			if gap <= opts.Delta {
+				merge(a, b, gap)
+			} else {
+				P.Push(pairEntry{a: a, b: b, dist: gap})
+				res.Stats.HeapPushes++
+			}
+		}
+		last := len(offsets) - 1
+		Q.Push(slEntry{node: pg.N1, dist: offsets[0], owner: pg.First})
+		Q.Push(slEntry{node: pg.N2, dist: pg.Weight - offsets[last], owner: pg.First + network.PointID(last)})
+		res.Stats.HeapPushes += 2
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Dendrogram.PreMerges = len(res.Dendrogram.Merges)
+
+	pushPair := func(a, b network.PointID, dist float64) {
+		if uf.Find(int(a)) == uf.Find(int(b)) {
+			return // already one cluster; the pair can never merge anything
+		}
+		P.Push(pairEntry{a: a, b: b, dist: dist})
+		res.Stats.HeapPushes++
+	}
+
+	owner := make([]network.PointID, g.NumNodes())
+	nnDist := make([]float64, g.NumNodes())
+	settled := make([]bool, g.NumNodes())
+
+	// Phase 2 (lines 23-44): interleaved expansion and merging.
+	for uf.Sets() > stop {
+		theta := network.Inf
+		if !Q.Empty() {
+			theta = Q.Peek().dist
+		}
+		for !P.Empty() && P.Peek().dist <= theta && uf.Sets() > stop {
+			p := P.Pop()
+			merge(p.a, p.b, p.dist)
+		}
+		if Q.Empty() {
+			break // network exhausted; remaining clusters are disconnected
+		}
+		if uf.Sets() <= stop {
+			break
+		}
+		e := Q.Pop()
+		if settled[e.node] {
+			continue
+		}
+		settled[e.node] = true
+		owner[e.node] = e.owner
+		nnDist[e.node] = e.dist
+		res.Stats.NodesSettled++
+
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.EdgesVisited += len(adj)
+		for _, nb := range adj {
+			if nb.Group != network.NoGroup {
+				// Populated edge: the candidate joins this node's owner to
+				// the cluster of the nearest point on the edge. Expansion
+				// never proceeds through a populated edge — the edge's own
+				// points dominate any path crossing it.
+				pg, err := g.Group(nb.Group)
+				if err != nil {
+					return nil, err
+				}
+				off, err := g.GroupOffsets(nb.Group)
+				if err != nil {
+					return nil, err
+				}
+				res.Stats.GroupsRead++
+				var pid network.PointID
+				var dl float64
+				if e.node == pg.N1 {
+					pid, dl = pg.First, off[0]
+				} else {
+					last := len(off) - 1
+					pid, dl = pg.First+network.PointID(last), pg.Weight-off[last]
+				}
+				pushPair(e.owner, pid, e.dist+dl)
+				continue
+			}
+			if settled[nb.Node] {
+				if owner[nb.Node] != e.owner {
+					pushPair(e.owner, owner[nb.Node], e.dist+nb.Weight+nnDist[nb.Node])
+				}
+				continue
+			}
+			Q.Push(slEntry{node: nb.Node, dist: e.dist + nb.Weight, owner: e.owner})
+			res.Stats.HeapPushes++
+		}
+	}
+
+	// Drain the remaining pairs in ascending order.
+	for !P.Empty() && uf.Sets() > stop {
+		p := P.Pop()
+		merge(p.a, p.b, p.dist)
+	}
+	res.FinalClusters = uf.Sets()
+	return res, nil
+}

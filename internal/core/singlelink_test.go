@@ -1,0 +1,237 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/evalx"
+	"netclus/internal/matrix"
+	"netclus/internal/testnet"
+)
+
+func TestSingleLinkMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g, err := testnet.Random(seed, 32, 45)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := matrix.PointDistances(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := matrix.SingleLink(dist)
+			res, err := core.SingleLink(g, core.SingleLinkOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Dendrogram.MergeDistances()
+			if len(got) != len(want) {
+				t.Fatalf("%d merges, brute force has %d", len(got), len(want))
+			}
+			sort.Float64s(got) // defensive; should already ascend
+			for i := range got {
+				if math.Abs(got[i]-want[i].Dist) > 1e-9 {
+					t.Fatalf("merge %d at distance %v, brute force %v", i, got[i], want[i].Dist)
+				}
+			}
+			// The partitions at several cut heights must agree too (equal
+			// heights alone would not prove the merges join the same sets).
+			for _, frac := range []float64{0.25, 0.5, 0.75, 0.9} {
+				cut := want[int(frac*float64(len(want)-1))].Dist + 1e-12
+				bruteUF := cutBrute(want, g.NumPoints(), cut)
+				samePartition(t, bruteUF, res.Dendrogram.LabelsAtDistance(cut),
+					fmt.Sprintf("cut at %v", cut))
+			}
+		})
+	}
+}
+
+// cutBrute labels points by applying brute-force merges up to distance cut.
+func cutBrute(merges []matrix.Merge, n int, cut float64) []int32 {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range merges {
+		if m.Dist <= cut {
+			parent[find(m.A)] = find(m.B)
+		}
+	}
+	labels := make([]int32, n)
+	byRoot := map[int]int32{}
+	next := int32(0)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		l, ok := byRoot[r]
+		if !ok {
+			l = next
+			next++
+			byRoot[r] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+func TestSingleLinkAscendingMerges(t *testing.T) {
+	g, err := testnet.Random(5, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SingleLink(g, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Dendrogram.MergeDistances()
+	for i := 1; i < len(d); i++ {
+		if d[i] < d[i-1] {
+			t.Fatalf("merge %d at %v after merge at %v: not ascending", i, d[i], d[i-1])
+		}
+	}
+	if res.FinalClusters != 1 {
+		t.Fatalf("connected network ended with %d clusters, want 1", res.FinalClusters)
+	}
+	if len(d) != g.NumPoints()-1 {
+		t.Fatalf("%d merges for %d points, want %d", len(d), g.NumPoints(), g.NumPoints()-1)
+	}
+}
+
+func TestSingleLinkDeltaHeuristicPreservesUpperDendrogram(t *testing.T) {
+	g, cfg, err := testnet.RandomClustered(11, 300, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.SingleLink(g, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := cfg.Delta()
+	fast, err := core.SingleLink(g, core.SingleLinkOptions{Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Dendrogram.PreMerges == 0 {
+		t.Fatal("δ heuristic pre-merged nothing; test data too sparse")
+	}
+	for _, cut := range []float64{delta, delta * 1.5, cfg.Eps(), cfg.Eps() * 2} {
+		samePartition(t, full.Dendrogram.LabelsAtDistance(cut),
+			fast.Dendrogram.LabelsAtDistance(cut), fmt.Sprintf("cut %v", cut))
+	}
+}
+
+func TestSingleLinkEqualsEpsLink(t *testing.T) {
+	// §5.1: Single-Link stopped at merge distance > ε discovers exactly the
+	// ε-Link clusters.
+	for seed := int64(20); seed < 24; seed++ {
+		g, err := testnet.Random(seed, 60, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl, err := core.SingleLink(g, core.SingleLinkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.4, 0.9, 2.0} {
+			el, err := core.EpsLink(g, core.EpsLinkOptions{Eps: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePartition(t, el.Labels, sl.Dendrogram.LabelsAtDistance(eps),
+				fmt.Sprintf("seed %d eps %v", seed, eps))
+		}
+	}
+}
+
+func TestSingleLinkStopAtClusters(t *testing.T) {
+	g, err := testnet.Random(9, 40, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 10} {
+		res, err := core.SingleLink(g, core.SingleLinkOptions{StopAtClusters: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalClusters != k {
+			t.Fatalf("StopAtClusters=%d: ended with %d clusters", k, res.FinalClusters)
+		}
+		if want := g.NumPoints() - k; len(res.Dendrogram.Merges) != want {
+			t.Fatalf("StopAtClusters=%d: %d merges, want %d", k, len(res.Dendrogram.Merges), want)
+		}
+	}
+}
+
+func TestSingleLinkLabelsAtCount(t *testing.T) {
+	g, err := testnet.Random(13, 30, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SingleLink(g, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 5, 25} {
+		labels := res.Dendrogram.LabelsAtCount(k)
+		if got := evalx.NumClusters(labels, -999); got != k {
+			t.Fatalf("LabelsAtCount(%d) produced %d clusters", k, got)
+		}
+	}
+}
+
+func TestInterestingLevels(t *testing.T) {
+	// A dendrogram with two sharp jumps: many small merges, a jump to 10,
+	// more small steps, a jump to 100.
+	d := &core.Dendrogram{NumPoints: 21}
+	dist := []float64{1, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 10, 10.1, 10.2, 10.3, 10.4, 10.5, 10.6, 10.7, 10.8, 10.9, 100}
+	for i, x := range dist {
+		d.Merges = append(d.Merges, core.MergeStep{A: 0, B: 0, Dist: x, Size: int32(i + 2)})
+	}
+	levels := d.InterestingLevels(5, 3)
+	if len(levels) != 2 {
+		t.Fatalf("found %d interesting levels (%v), want 2", len(levels), levels)
+	}
+	if levels[0].Index != 9 || levels[1].Index != 19 {
+		t.Fatalf("interesting levels at %d and %d, want 9 and 19", levels[0].Index, levels[1].Index)
+	}
+	if levels[0].Ratio <= 3 || levels[1].Ratio <= 3 {
+		t.Fatalf("ratios %v, %v should exceed the factor", levels[0].Ratio, levels[1].Ratio)
+	}
+}
+
+func TestSingleLinkEmptyAndTiny(t *testing.T) {
+	g, err := testnet.Random(2, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SingleLink(g, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dendrogram.Merges) != 0 || res.FinalClusters != 0 {
+		t.Fatalf("empty network: %+v", res)
+	}
+	g1, err := testnet.Random(3, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = core.SingleLink(g1, core.SingleLinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dendrogram.Merges) != 0 || res.FinalClusters != 1 {
+		t.Fatalf("single point: %+v", res)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netclus/internal/network"
+)
+
+// TimeWeight gives the weight of edge (u, v) at time t, from its base
+// weight — the §6 time-dependent network model ("traffic on a road segment
+// depends on the time of the day").
+type TimeWeight func(u, v network.NodeID, base float64, t float64) float64
+
+// TimeSweepOptions configures a time-dependent clustering sweep.
+type TimeSweepOptions struct {
+	// Times are the snapshot instants, in ascending order.
+	Times []float64
+	// Weight is the time-dependent weight function.
+	Weight TimeWeight
+	// Eps is the ε-Link threshold in the time-dependent metric (e.g.
+	// minutes of travel time).
+	Eps float64
+	// MinSup suppresses clusters smaller than this per snapshot.
+	MinSup int
+	// MatchOverlap is the minimum overlap fraction (shared points divided
+	// by the smaller cluster) for two clusters of consecutive snapshots to
+	// be considered the same evolving cluster. Default 0.5.
+	MatchOverlap float64
+}
+
+// Snapshot is the clustering at one instant.
+type Snapshot struct {
+	Time        float64
+	Labels      []int32
+	NumClusters int
+}
+
+// EventType classifies how a cluster evolves between snapshots.
+type EventType string
+
+const (
+	// EventStable: one-to-one continuation.
+	EventStable EventType = "stable"
+	// EventSplit: one cluster continues as several.
+	EventSplit EventType = "split"
+	// EventMerge: several clusters continue as one.
+	EventMerge EventType = "merge"
+	// EventAppear: a cluster with no predecessor.
+	EventAppear EventType = "appear"
+	// EventDisappear: a cluster with no successor.
+	EventDisappear EventType = "disappear"
+)
+
+// ClusterEvent is one evolution event between consecutive snapshots.
+type ClusterEvent struct {
+	FromTime, ToTime float64
+	Type             EventType
+	// From and To are the participating cluster labels in the earlier and
+	// later snapshot (either may be empty for appear/disappear).
+	From, To []int32
+}
+
+// TimeSweepResult is the outcome of a TimeSweep.
+type TimeSweepResult struct {
+	Snapshots []Snapshot
+	Events    []ClusterEvent
+}
+
+// TimeSweep clusters the same objects at several instants of a
+// time-dependent network and tracks how the clusters evolve — the §6
+// "time-parameterized clusters". Each snapshot reweights the network with
+// the bound time (point offsets scale along, so objects keep their relative
+// edge positions), runs ε-Link, and consecutive snapshots are matched by
+// point overlap to classify stable/split/merge/appear/disappear events.
+func TimeSweep(base *network.Network, opts TimeSweepOptions) (*TimeSweepResult, error) {
+	if len(opts.Times) == 0 {
+		return nil, fmt.Errorf("core: TimeSweep needs at least one time")
+	}
+	if opts.Weight == nil {
+		return nil, fmt.Errorf("core: TimeSweep needs a Weight function")
+	}
+	if !(opts.Eps > 0) {
+		return nil, fmt.Errorf("core: TimeSweep needs Eps > 0")
+	}
+	if opts.MatchOverlap == 0 {
+		opts.MatchOverlap = 0.5
+	}
+	for i := 1; i < len(opts.Times); i++ {
+		if opts.Times[i] <= opts.Times[i-1] {
+			return nil, fmt.Errorf("core: Times not ascending at %d", i)
+		}
+	}
+
+	res := &TimeSweepResult{}
+	for _, t := range opts.Times {
+		t := t
+		snap, err := network.Reweight(base, func(u, v network.NodeID, w float64) float64 {
+			return opts.Weight(u, v, w, t)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: reweight at t=%v: %w", t, err)
+		}
+		el, err := EpsLink(snap, EpsLinkOptions{Eps: opts.Eps, MinSup: opts.MinSup})
+		if err != nil {
+			return nil, fmt.Errorf("core: eps-link at t=%v: %w", t, err)
+		}
+		res.Snapshots = append(res.Snapshots, Snapshot{
+			Time: t, Labels: el.Labels, NumClusters: el.NumClusters,
+		})
+	}
+	for i := 1; i < len(res.Snapshots); i++ {
+		res.Events = append(res.Events,
+			matchSnapshots(res.Snapshots[i-1], res.Snapshots[i], opts.MatchOverlap)...)
+	}
+	return res, nil
+}
+
+// matchSnapshots links clusters of consecutive snapshots by overlap and
+// classifies the evolution events.
+func matchSnapshots(a, b Snapshot, minOverlap float64) []ClusterEvent {
+	sizeA := map[int32]int{}
+	sizeB := map[int32]int{}
+	overlap := map[[2]int32]int{}
+	for p := range a.Labels {
+		la, lb := a.Labels[p], b.Labels[p]
+		if la != Noise {
+			sizeA[la]++
+		}
+		if lb != Noise {
+			sizeB[lb]++
+		}
+		if la != Noise && lb != Noise {
+			overlap[[2]int32{la, lb}]++
+		}
+	}
+	succ := map[int32][]int32{}
+	pred := map[int32][]int32{}
+	for pair, n := range overlap {
+		la, lb := pair[0], pair[1]
+		smaller := sizeA[la]
+		if sizeB[lb] < smaller {
+			smaller = sizeB[lb]
+		}
+		if smaller > 0 && float64(n) >= minOverlap*float64(smaller) {
+			succ[la] = append(succ[la], lb)
+			pred[lb] = append(pred[lb], la)
+		}
+	}
+	for _, s := range succ {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	for _, s := range pred {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+
+	var events []ClusterEvent
+	emit := func(typ EventType, from, to []int32) {
+		events = append(events, ClusterEvent{
+			FromTime: a.Time, ToTime: b.Time, Type: typ, From: from, To: to,
+		})
+	}
+	seenB := map[int32]bool{}
+	// Walk clusters of A in label order for determinism.
+	labelsA := make([]int32, 0, len(sizeA))
+	for la := range sizeA {
+		labelsA = append(labelsA, la)
+	}
+	sort.Slice(labelsA, func(i, j int) bool { return labelsA[i] < labelsA[j] })
+	for _, la := range labelsA {
+		ss := succ[la]
+		switch {
+		case len(ss) == 0:
+			emit(EventDisappear, []int32{la}, nil)
+		case len(ss) == 1:
+			lb := ss[0]
+			if len(pred[lb]) > 1 {
+				// handled as a merge when we reach lb below
+				continue
+			}
+			emit(EventStable, []int32{la}, []int32{lb})
+			seenB[lb] = true
+		default:
+			emit(EventSplit, []int32{la}, ss)
+			for _, lb := range ss {
+				seenB[lb] = true
+			}
+		}
+	}
+	labelsB := make([]int32, 0, len(sizeB))
+	for lb := range sizeB {
+		labelsB = append(labelsB, lb)
+	}
+	sort.Slice(labelsB, func(i, j int) bool { return labelsB[i] < labelsB[j] })
+	for _, lb := range labelsB {
+		ps := pred[lb]
+		switch {
+		case len(ps) == 0:
+			emit(EventAppear, nil, []int32{lb})
+		case len(ps) > 1:
+			emit(EventMerge, ps, []int32{lb})
+		}
+	}
+	return events
+}

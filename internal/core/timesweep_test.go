@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+)
+
+// rushHourNet builds a line of three point-runs A - B - C where the A-B and
+// B-C connector roads slow down at rush hour: off-peak everything is one
+// cluster, at rush hour it splits into three.
+func rushHourNet(t *testing.T) *network.Network {
+	t.Helper()
+	b := network.NewBuilder()
+	const nNodes = 31
+	for i := 0; i < nNodes; i++ {
+		b.AddNode(network.Coord{X: float64(i)})
+	}
+	for i := 0; i+1 < nNodes; i++ {
+		b.AddEdge(network.NodeID(i), network.NodeID(i+1), 1)
+	}
+	place := func(lo, hi float64, tag int32) {
+		for x := lo; x <= hi; x += 0.4 {
+			e := int(x)
+			b.AddPoint(network.NodeID(e), network.NodeID(e+1), x-float64(e), tag)
+		}
+	}
+	place(2, 6, 0)   // run A
+	place(12, 16, 1) // run B
+	place(22, 26, 2) // run C
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// connector reports whether edge (u,v) lies on one of the A-B / B-C gaps.
+func connector(u, v network.NodeID) bool {
+	lo := u
+	if v < lo {
+		lo = v
+	}
+	return (lo >= 6 && lo < 12) || (lo >= 16 && lo < 22)
+}
+
+func TestTimeSweepSplitAndMerge(t *testing.T) {
+	n := rushHourNet(t)
+	res, err := core.TimeSweep(n, core.TimeSweepOptions{
+		Times: []float64{4, 8, 20}, // night, rush hour, evening
+		Weight: func(u, v network.NodeID, base, tm float64) float64 {
+			if tm >= 7 && tm <= 10 && connector(u, v) {
+				return base * 5
+			}
+			return base
+		},
+		Eps:    7, // gaps are 6 off-peak, 30 at rush hour
+		MinSup: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots) != 3 {
+		t.Fatalf("%d snapshots", len(res.Snapshots))
+	}
+	if got := []int{res.Snapshots[0].NumClusters, res.Snapshots[1].NumClusters, res.Snapshots[2].NumClusters}; got[0] != 1 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("cluster counts %v, want [1 3 1]", got)
+	}
+	var sawSplit, sawMerge bool
+	for _, e := range res.Events {
+		switch e.Type {
+		case core.EventSplit:
+			sawSplit = true
+			if e.FromTime != 4 || e.ToTime != 8 || len(e.To) != 3 {
+				t.Fatalf("bad split event %+v", e)
+			}
+		case core.EventMerge:
+			sawMerge = true
+			if e.FromTime != 8 || e.ToTime != 20 || len(e.From) != 3 {
+				t.Fatalf("bad merge event %+v", e)
+			}
+		}
+	}
+	if !sawSplit || !sawMerge {
+		t.Fatalf("events %v: want one split and one merge", res.Events)
+	}
+}
+
+func TestTimeSweepStableAndValidation(t *testing.T) {
+	n := rushHourNet(t)
+	flat := func(u, v network.NodeID, base, tm float64) float64 { return base }
+	res, err := core.TimeSweep(n, core.TimeSweepOptions{
+		Times: []float64{1, 2}, Weight: flat, Eps: 7, MinSup: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 1 || res.Events[0].Type != core.EventStable {
+		t.Fatalf("constant weights: events %v, want one stable", res.Events)
+	}
+
+	bad := []core.TimeSweepOptions{
+		{Weight: flat, Eps: 1},                         // no times
+		{Times: []float64{1}, Eps: 1},                  // no weight
+		{Times: []float64{1}, Weight: flat},            // no eps
+		{Times: []float64{2, 1}, Weight: flat, Eps: 1}, // unordered
+		{Times: []float64{1, 1}, Weight: flat, Eps: 1}, // duplicate
+	}
+	for i, o := range bad {
+		if _, err := core.TimeSweep(n, o); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestTimeSweepDisappearAndAppear(t *testing.T) {
+	// At rush hour an entire run becomes unreachable-by-eps internally:
+	// scale ALL edges so the within-run gaps exceed eps and every point is
+	// a singleton -> suppressed -> clusters disappear; they reappear after.
+	n := rushHourNet(t)
+	res, err := core.TimeSweep(n, core.TimeSweepOptions{
+		Times: []float64{4, 8, 20},
+		Weight: func(u, v network.NodeID, base, tm float64) float64 {
+			if tm >= 7 && tm <= 10 {
+				return base * 100
+			}
+			return base
+		},
+		Eps:    7,
+		MinSup: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots[1].NumClusters != 0 {
+		t.Fatalf("rush hour should dissolve all clusters, got %d", res.Snapshots[1].NumClusters)
+	}
+	var sawDisappear, sawAppear bool
+	for _, e := range res.Events {
+		if e.Type == core.EventDisappear && e.FromTime == 4 {
+			sawDisappear = true
+		}
+		if e.Type == core.EventAppear && e.ToTime == 20 {
+			sawAppear = true
+		}
+	}
+	if !sawDisappear || !sawAppear {
+		t.Fatalf("events %v: want disappear then appear", res.Events)
+	}
+}

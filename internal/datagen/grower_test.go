@@ -1,0 +1,149 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netclus/internal/network"
+)
+
+// TestGeneratorDeterministic: identical seeds produce identical datasets.
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() *network.Network {
+		rng := rand.New(rand.NewSource(42))
+		base, err := GridNetwork(15, 15, 1.0, 0.3, 40, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := GeneratePoints(base, DefaultClusterConfig(500, 4, 0.05), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	if a.NumPoints() != b.NumPoints() {
+		t.Fatalf("point counts differ: %d vs %d", a.NumPoints(), b.NumPoints())
+	}
+	for p := 0; p < a.NumPoints(); p++ {
+		pa, err := a.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa != pb {
+			t.Fatalf("point %d differs: %+v vs %+v", p, pa, pb)
+		}
+	}
+}
+
+// TestClusterGapsBounded: consecutive generated points within a cluster are
+// spaced within the generator's [0.5 s, 1.5 s_max] envelope along their
+// edges (the property ε = 1.5 s_init F relies on).
+func TestClusterGapsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base, err := GridNetwork(25, 25, 1.0, 0.2, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClusterConfig(800, 3, 0.05)
+	g, err := GeneratePoints(base, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxGap := 1.5 * cfg.SInit * cfg.F
+	violations := 0
+	err = g.ScanGroups(func(gid network.GroupID, pg network.PointGroup, off []float64) error {
+		for i := 1; i < len(off); i++ {
+			a := g.Tag(pg.First + network.PointID(i-1))
+			b := g.Tag(pg.First + network.PointID(i))
+			if a == b && a >= 0 && off[i]-off[i-1] > maxGap+1e-9 {
+				violations++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-edge same-cluster gaps beyond the envelope can only come from a
+	// cluster revisiting an edge through a different route; they must be
+	// rare.
+	if violations > g.NumPoints()/50 {
+		t.Fatalf("%d same-edge gap violations out of %d points", violations, g.NumPoints())
+	}
+}
+
+// TestSeedSeparationRelaxation: asking for more clusters than separated
+// seats exist must still succeed via progressive relaxation.
+func TestSeedSeparationRelaxation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base, err := GridNetwork(4, 4, 1.0, 0.1, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClusterConfig(64, 16, 0.05) // 16 clusters on a 16-node grid
+	g, err := GeneratePoints(base, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints() == 0 {
+		t.Fatal("no points generated")
+	}
+}
+
+// TestGeneratorOnWeightlessCoords: a base without an embedding disables the
+// Euclidean seed separation but must still work.
+func TestGeneratorOnCoordFreeBase(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddNodes(12)
+	for i := 0; i < 11; i++ {
+		b.AddEdge(network.NodeID(i), network.NodeID(i+1), 5)
+	}
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	g, err := GeneratePoints(base, DefaultClusterConfig(60, 3, 0.2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints() != 60 {
+		t.Fatalf("%d points", g.NumPoints())
+	}
+	for p := 0; p < g.NumPoints(); p++ {
+		pi, err := g.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(pi.Pos) || pi.Pos < 0 || pi.Pos > pi.Weight {
+			t.Fatalf("point %d out of range: %+v", p, pi)
+		}
+	}
+}
+
+// TestClusterExhaustsTinyNetwork: a cluster bigger than the network's
+// carrying capacity stops gracefully with fewer points.
+func TestClusterExhaustsTinyNetwork(t *testing.T) {
+	b := network.NewBuilder()
+	b.AddNodes(2)
+	b.AddEdge(0, 1, 1)
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg := ClusterConfig{NumPoints: 1000, K: 1, SInit: 0.5, F: 5}
+	g, err := GeneratePoints(base, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints() == 0 || g.NumPoints() > 1000 {
+		t.Fatalf("%d points on a single unit edge", g.NumPoints())
+	}
+}

@@ -1,0 +1,435 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"netclus/internal/heapx"
+	"netclus/internal/network"
+)
+
+// OutlierTag is the point tag assigned to generated outliers; cluster members
+// carry their 0-based cluster index.
+const OutlierTag int32 = -1
+
+// ClusterConfig parameterizes the paper's synthetic cluster generator (§5):
+// N points of which 99% are evenly distributed to K clusters grown by
+// network traversal and 1% are uniform outliers. Within a cluster the gap to
+// the previous point is drawn from [0.5*s_cur, 1.5*s_cur] where s_cur grows
+// linearly from SInit to SInit*F as the cluster fills — a dense core that
+// gets sparser at its boundary.
+type ClusterConfig struct {
+	NumPoints   int     // total N, outliers included
+	K           int     // number of clusters
+	OutlierFrac float64 // fraction of uniform outliers (paper: 0.01)
+	SInit       float64 // initial separation s_init
+	F           float64 // magnification factor (paper: 5)
+	// MinSeedSeparation is the minimum Euclidean distance between cluster
+	// seed locations, used to keep generated clusters apart (the paper
+	// relies on chance; a positive separation makes quality experiments
+	// deterministic). Zero picks an automatic value from the network
+	// extent; negative disables separation entirely.
+	MinSeedSeparation float64
+}
+
+// DefaultClusterConfig returns the paper's standard workload shape for a
+// given size: k clusters, 1% outliers, F = 5.
+func DefaultClusterConfig(n, k int, sInit float64) ClusterConfig {
+	return ClusterConfig{NumPoints: n, K: k, OutlierFrac: 0.01, SInit: sInit, F: 5}
+}
+
+// Eps is the minimal density threshold that discovers the generated clusters
+// correctly: the paper uses ε = 1.5 * s_init * F (§5.1).
+func (c ClusterConfig) Eps() float64 { return 1.5 * c.SInit * c.F }
+
+// Delta is the Single-Link scalability-heuristic threshold the paper pairs
+// with Eps in Table 2: δ = 0.7 * ε.
+func (c ClusterConfig) Delta() float64 { return 0.7 * c.Eps() }
+
+func (c ClusterConfig) validate() error {
+	switch {
+	case c.NumPoints < 1:
+		return fmt.Errorf("datagen: NumPoints %d < 1", c.NumPoints)
+	case c.K < 1:
+		return fmt.Errorf("datagen: K %d < 1", c.K)
+	case c.OutlierFrac < 0 || c.OutlierFrac >= 1:
+		return fmt.Errorf("datagen: OutlierFrac %v outside [0,1)", c.OutlierFrac)
+	case c.SInit <= 0:
+		return fmt.Errorf("datagen: SInit %v <= 0", c.SInit)
+	case c.F < 1:
+		return fmt.Errorf("datagen: F %v < 1", c.F)
+	}
+	return nil
+}
+
+// edgeRec is one undirected edge of the base network.
+type edgeRec struct {
+	u, v network.NodeID
+	w    float64
+}
+
+// GeneratePoints places cfg.NumPoints objects on base per the paper's
+// generator and returns a new network carrying them. base must carry no
+// points of its own. Ground truth travels in the point tags: cluster members
+// are tagged with their cluster index, outliers with OutlierTag.
+func GeneratePoints(base *network.Network, cfg ClusterConfig, rng *rand.Rand) (*network.Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if base.NumPoints() != 0 {
+		return nil, fmt.Errorf("datagen: base network already carries %d points", base.NumPoints())
+	}
+
+	edges, totalLen, err := collectEdges(base)
+	if err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("datagen: base network has no edges")
+	}
+
+	outliers := int(math.Round(cfg.OutlierFrac * float64(cfg.NumPoints)))
+	clustered := cfg.NumPoints - outliers
+
+	type spec struct {
+		u, v network.NodeID
+		pos  float64
+		tag  int32
+	}
+	var pts []spec
+
+	seeds, err := pickSeeds(base, edges, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &clusterGrower{
+		base:    base,
+		settled: make([]bool, base.NumNodes()),
+		res:     make([]float64, base.NumNodes()),
+	}
+	for ci := 0; ci < cfg.K; ci++ {
+		// Even split with the remainder spread over the first clusters.
+		target := clustered / cfg.K
+		if ci < clustered%cfg.K {
+			target++
+		}
+		if target == 0 {
+			continue
+		}
+		placed, err := g.grow(seeds[ci], target, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range placed {
+			pts = append(pts, spec{u: p.u, v: p.v, pos: p.pos, tag: int32(ci)})
+		}
+	}
+
+	// Uniform outliers: edge chosen length-weighted, offset uniform.
+	cum := make([]float64, len(edges))
+	acc := 0.0
+	for i, e := range edges {
+		acc += e.w
+		cum[i] = acc
+	}
+	_ = totalLen
+	for i := 0; i < outliers; i++ {
+		x := rng.Float64() * acc
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= len(edges) {
+			idx = len(edges) - 1
+		}
+		e := edges[idx]
+		pts = append(pts, spec{u: e.u, v: e.v, pos: rng.Float64() * e.w, tag: OutlierTag})
+	}
+
+	// Rebuild the network with the points attached.
+	b := network.NewBuilder()
+	for i := 0; i < base.NumNodes(); i++ {
+		if base.HasCoords() {
+			b.AddNode(base.Coord(network.NodeID(i)))
+		} else {
+			b.AddNode()
+		}
+	}
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v, e.w)
+	}
+	for _, p := range pts {
+		b.AddPoint(p.u, p.v, p.pos, p.tag)
+	}
+	return b.Build()
+}
+
+// GenerateUniform places n uniformly distributed points (length-weighted
+// random edge, uniform offset), all tagged 0. Useful for non-clustered
+// workloads in tests and ablations.
+func GenerateUniform(base *network.Network, n int, rng *rand.Rand) (*network.Network, error) {
+	edges, _, err := collectEdges(base)
+	if err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("datagen: base network has no edges")
+	}
+	cum := make([]float64, len(edges))
+	acc := 0.0
+	for i, e := range edges {
+		acc += e.w
+		cum[i] = acc
+	}
+	b := network.NewBuilder()
+	for i := 0; i < base.NumNodes(); i++ {
+		if base.HasCoords() {
+			b.AddNode(base.Coord(network.NodeID(i)))
+		} else {
+			b.AddNode()
+		}
+	}
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v, e.w)
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * acc
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= len(edges) {
+			idx = len(edges) - 1
+		}
+		e := edges[idx]
+		b.AddPoint(e.u, e.v, rng.Float64()*e.w, 0)
+	}
+	return b.Build()
+}
+
+func collectEdges(base *network.Network) ([]edgeRec, float64, error) {
+	var edges []edgeRec
+	total := 0.0
+	for u := 0; u < base.NumNodes(); u++ {
+		adj, err := base.Neighbors(network.NodeID(u))
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, nb := range adj {
+			if network.NodeID(u) < nb.Node {
+				edges = append(edges, edgeRec{u: network.NodeID(u), v: nb.Node, w: nb.Weight})
+				total += nb.Weight
+			}
+		}
+	}
+	return edges, total, nil
+}
+
+// seed is the initial location of a cluster: an edge and an offset on it.
+type seedLoc struct {
+	e   edgeRec
+	pos float64
+}
+
+// pickSeeds selects K seed locations, Euclidean-separated when the network
+// has an embedding, with progressive relaxation so generation never fails.
+func pickSeeds(base *network.Network, edges []edgeRec, cfg ClusterConfig, rng *rand.Rand) ([]seedLoc, error) {
+	minSep := cfg.MinSeedSeparation
+	if minSep == 0 && base.HasCoords() {
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for i := 0; i < base.NumNodes(); i++ {
+			c := base.Coord(network.NodeID(i))
+			minX, maxX = math.Min(minX, c.X), math.Max(maxX, c.X)
+			minY, maxY = math.Min(minY, c.Y), math.Max(maxY, c.Y)
+		}
+		diag := math.Hypot(maxX-minX, maxY-minY)
+		minSep = diag / (2 * math.Sqrt(float64(cfg.K)))
+	}
+	if !base.HasCoords() {
+		minSep = -1
+	}
+	var seeds []seedLoc
+	var coords []network.Coord
+	for len(seeds) < cfg.K {
+		tries := 0
+		for {
+			e := edges[rng.Intn(len(edges))]
+			pos := rng.Float64() * e.w
+			if minSep <= 0 {
+				seeds = append(seeds, seedLoc{e: e, pos: pos})
+				break
+			}
+			a, b := base.Coord(e.u), base.Coord(e.v)
+			t := pos / e.w
+			c := network.Coord{X: a.X + (b.X-a.X)*t, Y: a.Y + (b.Y-a.Y)*t}
+			ok := true
+			for _, prev := range coords {
+				if math.Hypot(prev.X-c.X, prev.Y-c.Y) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				seeds = append(seeds, seedLoc{e: e, pos: pos})
+				coords = append(coords, c)
+				break
+			}
+			if tries++; tries > 64*cfg.K {
+				// Too crowded: relax the separation and keep going.
+				minSep /= 2
+				tries = 0
+			}
+		}
+	}
+	return seeds, nil
+}
+
+// placedPoint is one generated cluster member.
+type placedPoint struct {
+	u, v network.NodeID // canonical edge
+	pos  float64        // offset from u (the smaller endpoint)
+}
+
+// clusterGrower implements the paper's traversal-based placement: Dijkstra
+// expansion from the seed; whenever an edge is met for the first time,
+// points are generated on it with gaps drawn from [0.5, 1.5] * s_cur.
+// The scratch arrays are reused across clusters via explicit reset.
+type clusterGrower struct {
+	base    *network.Network
+	settled []bool
+	res     []float64 // distance from node back to the last placed point
+	touched []network.NodeID
+}
+
+type growEntry struct {
+	node network.NodeID
+	dist float64
+	from network.NodeID // settled predecessor (-1 for seed entries)
+}
+
+func (g *clusterGrower) reset() {
+	for _, n := range g.touched {
+		g.settled[n] = false
+	}
+	g.touched = g.touched[:0]
+}
+
+func (g *clusterGrower) grow(seed seedLoc, target int, cfg ClusterConfig, rng *rand.Rand) ([]placedPoint, error) {
+	g.reset()
+	var out []placedPoint
+	met := make(map[uint64]metEdge)
+	size := 0
+
+	sCur := func() float64 {
+		return cfg.SInit + cfg.SInit*(cfg.F-1)*float64(size)/float64(target)
+	}
+	gap := func() float64 { return (0.5 + rng.Float64()) * sCur() }
+
+	// First point of the cluster on the seed edge.
+	u, v := network.CanonEdge(seed.e.u, seed.e.v)
+	first := placedPoint{u: u, v: v, pos: seed.pos}
+	out = append(out, first)
+	size++
+
+	// Populate the seed edge in both directions from the first point.
+	lastTowardV := seed.pos
+	for size < target {
+		p := lastTowardV + gap()
+		if p > seed.e.w {
+			break
+		}
+		out = append(out, placedPoint{u: u, v: v, pos: p})
+		lastTowardV = p
+		size++
+	}
+	lastTowardU := seed.pos
+	for size < target {
+		p := lastTowardU - gap()
+		if p < 0 {
+			break
+		}
+		out = append(out, placedPoint{u: u, v: v, pos: p})
+		lastTowardU = p
+		size++
+	}
+	met[network.EdgeKey(u, v)] = metEdge{fromNode: u, weight: seed.e.w, lastPos: lastTowardV, has: true}
+
+	h := heapx.New(func(a, b growEntry) bool { return a.dist < b.dist })
+	h.Push(growEntry{node: u, dist: seed.pos, from: -1})
+	h.Push(growEntry{node: v, dist: seed.e.w - seed.pos, from: -1})
+	seedResU := lastTowardU            // distance from u back to nearest point = lastTowardU
+	seedResV := seed.e.w - lastTowardV // distance from v back to nearest point
+
+	for !h.Empty() && size < target {
+		e := h.Pop()
+		if g.settled[e.node] {
+			continue
+		}
+		g.settled[e.node] = true
+		g.touched = append(g.touched, e.node)
+
+		// Residual: distance from this node back to the last point placed
+		// along the path it was settled through.
+		switch {
+		case e.from < 0 && e.node == u:
+			g.res[e.node] = seedResU
+		case e.from < 0 && e.node == v:
+			g.res[e.node] = seedResV
+		default:
+			m := met[network.EdgeKey(e.from, e.node)]
+			if m.has {
+				// Points were placed walking from m.fromNode; the last one
+				// sits m.lastPos from that side.
+				w := m.weight
+				if m.fromNode == e.node {
+					g.res[e.node] = m.lastPos
+				} else {
+					g.res[e.node] = w - m.lastPos
+				}
+			} else {
+				g.res[e.node] = g.res[e.from] + m.weight
+			}
+		}
+
+		adj, err := g.base.Neighbors(e.node)
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range adj {
+			key := network.EdgeKey(e.node, nb.Node)
+			if _, seen := met[key]; !seen {
+				// Meet the edge: generate points on it walking away from
+				// the settled node.
+				m := metEdge{fromNode: e.node, weight: nb.Weight}
+				pos := gap() - g.res[e.node]
+				if pos < 0 {
+					pos = 0
+				}
+				for pos <= nb.Weight && size < target {
+					cu, cv := network.CanonEdge(e.node, nb.Node)
+					off := pos
+					if cu != e.node {
+						off = nb.Weight - pos
+					}
+					out = append(out, placedPoint{u: cu, v: cv, pos: off})
+					m.has = true
+					m.lastPos = pos
+					size++
+					pos += gap()
+				}
+				met[key] = m
+			}
+			if !g.settled[nb.Node] {
+				h.Push(growEntry{node: nb.Node, dist: e.dist + nb.Weight, from: e.node})
+			}
+		}
+	}
+	return out, nil
+}
+
+// metEdge records what happened when an edge was met: which side the walk
+// started from and where the last point landed (distance from that side).
+type metEdge struct {
+	fromNode network.NodeID
+	weight   float64
+	lastPos  float64
+	has      bool
+}

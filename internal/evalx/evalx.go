@@ -1,0 +1,201 @@
+// Package evalx scores a discovered clustering against ground truth. The
+// paper evaluates effectiveness visually (Figure 11); these external indices
+// (Adjusted Rand Index, NMI, purity, pairwise F1) are the quantitative
+// counterpart used by the experiments harness and the tests.
+package evalx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Contingency is the co-occurrence table of two labelings over the same
+// points, plus the marginals needed by the indices.
+type Contingency struct {
+	Cells map[[2]int32]int
+	RowN  map[int32]int // truth label -> size
+	ColN  map[int32]int // predicted label -> size
+	N     int
+}
+
+// BuildContingency cross-tabulates truth vs pred. The slices must have equal
+// length.
+func BuildContingency(truth, pred []int32) (*Contingency, error) {
+	if len(truth) != len(pred) {
+		return nil, fmt.Errorf("evalx: %d truth labels vs %d predicted", len(truth), len(pred))
+	}
+	c := &Contingency{
+		Cells: make(map[[2]int32]int),
+		RowN:  make(map[int32]int),
+		ColN:  make(map[int32]int),
+		N:     len(truth),
+	}
+	for i := range truth {
+		c.Cells[[2]int32{truth[i], pred[i]}]++
+		c.RowN[truth[i]]++
+		c.ColN[pred[i]]++
+	}
+	return c, nil
+}
+
+func choose2(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// ARI computes the Adjusted Rand Index between two labelings: 1 for
+// identical partitions, ~0 for independent ones. Labels are opaque; callers
+// that want noise points (label -1) to count as singletons should first map
+// them through NoiseAsSingletons.
+func ARI(truth, pred []int32) (float64, error) {
+	c, err := BuildContingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	if c.N < 2 {
+		return 1, nil
+	}
+	sumCells := 0.0
+	for _, n := range c.Cells {
+		sumCells += choose2(n)
+	}
+	sumRows, sumCols := 0.0, 0.0
+	for _, n := range c.RowN {
+		sumRows += choose2(n)
+	}
+	for _, n := range c.ColN {
+		sumCols += choose2(n)
+	}
+	total := choose2(c.N)
+	expected := sumRows * sumCols / total
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions trivial in the same way
+	}
+	return (sumCells - expected) / (maxIdx - expected), nil
+}
+
+// NMI computes normalized mutual information (arithmetic-mean
+// normalization), in [0, 1].
+func NMI(truth, pred []int32) (float64, error) {
+	c, err := BuildContingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	if c.N == 0 {
+		return 1, nil
+	}
+	n := float64(c.N)
+	mi := 0.0
+	for cell, cnt := range c.Cells {
+		pij := float64(cnt) / n
+		pi := float64(c.RowN[cell[0]]) / n
+		pj := float64(c.ColN[cell[1]]) / n
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	hT, hP := 0.0, 0.0
+	for _, cnt := range c.RowN {
+		p := float64(cnt) / n
+		hT -= p * math.Log(p)
+	}
+	for _, cnt := range c.ColN {
+		p := float64(cnt) / n
+		hP -= p * math.Log(p)
+	}
+	if hT == 0 && hP == 0 {
+		return 1, nil
+	}
+	den := (hT + hP) / 2
+	if den == 0 {
+		return 0, nil
+	}
+	return mi / den, nil
+}
+
+// Purity is the fraction of points whose predicted cluster's majority truth
+// label matches their own.
+func Purity(truth, pred []int32) (float64, error) {
+	c, err := BuildContingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	if c.N == 0 {
+		return 1, nil
+	}
+	best := make(map[int32]int)
+	for cell, cnt := range c.Cells {
+		if cnt > best[cell[1]] {
+			best[cell[1]] = cnt
+		}
+	}
+	sum := 0
+	for _, b := range best {
+		sum += b
+	}
+	return float64(sum) / float64(c.N), nil
+}
+
+// PairwiseF1 returns precision, recall and F1 over co-clustered point pairs:
+// a pair is positive when both labelings place its points together.
+func PairwiseF1(truth, pred []int32) (precision, recall, f1 float64, err error) {
+	c, err := BuildContingency(truth, pred)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tp := 0.0
+	for _, n := range c.Cells {
+		tp += choose2(n)
+	}
+	predPairs, truthPairs := 0.0, 0.0
+	for _, n := range c.ColN {
+		predPairs += choose2(n)
+	}
+	for _, n := range c.RowN {
+		truthPairs += choose2(n)
+	}
+	precision, recall = 1, 1
+	if predPairs > 0 {
+		precision = tp / predPairs
+	}
+	if truthPairs > 0 {
+		recall = tp / truthPairs
+	}
+	if precision+recall == 0 {
+		return precision, recall, 0, nil
+	}
+	f1 = 2 * precision * recall / (precision + recall)
+	return precision, recall, f1, nil
+}
+
+// NoiseAsSingletons maps every occurrence of the noise label to a fresh
+// unique label, so indices treat noise points as singleton clusters rather
+// than one big cluster. Fresh labels start above the maximum existing label.
+func NoiseAsSingletons(labels []int32, noise int32) []int32 {
+	out := make([]int32, len(labels))
+	next := int32(math.MinInt32)
+	for _, l := range labels {
+		if l != noise && l >= next {
+			next = l + 1
+		}
+	}
+	if next == math.MinInt32 {
+		next = 0
+	}
+	for i, l := range labels {
+		if l == noise {
+			out[i] = next
+			next++
+		} else {
+			out[i] = l
+		}
+	}
+	return out
+}
+
+// NumClusters counts distinct non-noise labels.
+func NumClusters(labels []int32, noise int32) int {
+	seen := make(map[int32]struct{})
+	for _, l := range labels {
+		if l != noise {
+			seen[l] = struct{}{}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,158 @@
+package evalx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestARIPerfectAndPermuted(t *testing.T) {
+	truth := []int32{0, 0, 1, 1, 2, 2}
+	same := []int32{5, 5, 9, 9, 7, 7} // same partition, different labels
+	ari, err := ARI(truth, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Fatalf("ARI of identical partitions = %v", ari)
+	}
+}
+
+func TestARIIndependentIsNearZero(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	n := 5000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rnd.Intn(5))
+		b[i] = int32(rnd.Intn(5))
+	}
+	ari, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.02 {
+		t.Fatalf("ARI of independent labelings = %v, want ~0", ari)
+	}
+}
+
+func TestARIErrorsAndEdgeCases(t *testing.T) {
+	if _, err := ARI([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+	ari, err := ARI([]int32{0}, []int32{5})
+	if err != nil || ari != 1 {
+		t.Fatalf("single point: %v, %v", ari, err)
+	}
+	// Both trivially all-one-cluster.
+	ari, err = ARI([]int32{1, 1, 1}, []int32{2, 2, 2})
+	if err != nil || ari != 1 {
+		t.Fatalf("trivial partitions: %v, %v", ari, err)
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	truth := []int32{0, 0, 1, 1, 2, 2}
+	if v, _ := NMI(truth, truth); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMI self = %v", v)
+	}
+	uniform := []int32{0, 0, 0, 0, 0, 0}
+	if v, _ := NMI(truth, uniform); v != 0 {
+		t.Fatalf("NMI vs constant = %v, want 0", v)
+	}
+	if v, _ := NMI(uniform, uniform); v != 1 {
+		t.Fatalf("NMI of two constants = %v, want 1", v)
+	}
+	if _, err := NMI([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestPurity(t *testing.T) {
+	truth := []int32{0, 0, 0, 1, 1, 1}
+	pred := []int32{7, 7, 8, 8, 8, 8}
+	// Cluster 7: majority 0 (2); cluster 8: majority 1 (3). Purity = 5/6.
+	p, err := Purity(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-5.0/6.0) > 1e-12 {
+		t.Fatalf("purity %v", p)
+	}
+}
+
+func TestPairwiseF1(t *testing.T) {
+	truth := []int32{0, 0, 1, 1}
+	pred := []int32{0, 0, 0, 1}
+	// Truth pairs: (0,1),(2,3). Pred pairs: (0,1),(0,2),(1,2). TP = 1.
+	prec, rec, f1, err := PairwiseF1(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prec-1.0/3.0) > 1e-12 || math.Abs(rec-0.5) > 1e-12 {
+		t.Fatalf("precision %v recall %v", prec, rec)
+	}
+	want := 2 * prec * rec / (prec + rec)
+	if math.Abs(f1-want) > 1e-12 {
+		t.Fatalf("f1 %v", f1)
+	}
+	// Perfect agreement.
+	_, _, f1, _ = PairwiseF1(truth, truth)
+	if f1 != 1 {
+		t.Fatalf("self F1 %v", f1)
+	}
+}
+
+func TestNoiseAsSingletons(t *testing.T) {
+	labels := []int32{0, -1, 1, -1, -1}
+	out := NoiseAsSingletons(labels, -1)
+	seen := map[int32]bool{}
+	for _, l := range out {
+		if seen[l] && l != 0 && l != 1 {
+			t.Fatalf("noise labels not unique: %v", out)
+		}
+		seen[l] = true
+	}
+	if out[0] != 0 || out[2] != 1 {
+		t.Fatalf("non-noise labels changed: %v", out)
+	}
+	if out[1] == out[3] || out[1] == -1 {
+		t.Fatalf("noise not singletonized: %v", out)
+	}
+	// All-noise input.
+	out = NoiseAsSingletons([]int32{-1, -1}, -1)
+	if out[0] == out[1] {
+		t.Fatal("all-noise input should get distinct labels")
+	}
+}
+
+func TestNumClusters(t *testing.T) {
+	if n := NumClusters([]int32{0, 1, 1, -1, 3}, -1); n != 3 {
+		t.Fatalf("NumClusters = %d", n)
+	}
+	if n := NumClusters(nil, -1); n != 0 {
+		t.Fatalf("empty NumClusters = %d", n)
+	}
+}
+
+// TestARISymmetry: ARI(a,b) == ARI(b,a) for random labelings.
+func TestARISymmetry(t *testing.T) {
+	prop := func(pairs []uint8) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		a := make([]int32, len(pairs))
+		b := make([]int32, len(pairs))
+		for i, p := range pairs {
+			a[i] = int32(p % 4)
+			b[i] = int32(p / 4 % 4)
+		}
+		x, err1 := ARI(a, b)
+		y, err2 := ARI(b, a)
+		return err1 == nil && err2 == nil && math.Abs(x-y) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

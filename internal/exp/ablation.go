@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/datagen"
+	"netclus/internal/network"
+	"netclus/internal/pagebuf"
+	"netclus/internal/storage"
+)
+
+// StorageRow is one disk-mode measurement: the same clustering run over a
+// store built with BFS (connectivity) page packing vs node-ID order, at one
+// buffer size.
+type StorageRow struct {
+	Layout       storage.Layout
+	BufferKB     int
+	EpsLink      time.Duration
+	EpsLinkIO    pagebuf.Stats
+	SingleLink   time.Duration
+	SingleLinkIO pagebuf.Stats
+}
+
+// StorageAblation builds the TG dataset into three disk stores — BFS
+// (CCAM-flavoured connectivity) packing, node-ID order and random order —
+// and runs ε-Link and Single-Link over each at two buffer sizes, reporting
+// wall time and buffer traffic. The design claim (DESIGN.md, decision 3):
+// connectivity packing raises the buffer hit ratio of network traversals.
+// (Node-ID order on grid-derived stand-ins is already spatially coherent, so
+// the random layout is the honest worst-case baseline.)
+func StorageAblation(cfg Config) ([]StorageRow, error) {
+	cfg = cfg.withDefaults()
+	g, gen, err := datagen.RoadDataset("TG", cfg.Scale, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StorageRow
+	cfg.printf("Storage ablation — TG dataset on disk (|V|=%d, N=%d)\n", g.NumNodes(), g.NumPoints())
+	cfg.printf("%-8s %8s %12s %10s %8s %12s %10s %8s\n",
+		"layout", "buffer", "eps-link", "pages", "hit%", "single-link", "pages", "hit%")
+	for _, layout := range []storage.Layout{storage.LayoutBFS, storage.LayoutNodeID, storage.LayoutRandom} {
+		dir, err := os.MkdirTemp("", "netclus-store-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := storage.Build(dir, g, storage.Options{Layout: layout}); err != nil {
+			return nil, err
+		}
+		for _, bufKB := range []int{64, 1024} {
+			row := StorageRow{Layout: layout, BufferKB: bufKB}
+			// Reopen the store per algorithm so each run starts with a
+			// cold buffer pool.
+			err := withStore(dir, bufKB, func(st *storage.Store) error {
+				t0 := time.Now()
+				if _, err := core.EpsLink(st, core.EpsLinkOptions{Eps: gen.Eps(), MinSup: 3}); err != nil {
+					return err
+				}
+				row.EpsLink = time.Since(t0)
+				row.EpsLinkIO = st.Stats()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			err = withStore(dir, bufKB, func(st *storage.Store) error {
+				t0 := time.Now()
+				if _, err := core.SingleLink(st, core.SingleLinkOptions{Delta: gen.Delta()}); err != nil {
+					return err
+				}
+				row.SingleLink = time.Since(t0)
+				row.SingleLinkIO = st.Stats()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			rows = append(rows, row)
+			cfg.printf("%-8s %7dK %12s %10d %8.1f %12s %10d %8.1f\n",
+				row.Layout, row.BufferKB,
+				row.EpsLink.Round(time.Millisecond), row.EpsLinkIO.PhysicalReads, 100*row.EpsLinkIO.HitRatio(),
+				row.SingleLink.Round(time.Millisecond), row.SingleLinkIO.PhysicalReads, 100*row.SingleLinkIO.HitRatio())
+		}
+	}
+	return rows, nil
+}
+
+// withStore opens the store with a cold buffer pool, runs fn, and closes it.
+func withStore(dir string, bufKB int, fn func(*storage.Store) error) error {
+	st, err := storage.Open(dir, storage.Options{BufferBytes: bufKB * 1024})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	st.ResetStats()
+	return fn(st)
+}
+
+// DijkstraRow compares the lazy-insertion frontier (the paper's pseudocode)
+// against an indexed decrease-key heap on the same multi-source expansion.
+type DijkstraRow struct {
+	Sources int
+	Lazy    time.Duration
+	Indexed time.Duration
+}
+
+// DijkstraAblation measures both frontier disciplines on the SF stand-in
+// (DESIGN.md, decision 1). Road networks are sparse, so lazy insertion's
+// duplicate entries cost little and usually beat decrease-key bookkeeping.
+func DijkstraAblation(cfg Config) ([]DijkstraRow, error) {
+	cfg = cfg.withDefaults()
+	g, err := datagen.RoadNetwork("SF", cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []DijkstraRow
+	cfg.printf("Dijkstra ablation — lazy vs indexed frontier (SF, |V|=%d)\n", g.NumNodes())
+	cfg.printf("%8s %12s %12s\n", "sources", "lazy", "indexed")
+	for _, k := range []int{1, 10, 100} {
+		seeds := make([]network.Seed, k)
+		for i := range seeds {
+			seeds[i] = network.Seed{Node: network.NodeID(rng.Intn(g.NumNodes()))}
+		}
+		const reps = 5
+		var lazy, indexed time.Duration
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, err := network.NodeDistancesFrom(g, seeds); err != nil {
+				return nil, err
+			}
+			lazy += time.Since(t0)
+			t0 = time.Now()
+			if _, err := network.NodeDistancesIndexed(g, seeds); err != nil {
+				return nil, err
+			}
+			indexed += time.Since(t0)
+		}
+		row := DijkstraRow{Sources: k, Lazy: lazy / reps, Indexed: indexed / reps}
+		rows = append(rows, row)
+		cfg.printf("%8d %12s %12s\n", k, row.Lazy.Round(time.Microsecond), row.Indexed.Round(time.Microsecond))
+	}
+	return rows, nil
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"netclus/internal/datagen"
+	"netclus/internal/network"
+)
+
+// Fig10Row compares one road network's stand-in against the paper's
+// original.
+type Fig10Row struct {
+	Name                   string
+	PaperNodes, PaperEdges int
+	Nodes, Edges           int
+	Network                *network.Network
+}
+
+// Fig10Datasets builds the four road-network stand-ins at the configured
+// scale and reports their sizes against the paper's Figure 10 originals —
+// the dataset-inventory counterpart of the paper's maps (cmd/experiments
+// renders the maps themselves with -svg).
+func Fig10Datasets(cfg Config) ([]Fig10Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Fig10Row
+	cfg.printf("Figure 10 — evaluation networks (stand-ins at scale %.3g)\n", cfg.Scale)
+	cfg.printf("%6s %12s %12s %12s %12s %10s\n", "data", "paper |V|", "paper |E|", "|V|", "|E|", "E/V")
+	for _, spec := range datagen.Roads {
+		g, err := datagen.RoadNetwork(spec.Name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{
+			Name:       spec.Name,
+			PaperNodes: spec.Nodes,
+			PaperEdges: spec.Edges,
+			Nodes:      g.NumNodes(),
+			Edges:      g.NumEdges(),
+			Network:    g,
+		}
+		rows = append(rows, row)
+		cfg.printf("%6s %12d %12d %12d %12d %10.3f\n", row.Name,
+			row.PaperNodes, row.PaperEdges, row.Nodes, row.Edges,
+			float64(row.Edges)/float64(row.Nodes))
+	}
+	return rows, nil
+}

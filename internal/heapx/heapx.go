@@ -1,0 +1,211 @@
+// Package heapx provides generic binary heaps used by the network traversal
+// and clustering algorithms: a plain min-heap with lazy deletion semantics
+// (the shape the paper's pseudocode assumes) and an indexed min-heap that
+// supports decrease-key, used by the ablation variants of Dijkstra.
+package heapx
+
+// Heap is a binary min-heap over elements of type T ordered by less.
+// The zero value is not usable; construct with New.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty min-heap ordered by less.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewFrom heapifies items in O(n) and returns the resulting heap.
+// The slice is owned by the heap afterwards.
+func NewFrom[T any](less func(a, b T) bool, items []T) *Heap[T] {
+	h := &Heap[T]{items: items, less: less}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+// Len reports the number of elements on the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push adds x to the heap.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum element without removing it.
+// It panics on an empty heap.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Clear removes all elements but keeps the allocated capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		min := l
+		if r < n && h.less(h.items[r], h.items[l]) {
+			min = r
+		}
+		if !h.less(h.items[min], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}
+
+// IndexedHeap is a min-heap of (key int, priority float64) pairs supporting
+// DecreaseKey in O(log n). Keys must be in [0, n) where n is the capacity
+// passed to NewIndexed. It is the classic structure backing a textbook
+// Dijkstra; the paper's algorithms instead use lazy insertion, and the
+// benchmark suite compares the two (see DESIGN.md, ablation 1).
+type IndexedHeap struct {
+	keys []int     // heap order -> key
+	pos  []int     // key -> heap position, -1 if absent
+	prio []float64 // key -> priority
+}
+
+// NewIndexed returns an indexed heap able to hold keys 0..n-1.
+func NewIndexed(n int) *IndexedHeap {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &IndexedHeap{pos: pos, prio: make([]float64, n)}
+}
+
+// Len reports the number of keys currently on the heap.
+func (h *IndexedHeap) Len() int { return len(h.keys) }
+
+// Empty reports whether the heap has no elements.
+func (h *IndexedHeap) Empty() bool { return len(h.keys) == 0 }
+
+// Contains reports whether key is currently on the heap.
+func (h *IndexedHeap) Contains(key int) bool { return h.pos[key] >= 0 }
+
+// Priority returns the priority most recently associated with key.
+// Valid for keys that are on the heap or were previously popped.
+func (h *IndexedHeap) Priority(key int) float64 { return h.prio[key] }
+
+// Insert adds key with the given priority. It panics if key is present.
+func (h *IndexedHeap) Insert(key int, priority float64) {
+	if h.pos[key] >= 0 {
+		panic("heapx: Insert of key already on heap")
+	}
+	h.prio[key] = priority
+	h.pos[key] = len(h.keys)
+	h.keys = append(h.keys, key)
+	h.up(len(h.keys) - 1)
+}
+
+// DecreaseKey lowers key's priority. If the new priority is not lower the
+// call is a no-op. The key must be on the heap.
+func (h *IndexedHeap) DecreaseKey(key int, priority float64) {
+	if priority >= h.prio[key] {
+		return
+	}
+	h.prio[key] = priority
+	h.up(h.pos[key])
+}
+
+// InsertOrDecrease inserts key if absent, otherwise lowers its priority.
+func (h *IndexedHeap) InsertOrDecrease(key int, priority float64) {
+	if h.pos[key] < 0 {
+		h.Insert(key, priority)
+	} else {
+		h.DecreaseKey(key, priority)
+	}
+}
+
+// PopMin removes and returns the key with minimum priority and that priority.
+// It panics on an empty heap.
+func (h *IndexedHeap) PopMin() (key int, priority float64) {
+	key = h.keys[0]
+	priority = h.prio[key]
+	n := len(h.keys) - 1
+	h.keys[0] = h.keys[n]
+	h.pos[h.keys[0]] = 0
+	h.keys = h.keys[:n]
+	h.pos[key] = -1
+	if n > 0 {
+		h.down(0)
+	}
+	return key, priority
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[h.keys[i]] >= h.prio[h.keys[parent]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		min := l
+		if r < n && h.prio[h.keys[r]] < h.prio[h.keys[l]] {
+			min = r
+		}
+		if h.prio[h.keys[min]] >= h.prio[h.keys[i]] {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.keys[i]] = i
+	h.pos[h.keys[j]] = j
+}

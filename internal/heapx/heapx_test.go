@@ -1,0 +1,147 @@
+package heapx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapSortsArbitraryInput(t *testing.T) {
+	prop := func(xs []float64) bool {
+		h := New(func(a, b float64) bool { return a < b })
+		for _, x := range xs {
+			h.Push(x)
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for _, w := range want {
+			if h.Empty() || h.Pop() != w {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromHeapifies(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	xs := make([]int, 500)
+	for i := range xs {
+		xs[i] = rnd.Intn(1000)
+	}
+	want := append([]int(nil), xs...)
+	sort.Ints(want)
+	h := NewFrom(func(a, b int) bool { return a < b }, xs)
+	if h.Len() != 500 {
+		t.Fatalf("len %d", h.Len())
+	}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d: %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHeapPeekAndClear(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(3)
+	h.Push(1)
+	h.Push(2)
+	if h.Peek() != 1 {
+		t.Fatalf("peek %d", h.Peek())
+	}
+	if h.Len() != 3 {
+		t.Fatal("peek consumed")
+	}
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("clear failed")
+	}
+	h.Push(9)
+	if h.Pop() != 9 {
+		t.Fatal("heap broken after clear")
+	}
+}
+
+func TestIndexedHeapMatchesLazy(t *testing.T) {
+	// Property: indexed heap with decrease-key pops every key at its
+	// minimum priority, in ascending order.
+	const n = 200
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		h := NewIndexed(n)
+		best := make(map[int]float64)
+		for i := 0; i < 300; i++ {
+			k := rnd.Intn(n)
+			p := rnd.Float64() * 100
+			if cur, ok := best[k]; !ok {
+				best[k] = p
+				h.Insert(k, p)
+			} else if p < cur {
+				best[k] = p
+				h.DecreaseKey(k, p)
+			} else {
+				h.DecreaseKey(k, p) // no-op path
+			}
+		}
+		if h.Len() != len(best) {
+			t.Fatalf("len %d, want %d", h.Len(), len(best))
+		}
+		prev := -1.0
+		for !h.Empty() {
+			k, p := h.PopMin()
+			if p < prev {
+				t.Fatalf("pops not ascending: %v after %v", p, prev)
+			}
+			prev = p
+			if best[k] != p {
+				t.Fatalf("key %d popped at %v, want %v", k, p, best[k])
+			}
+			delete(best, k)
+		}
+		if len(best) != 0 {
+			t.Fatalf("%d keys never popped", len(best))
+		}
+	}
+}
+
+func TestIndexedHeapInsertOrDecrease(t *testing.T) {
+	h := NewIndexed(4)
+	h.InsertOrDecrease(2, 5)
+	h.InsertOrDecrease(2, 3)
+	h.InsertOrDecrease(2, 9) // ignored
+	if !h.Contains(2) || h.Priority(2) != 3 {
+		t.Fatalf("priority %v", h.Priority(2))
+	}
+	k, p := h.PopMin()
+	if k != 2 || p != 3 {
+		t.Fatalf("popped (%d,%v)", k, p)
+	}
+	if h.Contains(2) {
+		t.Fatal("contains after pop")
+	}
+}
+
+func TestIndexedHeapDoubleInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate insert")
+		}
+	}()
+	h := NewIndexed(2)
+	h.Insert(0, 1)
+	h.Insert(0, 2)
+}
+
+func TestHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on empty pop")
+		}
+	}()
+	New(func(a, b int) bool { return a < b }).Pop()
+}

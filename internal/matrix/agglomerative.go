@@ -1,0 +1,86 @@
+package matrix
+
+import (
+	"fmt"
+
+	"netclus/internal/network"
+)
+
+// Linkage selects the inter-cluster distance of agglomerative clustering.
+type Linkage int
+
+const (
+	// SingleLinkage: minimum pairwise distance (see SingleLink for the
+	// faster MST formulation).
+	SingleLinkage Linkage = iota
+	// CompleteLinkage: maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage: unweighted average pairwise distance (UPGMA).
+	AverageLinkage
+)
+
+// Agglomerative computes the exact dendrogram for the requested linkage by
+// the naive O(N^3) algorithm over a full distance matrix, using the
+// Lance-Williams updates. It is the reference for core.RepLink.
+func Agglomerative(dist [][]float64, linkage Linkage) ([]Merge, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, nil
+	}
+	// Working copy of inter-cluster distances and cluster sizes.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = append([]float64(nil), dist[i]...)
+	}
+	size := make([]int, n)
+	active := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		active[i] = true
+	}
+	var merges []Merge
+	for rounds := 0; rounds < n-1; rounds++ {
+		// Find the closest active pair.
+		bi, bj, bd := -1, -1, network.Inf
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if active[j] && d[i][j] < bd {
+					bi, bj, bd = i, j, d[i][j]
+				}
+			}
+		}
+		if bi < 0 || bd == network.Inf {
+			break // disconnected metric space
+		}
+		merges = append(merges, Merge{A: bi, B: bj, Dist: bd})
+		// Lance-Williams update of d[bi][*]; bj retires.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			switch linkage {
+			case SingleLinkage:
+				if d[bj][k] < d[bi][k] {
+					d[bi][k] = d[bj][k]
+				}
+			case CompleteLinkage:
+				if d[bj][k] > d[bi][k] {
+					d[bi][k] = d[bj][k]
+				}
+			case AverageLinkage:
+				wi := float64(size[bi])
+				wj := float64(size[bj])
+				d[bi][k] = (wi*d[bi][k] + wj*d[bj][k]) / (wi + wj)
+			default:
+				return nil, fmt.Errorf("matrix: unknown linkage %d", linkage)
+			}
+			d[k][bi] = d[bi][k]
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+	}
+	return merges, nil
+}

@@ -1,0 +1,99 @@
+package matrix_test
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/matrix"
+	"netclus/internal/testnet"
+)
+
+func TestAgglomerativeSingleEqualsMST(t *testing.T) {
+	// The Lance-Williams single linkage must agree with the MST-based
+	// SingleLink on every merge height.
+	for seed := int64(1); seed <= 4; seed++ {
+		g, err := testnet.Random(seed, 20, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := matrix.PointDistances(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst := matrix.SingleLink(dist)
+		lw, err := matrix.Agglomerative(dist, matrix.SingleLinkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mst) != len(lw) {
+			t.Fatalf("seed %d: %d vs %d merges", seed, len(mst), len(lw))
+		}
+		for i := range mst {
+			if math.Abs(mst[i].Dist-lw[i].Dist) > 1e-9 {
+				t.Fatalf("seed %d merge %d: %v vs %v", seed, i, mst[i].Dist, lw[i].Dist)
+			}
+		}
+	}
+}
+
+func TestAgglomerativeLinkageOrdering(t *testing.T) {
+	// For any dataset, the k-th complete-linkage merge height dominates the
+	// single-linkage one, with average in between.
+	g, err := testnet.Random(9, 22, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := matrix.PointDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := matrix.Agglomerative(dist, matrix.SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := matrix.Agglomerative(dist, matrix.CompleteLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	average, err := matrix.Agglomerative(dist, matrix.AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final merge height: single <= average <= complete.
+	last := len(single) - 1
+	if !(single[last].Dist <= average[last].Dist+1e-9 && average[last].Dist <= complete[last].Dist+1e-9) {
+		t.Fatalf("final heights: single %v, average %v, complete %v",
+			single[last].Dist, average[last].Dist, complete[last].Dist)
+	}
+	// Merge heights are non-decreasing for single and complete linkage
+	// (both are monotone linkages).
+	for i := 1; i < len(single); i++ {
+		if single[i].Dist < single[i-1].Dist-1e-9 {
+			t.Fatal("single-linkage heights not monotone")
+		}
+		if complete[i].Dist < complete[i-1].Dist-1e-9 {
+			t.Fatal("complete-linkage heights not monotone")
+		}
+	}
+}
+
+func TestAgglomerativeEdgeCases(t *testing.T) {
+	if m, err := matrix.Agglomerative(nil, matrix.SingleLinkage); err != nil || len(m) != 0 {
+		t.Fatalf("empty input: %v %v", m, err)
+	}
+	// Three points so the first merge triggers a Lance-Williams update,
+	// where the unknown linkage is detected.
+	d3 := [][]float64{{0, 1, 2}, {1, 0, 3}, {2, 3, 0}}
+	if _, err := matrix.Agglomerative(d3, matrix.Linkage(99)); err == nil {
+		t.Fatal("want error for unknown linkage")
+	}
+	// Disconnected metric space: two points at +Inf stay unmerged.
+	inf := math.Inf(1)
+	m, err := matrix.Agglomerative([][]float64{{0, inf}, {inf, 0}}, matrix.CompleteLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatalf("disconnected points merged: %v", m)
+	}
+}

@@ -1,0 +1,171 @@
+package matrix_test
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/matrix"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+func TestAllPairsSymmetricAndConsistent(t *testing.T) {
+	g, err := testnet.Random(2, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := matrix.AllPairsNodeDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := matrix.FloydWarshall(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("d(%d,%d) = %v", i, i, m[i][i])
+		}
+		for j := range m {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-9 {
+				t.Fatalf("asymmetric: %v vs %v", m[i][j], m[j][i])
+			}
+			if math.Abs(m[i][j]-fw[i][j]) > 1e-9 {
+				t.Fatalf("Dijkstra %v vs FW %v", m[i][j], fw[i][j])
+			}
+		}
+	}
+}
+
+func TestPointDistancesSameEdgeDirect(t *testing.T) {
+	// Two points on one edge of a long ring: direct distance wins one way,
+	// around-the-ring the other way if shorter.
+	b := network.NewBuilder()
+	b.AddNode()
+	b.AddNode()
+	b.AddEdge(0, 1, 10)
+	b.AddPoint(0, 1, 1, 0)
+	b.AddPoint(0, 1, 9, 0)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := matrix.PointDistances(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0][1] != 8 {
+		t.Fatalf("direct same-edge distance %v, want 8", d[0][1])
+	}
+
+	// Add a shortcut between the endpoints: going around gets shorter.
+	b2 := network.NewBuilder()
+	b2.AddNode()
+	b2.AddNode()
+	b2.AddNode()
+	b2.AddEdge(0, 1, 10)
+	b2.AddEdge(0, 2, 1)
+	b2.AddEdge(2, 1, 1)
+	b2.AddPoint(0, 1, 1, 0)
+	b2.AddPoint(0, 1, 9, 0)
+	n2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := matrix.PointDistances(n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p at 1 exits via node 0 (1.0), shortcut 2.0 to node 1, then 1.0 to q.
+	if math.Abs(d2[0][1]-4) > 1e-12 {
+		t.Fatalf("shortcut distance %v, want 4", d2[0][1])
+	}
+}
+
+func TestSingleLinkDendrogramOnLine(t *testing.T) {
+	// Points at positions 0.5, 1.5, 3.5 on a line: merges at 1.0 then 2.0.
+	b := network.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode()
+	}
+	for i := 0; i < 4; i++ {
+		b.AddEdge(network.NodeID(i), network.NodeID(i+1), 1)
+	}
+	b.AddPoint(0, 1, 0.5, 0)
+	b.AddPoint(1, 2, 0.5, 0)
+	b.AddPoint(3, 4, 0.5, 0)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := matrix.PointDistances(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := matrix.SingleLink(d)
+	if len(merges) != 2 {
+		t.Fatalf("%d merges", len(merges))
+	}
+	if math.Abs(merges[0].Dist-1) > 1e-12 || math.Abs(merges[1].Dist-2) > 1e-12 {
+		t.Fatalf("merge distances %v, %v; want 1, 2", merges[0].Dist, merges[1].Dist)
+	}
+}
+
+func TestEpsComponentsAndMinSup(t *testing.T) {
+	d := [][]float64{
+		{0, 1, 9, 9},
+		{1, 0, 9, 9},
+		{9, 9, 0, 9},
+		{9, 9, 9, 0},
+	}
+	labels := matrix.EpsComponents(d, 1.5, 1)
+	if labels[0] != labels[1] || labels[0] == labels[2] || labels[2] == labels[3] {
+		t.Fatalf("labels %v", labels)
+	}
+	labels = matrix.EpsComponents(d, 1.5, 2)
+	if labels[2] != -1 || labels[3] != -1 || labels[0] == -1 {
+		t.Fatalf("min_sup labels %v", labels)
+	}
+}
+
+func TestMatrixDBSCANCoreBorderNoise(t *testing.T) {
+	// A classic chain: 0-1-2 dense core, 3 is border of 2, 4 isolated.
+	d := [][]float64{
+		{0, 1, 1, 9, 9},
+		{1, 0, 1, 9, 9},
+		{1, 1, 0, 1, 9},
+		{9, 9, 1, 0, 9},
+		{9, 9, 9, 9, 0},
+	}
+	labels := matrix.DBSCAN(d, 1.0, 3)
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[0] == -1 {
+		t.Fatalf("core labels %v", labels)
+	}
+	if labels[3] != labels[2] {
+		t.Fatalf("border point not attached: %v", labels)
+	}
+	if labels[4] != -1 {
+		t.Fatalf("isolated point not noise: %v", labels)
+	}
+}
+
+func TestNearestMedoids(t *testing.T) {
+	d := [][]float64{
+		{0, 2, 5},
+		{2, 0, 4},
+		{5, 4, 0},
+	}
+	assign, dist, r, err := matrix.NearestMedoids(d, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 0 || assign[1] != 0 || assign[2] != 1 {
+		t.Fatalf("assign %v", assign)
+	}
+	if dist[1] != 2 || r != 2 {
+		t.Fatalf("dist %v r %v", dist, r)
+	}
+	if _, _, _, err := matrix.NearestMedoids(d, nil); err == nil {
+		t.Fatal("want error for empty medoids")
+	}
+}

@@ -1,0 +1,212 @@
+package network
+
+import (
+	"fmt"
+
+	"netclus/internal/heapx"
+)
+
+// Seed is a starting frontier entry for a (multi-source) Dijkstra traversal:
+// node Node is reachable from the conceptual source at distance Dist.
+type Seed struct {
+	Node NodeID
+	Dist float64
+}
+
+// queueEntry is a lazy-deletion Dijkstra frontier element.
+type queueEntry struct {
+	node NodeID
+	dist float64
+}
+
+func lessEntry(a, b queueEntry) bool { return a.dist < b.dist }
+
+// NodeDistances computes the shortest network distance from src to every
+// node with Dijkstra's algorithm (lazy insertion, as the paper's pseudocode
+// assumes). Unreachable nodes get +Inf.
+func NodeDistances(g Graph, src NodeID) ([]float64, error) {
+	return NodeDistancesFrom(g, []Seed{{Node: src, Dist: 0}})
+}
+
+// NodeDistancesFrom runs a multi-source Dijkstra from the given seeds and
+// returns the distance of every node from the seed set.
+func NodeDistancesFrom(g Graph, seeds []Seed) ([]float64, error) {
+	dist := newDistSlice(g.NumNodes())
+	h := heapx.New(lessEntry)
+	for _, s := range seeds {
+		if s.Node < 0 || int(s.Node) >= g.NumNodes() {
+			return nil, fmt.Errorf("%w: seed %d", ErrNodeRange, s.Node)
+		}
+		h.Push(queueEntry{node: s.Node, dist: s.Dist})
+	}
+	for !h.Empty() {
+		e := h.Pop()
+		if e.dist >= dist[e.node] {
+			continue
+		}
+		dist[e.node] = e.dist
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range adj {
+			if nd := e.dist + nb.Weight; nd < dist[nb.Node] {
+				h.Push(queueEntry{node: nb.Node, dist: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// NodeDistancesIndexed is the decrease-key Dijkstra variant over an indexed
+// heap. It produces identical output to NodeDistancesFrom and exists for the
+// lazy-vs-indexed ablation benchmark (DESIGN.md, ablation 1).
+func NodeDistancesIndexed(g Graph, seeds []Seed) ([]float64, error) {
+	n := g.NumNodes()
+	dist := newDistSlice(n)
+	done := make([]bool, n)
+	h := heapx.NewIndexed(n)
+	for _, s := range seeds {
+		if s.Node < 0 || int(s.Node) >= n {
+			return nil, fmt.Errorf("%w: seed %d", ErrNodeRange, s.Node)
+		}
+		if s.Dist < dist[s.Node] {
+			dist[s.Node] = s.Dist
+			h.InsertOrDecrease(int(s.Node), s.Dist)
+		}
+	}
+	for !h.Empty() {
+		k, d := h.PopMin()
+		done[k] = true
+		adj, err := g.Neighbors(NodeID(k))
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range adj {
+			if done[nb.Node] {
+				continue
+			}
+			if nd := d + nb.Weight; nd < dist[nb.Node] {
+				dist[nb.Node] = nd
+				h.InsertOrDecrease(int(nb.Node), nd)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// NodeToNodeDistance is d(n_i, n_j) of Definition 3, with early termination
+// once the target is settled.
+func NodeToNodeDistance(g Graph, src, dst NodeID) (float64, error) {
+	if dst < 0 || int(dst) >= g.NumNodes() {
+		return 0, fmt.Errorf("%w: %d", ErrNodeRange, dst)
+	}
+	if src == dst {
+		return 0, nil
+	}
+	dist := newDistSlice(g.NumNodes())
+	h := heapx.New(lessEntry)
+	h.Push(queueEntry{node: src, dist: 0})
+	for !h.Empty() {
+		e := h.Pop()
+		if e.dist >= dist[e.node] {
+			continue
+		}
+		dist[e.node] = e.dist
+		if e.node == dst {
+			return e.dist, nil
+		}
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return 0, err
+		}
+		for _, nb := range adj {
+			if nd := e.dist + nb.Weight; nd < dist[nb.Node] {
+				h.Push(queueEntry{node: nb.Node, dist: nd})
+			}
+		}
+	}
+	return Inf, nil
+}
+
+// PointSeeds returns the Definition 4 exit seeds of a point: its two edge
+// endpoints at their direct distances.
+func PointSeeds(pi PointInfo) []Seed {
+	return []Seed{
+		{Node: pi.N1, Dist: pi.Pos},
+		{Node: pi.N2, Dist: pi.Weight - pi.Pos},
+	}
+}
+
+// PointDistance computes the network distance d(p, q) between two points
+// (Definition 4): the best combination of exiting p's edge through either
+// endpoint, traversing the network, and entering q's edge through either
+// endpoint — or, when p and q share an edge, possibly the direct distance.
+func PointDistance(g Graph, p, q PointID) (float64, error) {
+	pi, err := g.PointInfo(p)
+	if err != nil {
+		return 0, err
+	}
+	qi, err := g.PointInfo(q)
+	if err != nil {
+		return 0, err
+	}
+	return PointInfoDistance(g, pi, qi)
+}
+
+// PointInfoDistance is PointDistance on already-resolved positions.
+func PointInfoDistance(g Graph, pi, qi PointInfo) (float64, error) {
+	best := DirectPointDist(pi, qi)
+	// Early-terminating bidirectional-ish search: run Dijkstra from p's exit
+	// seeds until both of q's endpoints are settled or the frontier exceeds
+	// the best distance found so far.
+	dist := newDistSlice(g.NumNodes())
+	h := heapx.New(lessEntry)
+	for _, s := range PointSeeds(pi) {
+		h.Push(queueEntry{node: s.Node, dist: s.Dist})
+	}
+	settled1, settled2 := false, false
+	for !h.Empty() {
+		e := h.Pop()
+		if e.dist >= dist[e.node] {
+			continue
+		}
+		if e.dist >= best {
+			break // every remaining completion is at least e.dist
+		}
+		dist[e.node] = e.dist
+		switch e.node {
+		case qi.N1:
+			settled1 = true
+			if d := e.dist + qi.Pos; d < best {
+				best = d
+			}
+		case qi.N2:
+			settled2 = true
+			if d := e.dist + qi.Weight - qi.Pos; d < best {
+				best = d
+			}
+		}
+		if settled1 && settled2 {
+			break
+		}
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return 0, err
+		}
+		for _, nb := range adj {
+			if nd := e.dist + nb.Weight; nd < dist[nb.Node] {
+				h.Push(queueEntry{node: nb.Node, dist: nd})
+			}
+		}
+	}
+	return best, nil
+}
+
+func newDistSlice(n int) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	return dist
+}

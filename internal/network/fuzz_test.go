@@ -1,0 +1,45 @@
+package network_test
+
+import (
+	"strings"
+	"testing"
+
+	"netclus/internal/network"
+)
+
+// FuzzReadNetwork asserts the text parser never panics and that anything it
+// accepts survives a write/read round trip with identical counts.
+func FuzzReadNetwork(f *testing.F) {
+	f.Add("0 0 0\n1 1 1\n", "0 0 1\n", "0 0 1 0.5 7\n")
+	f.Add("0 0 0\n1 3 4\n2 6 0\n", "0 0 1\n1 1 2 9.5\n", "")
+	f.Add("", "", "")
+	f.Add("0 0 0\n1 1 1\n", "0 0 1 -3\n", "")       // negative weight
+	f.Add("0 0 0\n1 1 1\n", "0 0 1\n1 1 0 2\n", "") // duplicate edge
+	f.Add("# only comments\n", "# x\n", "# y\n")
+	f.Add("0 0 0\n1 1 1\n", "0 0 1\n", "0 0 1 99 0\n") // offset out of range
+	f.Fuzz(func(t *testing.T, nodes, edges, points string) {
+		n, err := network.ReadNetwork(
+			strings.NewReader(nodes),
+			strings.NewReader(edges),
+			strings.NewReader(points))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var nb, eb, pb strings.Builder
+		if err := network.WriteNetwork(n, &nb, &eb, &pb); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := network.ReadNetwork(
+			strings.NewReader(nb.String()),
+			strings.NewReader(eb.String()),
+			strings.NewReader(pb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumNodes() != n.NumNodes() || back.NumEdges() != n.NumEdges() || back.NumPoints() != n.NumPoints() {
+			t.Fatalf("round trip changed counts: (%d,%d,%d) vs (%d,%d,%d)",
+				back.NumNodes(), back.NumEdges(), back.NumPoints(),
+				n.NumNodes(), n.NumEdges(), n.NumPoints())
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package network
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Text formats (Brinkhoff-generator flavoured, whitespace separated):
+//
+//	node file:  <id> <x> <y>
+//	edge file:  <id> <n1> <n2> [<weight>]   (missing weight => Euclidean)
+//	point file: <id> <n1> <n2> <pos> [<tag>]
+//
+// IDs must be dense starting at 0 and lines may be blank or start with '#'.
+// These are the interchange formats of cmd/netclus; real Brinkhoff road
+// files (the paper's OL/TG/SF datasets) convert to them with a one-line awk.
+
+// WriteNetwork writes the node, edge and point sections of n to the three
+// writers. Any writer may be nil to skip that section.
+func WriteNetwork(n *Network, nodes, edges, points io.Writer) error {
+	if nodes != nil {
+		w := bufio.NewWriter(nodes)
+		for i := 0; i < n.NumNodes(); i++ {
+			c := n.Coord(NodeID(i))
+			fmt.Fprintf(w, "%d %g %g\n", i, c.X, c.Y)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	if edges != nil {
+		w := bufio.NewWriter(edges)
+		id := 0
+		for u := 0; u < n.NumNodes(); u++ {
+			adj, err := n.Neighbors(NodeID(u))
+			if err != nil {
+				return err
+			}
+			for _, nb := range adj {
+				if NodeID(u) < nb.Node {
+					fmt.Fprintf(w, "%d %d %d %g\n", id, u, nb.Node, nb.Weight)
+					id++
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	if points != nil {
+		w := bufio.NewWriter(points)
+		err := n.ScanGroups(func(g GroupID, pg PointGroup, offsets []float64) error {
+			for i, off := range offsets {
+				p := pg.First + PointID(i)
+				fmt.Fprintf(w, "%d %d %d %g %d\n", p, pg.N1, pg.N2, off, n.Tag(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNetwork parses the text formats above and builds a Network.
+// points may be nil for a point-free network.
+func ReadNetwork(nodes, edges io.Reader, points io.Reader) (*Network, error) {
+	b := NewBuilder()
+	coords := make(map[int]Coord)
+	nNodes := 0
+	if err := eachLine(nodes, func(lineNo int, f []string) error {
+		if len(f) != 3 {
+			return fmt.Errorf("node line %d: want 3 fields, got %d", lineNo, len(f))
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			return fmt.Errorf("node line %d: %v", lineNo, err)
+		}
+		x, err1 := strconv.ParseFloat(f[1], 64)
+		y, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("node line %d: bad coordinates", lineNo)
+		}
+		coords[id] = Coord{X: x, Y: y}
+		if id+1 > nNodes {
+			nNodes = id + 1
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(coords) != nNodes {
+		return nil, fmt.Errorf("network: node IDs not dense: %d IDs, max+1 = %d", len(coords), nNodes)
+	}
+	for i := 0; i < nNodes; i++ {
+		b.AddNode(coords[i])
+	}
+	if err := eachLine(edges, func(lineNo int, f []string) error {
+		if len(f) != 3 && len(f) != 4 {
+			return fmt.Errorf("edge line %d: want 3-4 fields, got %d", lineNo, len(f))
+		}
+		n1, err1 := strconv.Atoi(f[1])
+		n2, err2 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("edge line %d: bad endpoints", lineNo)
+		}
+		var w float64
+		if len(f) == 4 {
+			var err error
+			if w, err = strconv.ParseFloat(f[3], 64); err != nil {
+				return fmt.Errorf("edge line %d: bad weight: %v", lineNo, err)
+			}
+		} else {
+			if n1 >= nNodes || n2 >= nNodes || n1 < 0 || n2 < 0 {
+				return fmt.Errorf("edge line %d: endpoint out of range", lineNo)
+			}
+			a, c := coords[n1], coords[n2]
+			w = math.Hypot(a.X-c.X, a.Y-c.Y)
+		}
+		b.AddEdge(NodeID(n1), NodeID(n2), w)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if points != nil {
+		if err := eachLine(points, func(lineNo int, f []string) error {
+			if len(f) != 4 && len(f) != 5 {
+				return fmt.Errorf("point line %d: want 4-5 fields, got %d", lineNo, len(f))
+			}
+			n1, err1 := strconv.Atoi(f[1])
+			n2, err2 := strconv.Atoi(f[2])
+			pos, err3 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("point line %d: bad fields", lineNo)
+			}
+			var tag int64
+			if len(f) == 5 {
+				var err error
+				if tag, err = strconv.ParseInt(f[4], 10, 32); err != nil {
+					return fmt.Errorf("point line %d: bad tag: %v", lineNo, err)
+				}
+			}
+			b.AddPoint(NodeID(n1), NodeID(n2), pos, int32(tag))
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// eachLine invokes fn on the whitespace-split fields of every non-blank,
+// non-comment line.
+func eachLine(r io.Reader, fn func(lineNo int, fields []string) error) error {
+	if r == nil {
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := fn(lineNo, strings.Fields(line)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

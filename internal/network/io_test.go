@@ -1,0 +1,104 @@
+package network_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	n, err := testnet.Random(5, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, edges, points bytes.Buffer
+	if err := network.WriteNetwork(n, &nodes, &edges, &points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := network.ReadNetwork(&nodes, &edges, &points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != n.NumNodes() || back.NumEdges() != n.NumEdges() || back.NumPoints() != n.NumPoints() {
+		t.Fatalf("round trip changed counts: (%d,%d,%d) vs (%d,%d,%d)",
+			back.NumNodes(), back.NumEdges(), back.NumPoints(),
+			n.NumNodes(), n.NumEdges(), n.NumPoints())
+	}
+	for p := 0; p < n.NumPoints(); p++ {
+		a, err := n.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.N1 != b.N1 || a.N2 != b.N2 || a.Tag != b.Tag {
+			t.Fatalf("point %d: %+v vs %+v", p, a, b)
+		}
+	}
+}
+
+func TestReadNetworkEuclideanWeights(t *testing.T) {
+	nodes := strings.NewReader("0 0 0\n1 3 4\n# comment\n\n")
+	edges := strings.NewReader("0 0 1\n") // no weight -> Euclidean = 5
+	n, err := network.ReadNetwork(nodes, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := network.EdgeWeight(n, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 5 {
+		t.Fatalf("Euclidean weight %v, want 5", w)
+	}
+}
+
+func TestReadNetworkErrors(t *testing.T) {
+	cases := []struct {
+		name                 string
+		nodes, edges, points string
+	}{
+		{"bad node fields", "0 0\n", "", ""},
+		{"bad node id", "x 0 0\n", "", ""},
+		{"bad coordinates", "0 a b\n", "", ""},
+		{"sparse node ids", "0 0 0\n5 1 1\n", "", ""},
+		{"bad edge fields", "0 0 0\n1 1 1\n", "0 0\n", ""},
+		{"bad edge endpoints", "0 0 0\n1 1 1\n", "0 a b\n", ""},
+		{"edge endpoint out of range", "0 0 0\n1 1 1\n", "0 0 9\n", ""},
+		{"bad edge weight", "0 0 0\n1 1 1\n", "0 0 1 x\n", ""},
+		{"bad point fields", "0 0 0\n1 1 1\n", "0 0 1\n", "0 0 1\n"},
+		{"bad point pos", "0 0 0\n1 1 1\n", "0 0 1\n", "0 0 1 x\n"},
+		{"bad point tag", "0 0 0\n1 1 1\n", "0 0 1\n", "0 0 1 0.5 zz\n"},
+		{"point beyond weight", "0 0 0\n1 1 1\n", "0 0 1\n", "0 0 1 99 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := network.ReadNetwork(
+				strings.NewReader(tc.nodes),
+				strings.NewReader(tc.edges),
+				strings.NewReader(tc.points))
+			if err == nil {
+				t.Fatal("want parse error")
+			}
+		})
+	}
+}
+
+func TestWriteNetworkNilSections(t *testing.T) {
+	n, err := testnet.Random(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges bytes.Buffer
+	if err := network.WriteNetwork(n, nil, &edges, nil); err != nil {
+		t.Fatal(err)
+	}
+	if edges.Len() == 0 {
+		t.Fatal("edge section empty")
+	}
+}

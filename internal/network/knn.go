@@ -1,0 +1,160 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"netclus/internal/heapx"
+)
+
+// PointDist pairs a point with its network distance from a query point.
+type PointDist struct {
+	Point PointID
+	Dist  float64
+}
+
+// KNearestNeighbors returns the k points closest to p in network distance
+// (excluding p itself), ordered by ascending distance — the nearest-neighbour
+// query of Papadias et al. (the paper's [16]) over our storage model. Fewer
+// than k results are returned when the network holds fewer reachable points.
+//
+// The search expands the network around p like RangeQuery, but with a
+// self-tightening radius: the running k-th best distance bounds the
+// expansion, so only the neighbourhood that can still contribute is visited.
+func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
+	}
+	pi, err := g.PointInfo(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// seen holds the live (best) offer per candidate point; best is a
+	// max-heap over offers with lazy deletion — superseded offers stay on
+	// the heap but are recognized as stale because they no longer match
+	// seen. Stale offers are always >= the live one, so skimming them off
+	// the top is safe.
+	best := heapx.New(func(a, b PointDist) bool { return a.Dist > b.Dist })
+	seen := make(map[PointID]float64)
+	bound := func() float64 {
+		if len(seen) < k {
+			return Inf
+		}
+		for !best.Empty() {
+			top := best.Peek()
+			if d, ok := seen[top.Point]; ok && d == top.Dist {
+				return top.Dist
+			}
+			best.Pop() // stale offer
+		}
+		return Inf
+	}
+	offer := func(q PointID, d float64) {
+		if q == p || d > bound() {
+			return
+		}
+		if old, ok := seen[q]; ok && d >= old {
+			return
+		}
+		seen[q] = d
+		best.Push(PointDist{Point: q, Dist: d})
+		for len(seen) > k {
+			top := best.Pop()
+			if od, ok := seen[top.Point]; ok && od == top.Dist {
+				delete(seen, top.Point)
+			}
+		}
+	}
+
+	// Same-edge candidates (direct distance).
+	pg, err := g.Group(pi.Group)
+	if err != nil {
+		return nil, err
+	}
+	off, err := g.GroupOffsets(pi.Group)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range off {
+		d := o - pi.Pos
+		if d < 0 {
+			d = -d
+		}
+		offer(pg.First+PointID(i), d)
+	}
+
+	// Bounded Dijkstra from p's edge exits, collecting points of every edge
+	// met, pruned by the running k-th best distance.
+	dist := make(map[NodeID]float64)
+	frontier := heapx.New(lessEntry)
+	for _, s := range PointSeeds(pi) {
+		frontier.Push(queueEntry{node: s.Node, dist: s.Dist})
+	}
+	for !frontier.Empty() {
+		e := frontier.Pop()
+		if d, ok := dist[e.node]; ok && e.dist >= d {
+			continue
+		}
+		if e.dist > bound() {
+			break // no unsettled node can contribute anymore
+		}
+		dist[e.node] = e.dist
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range adj {
+			if nb.Group != NoGroup {
+				npg, err := g.Group(nb.Group)
+				if err != nil {
+					return nil, err
+				}
+				noff, err := g.GroupOffsets(nb.Group)
+				if err != nil {
+					return nil, err
+				}
+				for i, o := range noff {
+					dl := o
+					if e.node != npg.N1 {
+						dl = npg.Weight - o
+					}
+					offer(npg.First+PointID(i), e.dist+dl)
+				}
+			}
+			if nd := e.dist + nb.Weight; nd <= bound() {
+				if d, ok := dist[nb.Node]; !ok || nd < d {
+					frontier.Push(queueEntry{node: nb.Node, dist: nd})
+				}
+			}
+		}
+	}
+
+	// Collect the valid entries.
+	out := make([]PointDist, 0, k)
+	for q, d := range seen {
+		out = append(out, PointDist{Point: q, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Point < out[j].Point
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// NearestNeighbor returns the single closest point to p.
+func NearestNeighbor(g Graph, p PointID) (PointDist, error) {
+	nn, err := KNearestNeighbors(g, p, 1)
+	if err != nil {
+		return PointDist{}, err
+	}
+	if len(nn) == 0 {
+		return PointDist{Point: -1, Dist: Inf}, nil
+	}
+	return nn[0], nil
+}

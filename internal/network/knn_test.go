@@ -1,0 +1,126 @@
+package network_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"netclus/internal/matrix"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+func TestKNearestNeighborsMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g, err := testnet.Random(seed+50, 30, 45)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := matrix.PointDistances(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < g.NumPoints(); p += 3 {
+				for _, k := range []int{1, 3, 7, 44, 100} {
+					got, err := network.KNearestNeighbors(g, network.PointID(p), k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := bruteKNN(dist, p, k)
+					if len(got) != len(want) {
+						t.Fatalf("p=%d k=%d: %d results, want %d", p, k, len(got), len(want))
+					}
+					for i := range got {
+						// Distances must match exactly; ties may reorder
+						// points, so compare the distance multiset.
+						if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+							t.Fatalf("p=%d k=%d rank %d: dist %v, want %v",
+								p, k, i, got[i].Dist, want[i])
+						}
+						if got[i].Point == network.PointID(p) {
+							t.Fatalf("p=%d: query point returned as its own neighbour", p)
+						}
+						if math.Abs(dist[p][got[i].Point]-got[i].Dist) > 1e-9 {
+							t.Fatalf("p=%d k=%d: reported dist %v but true dist %v",
+								p, k, got[i].Dist, dist[p][got[i].Point])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func bruteKNN(dist [][]float64, p, k int) []float64 {
+	var ds []float64
+	for q := range dist[p] {
+		if q != p {
+			ds = append(ds, dist[p][q])
+		}
+	}
+	sort.Float64s(ds)
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	return ds
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	g, err := testnet.Line(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := network.NearestNeighbor(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.Point != 1 || math.Abs(nn.Dist-1.0) > 1e-12 {
+		t.Fatalf("NN of first line point: %+v", nn)
+	}
+}
+
+func TestKNNValidationAndSinglePoint(t *testing.T) {
+	g, err := testnet.Random(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.KNearestNeighbors(g, 0, 0); err == nil {
+		t.Fatal("want error for k = 0")
+	}
+	if _, err := network.KNearestNeighbors(g, -1, 1); err == nil {
+		t.Fatal("want error for bad point")
+	}
+	// A single-point network has no neighbours.
+	b := network.NewBuilder()
+	b.AddNode(network.Coord{})
+	b.AddNode(network.Coord{X: 1})
+	b.AddEdge(0, 1, 1)
+	b.AddPoint(0, 1, 0.5, 0)
+	lone, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := network.NearestNeighbor(lone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.Point != -1 || !math.IsInf(nn.Dist, 1) {
+		t.Fatalf("lone point NN: %+v", nn)
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	g, err := testnet.Random(9, 2500, 7500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := network.KNearestNeighbors(g, network.PointID(i%g.NumPoints()), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

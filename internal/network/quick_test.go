@@ -1,0 +1,137 @@
+package network_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netclus/internal/network"
+)
+
+// TestQuickBuilderInvariants: for arbitrary point placements on a fixed
+// small graph, Build must (a) order same-edge points by ascending offset
+// with sequential IDs, (b) preserve every placement exactly once, and
+// (c) resolve every PointInfo consistently with its group.
+func TestQuickBuilderInvariants(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	type placement struct {
+		Edge uint8
+		Pos  float64
+		Tag  int32
+	}
+	edges := [][2]network.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}
+	prop := func(places []placement) bool {
+		b := network.NewBuilder()
+		for i := 0; i < 4; i++ {
+			b.AddNode()
+		}
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1], 2.0)
+		}
+		valid := 0
+		for _, pl := range places {
+			e := edges[int(pl.Edge)%len(edges)]
+			pos := math.Abs(pl.Pos)
+			if math.IsNaN(pos) || math.IsInf(pos, 0) {
+				pos = 1.0
+			}
+			pos = math.Mod(pos, 2.0)
+			b.AddPoint(e[0], e[1], pos, pl.Tag)
+			valid++
+		}
+		n, err := b.Build()
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		if n.NumPoints() != valid {
+			return false
+		}
+		// Invariants per group.
+		total := 0
+		err = n.ScanGroups(func(g network.GroupID, pg network.PointGroup, off []float64) error {
+			if int(pg.Count) != len(off) || pg.Count < 1 {
+				t.Logf("group %d count mismatch", g)
+				return network.ErrGroupRange
+			}
+			if pg.N1 >= pg.N2 {
+				t.Logf("group %d endpoints not canonical", g)
+				return network.ErrGroupRange
+			}
+			for i := range off {
+				if i > 0 && off[i] < off[i-1] {
+					t.Logf("group %d offsets not ascending", g)
+					return network.ErrGroupRange
+				}
+				pi, err := n.PointInfo(pg.First + network.PointID(i))
+				if err != nil {
+					return err
+				}
+				if pi.Group != g || pi.Pos != off[i] || pi.N1 != pg.N1 || pi.N2 != pg.N2 {
+					t.Logf("point %d resolves inconsistently", int(pg.First)+i)
+					return network.ErrGroupRange
+				}
+			}
+			total += len(off)
+			return nil
+		})
+		return err == nil && total == valid
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rnd}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReweightPreservesTopologyAndScalesDistances: scaling all edge
+// weights by a random positive factor scales every node distance by exactly
+// that factor.
+func TestQuickReweightPreservesTopologyAndScalesDistances(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	base := buildDiamond(t)
+	prop := func(scaleBits uint8) bool {
+		scale := 0.25 + float64(scaleBits)/32.0
+		scaled, err := network.Reweight(base, func(u, v network.NodeID, w float64) float64 {
+			return w * scale
+		})
+		if err != nil {
+			return false
+		}
+		d0, err := network.NodeDistances(base, 0)
+		if err != nil {
+			return false
+		}
+		d1, err := network.NodeDistances(scaled, 0)
+		if err != nil {
+			return false
+		}
+		for i := range d0 {
+			if diff := d1[i] - scale*d0[i]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rnd}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildDiamond(t *testing.T) *network.Network {
+	t.Helper()
+	b := network.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode()
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 2)
+	b.AddEdge(1, 3, 3)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 2)
+	b.AddPoint(0, 1, 0.5, 0)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

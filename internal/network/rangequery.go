@@ -1,0 +1,186 @@
+package network
+
+import (
+	"math"
+	"sort"
+
+	"netclus/internal/heapx"
+)
+
+// RangeScratch holds the reusable state of network ε-range queries: stamped
+// node-distance and point-visited arrays (O(1) reset between queries) and the
+// traversal frontier. DBSCAN issues one range query per point, so amortizing
+// these allocations dominates its constant factor.
+type RangeScratch struct {
+	nodeDist  []float64
+	nodeEpoch []int32
+	ptEpoch   []int32
+	ptDist    []float64
+	epoch     int32
+	heap      *heapx.Heap[queueEntry]
+	result    []PointID
+	resultD   []PointDist
+}
+
+// NewRangeScratch allocates scratch space sized for g.
+func NewRangeScratch(g Graph) *RangeScratch {
+	return &RangeScratch{
+		nodeDist:  make([]float64, g.NumNodes()),
+		nodeEpoch: make([]int32, g.NumNodes()),
+		ptEpoch:   make([]int32, g.NumPoints()),
+		ptDist:    make([]float64, g.NumPoints()),
+		heap:      heapx.New(lessEntry),
+	}
+}
+
+func (s *RangeScratch) nextEpoch() {
+	if s.epoch == math.MaxInt32 {
+		// Stamp wrap-around: clear everything once per 2^31 queries.
+		for i := range s.nodeEpoch {
+			s.nodeEpoch[i] = 0
+		}
+		for i := range s.ptEpoch {
+			s.ptEpoch[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+	s.heap.Clear()
+	s.result = s.result[:0]
+}
+
+func (s *RangeScratch) dist(n NodeID) float64 {
+	if s.nodeEpoch[n] != s.epoch {
+		return Inf
+	}
+	return s.nodeDist[n]
+}
+
+func (s *RangeScratch) setDist(n NodeID, d float64) {
+	s.nodeEpoch[n] = s.epoch
+	s.nodeDist[n] = d
+}
+
+// addPoint records q as reachable at distance d, keeping the minimum over
+// all discovery routes (direct along the query's edge, or via either settled
+// endpoint of q's edge).
+func (s *RangeScratch) addPoint(q PointID, d float64) {
+	if s.ptEpoch[q] != s.epoch {
+		s.ptEpoch[q] = s.epoch
+		s.ptDist[q] = d
+		s.result = append(s.result, q)
+	} else if d < s.ptDist[q] {
+		s.ptDist[q] = d
+	}
+}
+
+// RangeQuery returns the IDs of every point q with d(p, q) <= eps, including
+// p itself — the network ε-neighborhood used by the DBSCAN adaptation
+// (§4.3). It expands the network around p with a bounded Dijkstra, visiting
+// only edges within ε of p (the range-search pattern of Papadias et al.,
+// cited as [16] in the paper). The returned slice is reused by the next
+// query on the same scratch.
+func (s *RangeScratch) RangeQuery(g Graph, p PointID, eps float64) ([]PointID, error) {
+	if err := s.run(g, p, eps); err != nil {
+		return nil, err
+	}
+	return s.result, nil
+}
+
+// RangeQueryDist is RangeQuery with exact network distances attached: every
+// point q with d(p, q) <= eps, each at its true distance (minimum over the
+// direct same-edge route and both endpoint routes). OPTICS builds its core
+// and reachability distances from it. The returned slice is reused by the
+// next query on the same scratch.
+func (s *RangeScratch) RangeQueryDist(g Graph, p PointID, eps float64) ([]PointDist, error) {
+	if err := s.run(g, p, eps); err != nil {
+		return nil, err
+	}
+	s.resultD = s.resultD[:0]
+	for _, q := range s.result {
+		s.resultD = append(s.resultD, PointDist{Point: q, Dist: s.ptDist[q]})
+	}
+	return s.resultD, nil
+}
+
+// run performs the bounded expansion shared by both query flavours.
+func (s *RangeScratch) run(g Graph, p PointID, eps float64) error {
+	s.nextEpoch()
+	pi, err := g.PointInfo(p)
+	if err != nil {
+		return err
+	}
+
+	// Same-edge points reachable directly along the edge.
+	if off, err := g.GroupOffsets(pi.Group); err != nil {
+		return err
+	} else {
+		pg, err := g.Group(pi.Group)
+		if err != nil {
+			return err
+		}
+		lo := sort.SearchFloat64s(off, pi.Pos-eps)
+		for i := lo; i < len(off) && off[i] <= pi.Pos+eps; i++ {
+			d := off[i] - pi.Pos
+			if d < 0 {
+				d = -d
+			}
+			s.addPoint(pg.First+PointID(i), d)
+		}
+	}
+
+	// Bounded multi-source Dijkstra from p's edge exits.
+	for _, sd := range PointSeeds(pi) {
+		if sd.Dist <= eps {
+			s.heap.Push(queueEntry{node: sd.Node, dist: sd.Dist})
+		}
+	}
+	for !s.heap.Empty() {
+		e := s.heap.Pop()
+		if e.dist >= s.dist(e.node) {
+			continue
+		}
+		s.setDist(e.node, e.dist)
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return err
+		}
+		for _, nb := range adj {
+			if nb.Group != NoGroup {
+				if err := s.collectFrom(g, e.node, nb, e.dist, eps); err != nil {
+					return err
+				}
+			}
+			if nd := e.dist + nb.Weight; nd <= eps && nd < s.dist(nb.Node) {
+				s.heap.Push(queueEntry{node: nb.Node, dist: nd})
+			}
+		}
+	}
+	return nil
+}
+
+// collectFrom adds the points of nb's group whose along-edge distance from
+// node u (itself at du from the query point) keeps the total within eps.
+func (s *RangeScratch) collectFrom(g Graph, u NodeID, nb Neighbor, du, eps float64) error {
+	pg, err := g.Group(nb.Group)
+	if err != nil {
+		return err
+	}
+	off, err := g.GroupOffsets(nb.Group)
+	if err != nil {
+		return err
+	}
+	budget := eps - du
+	if u == pg.N1 {
+		// Offsets ascend from u: a prefix qualifies.
+		for i := 0; i < len(off) && off[i] <= budget; i++ {
+			s.addPoint(pg.First+PointID(i), du+off[i])
+		}
+	} else {
+		// Distances from u are Weight-off: a suffix qualifies.
+		for i := len(off) - 1; i >= 0 && pg.Weight-off[i] <= budget; i-- {
+			s.addPoint(pg.First+PointID(i), du+pg.Weight-off[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package network_test
+
+import (
+	"math"
+	"testing"
+
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+func TestReweightScalesPointOffsets(t *testing.T) {
+	g, err := testnet.Random(4, 30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := network.Reweight(g, func(u, v network.NodeID, base float64) float64 {
+		return 2 * base
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.NumPoints() != g.NumPoints() || doubled.NumEdges() != g.NumEdges() {
+		t.Fatal("reweight changed the topology")
+	}
+	for p := 0; p < g.NumPoints(); p++ {
+		a, err := g.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := doubled.PointInfo(network.PointID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.Weight-2*a.Weight) > 1e-9 || math.Abs(b.Pos-2*a.Pos) > 1e-9 {
+			t.Fatalf("point %d: %+v vs doubled %+v", p, a, b)
+		}
+		if b.Tag != a.Tag {
+			t.Fatal("tag lost")
+		}
+	}
+	// Doubling all weights doubles all shortest distances.
+	d1, err := network.NodeDistances(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := network.NodeDistances(doubled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range d1 {
+		if math.Abs(d2[v]-2*d1[v]) > 1e-9 {
+			t.Fatalf("node %d: %v vs %v", v, d1[v], d2[v])
+		}
+	}
+}
+
+func TestReweightRejectsNonPositive(t *testing.T) {
+	g, err := testnet.Random(4, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Reweight(g, func(u, v network.NodeID, base float64) float64 { return 0 }); err == nil {
+		t.Fatal("want error for zero weight")
+	}
+}
+
+func TestCombineNetworksWithTransitions(t *testing.T) {
+	a, err := testnet.Line(5, 1.0) // 5 nodes, points along it
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testnet.Line(4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, offsetB, err := network.Combine(a, b, []network.Transition{
+		{A: 4, B: 0, Weight: 0.5}, // pier joining the line ends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offsetB != network.NodeID(a.NumNodes()) {
+		t.Fatalf("offsetB = %d", offsetB)
+	}
+	if combined.NumNodes() != a.NumNodes()+b.NumNodes() {
+		t.Fatal("node count wrong")
+	}
+	if combined.NumEdges() != a.NumEdges()+b.NumEdges()+1 {
+		t.Fatal("edge count wrong")
+	}
+	if combined.NumPoints() != a.NumPoints()+b.NumPoints() {
+		t.Fatal("point count wrong")
+	}
+	// Distance across the transition: end of line A to start of line B.
+	d, err := network.NodeToNodeDistance(combined, 0, offsetB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(4+0.5)) > 1e-9 {
+		t.Fatalf("cross-network distance %v, want 4.5", d)
+	}
+	// Without transitions the networks stay disconnected.
+	apart, _, err := network.Combine(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := network.NodeToNodeDistance(apart, 0, offsetB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d2, 1) {
+		t.Fatalf("disconnected distance %v, want +Inf", d2)
+	}
+}
+
+func TestCombineValidatesTransitions(t *testing.T) {
+	a, _ := testnet.Line(3, 1.0)
+	b, _ := testnet.Line(3, 1.0)
+	if _, _, err := network.Combine(a, b, []network.Transition{{A: 99, B: 0, Weight: 1}}); err == nil {
+		t.Fatal("want error for bad A node")
+	}
+	if _, _, err := network.Combine(a, b, []network.Transition{{A: 0, B: 99, Weight: 1}}); err == nil {
+		t.Fatal("want error for bad B node")
+	}
+	if _, _, err := network.Combine(a, b, []network.Transition{{A: 0, B: 0, Weight: -1}}); err == nil {
+		t.Fatal("want error for negative transition weight")
+	}
+}

@@ -1,0 +1,94 @@
+package pagebuf
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func benchFile(b *testing.B, bufferBytes int, fileBytes int) *File {
+	b.Helper()
+	pool, err := NewPool(bufferBytes, DefaultPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := pool.Open(filepath.Join(b.TempDir(), "b.dat"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	chunk := make([]byte, 1<<16)
+	for off := 0; off < fileBytes; off += len(chunk) {
+		if err := f.WriteAt(chunk, int64(off)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkReadAtHot reads a working set that fits the pool.
+func BenchmarkReadAtHot(b *testing.B) {
+	f := benchFile(b, 4<<20, 1<<20)
+	buf := make([]byte, 64)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(rng.Intn(1<<20 - 64))
+		if err := f.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadAtCold reads a working set 16x the pool, forcing eviction.
+func BenchmarkReadAtCold(b *testing.B) {
+	f := benchFile(b, 256<<10, 4<<20)
+	buf := make([]byte, 64)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(rng.Intn(4<<20 - 64))
+		if err := f.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := f.pool.Stats()
+	b.ReportMetric(100*st.HitRatio(), "hit%")
+}
+
+// BenchmarkSequentialScan measures the streaming pattern of ScanGroups.
+func BenchmarkSequentialScan(b *testing.B) {
+	f := benchFile(b, 256<<10, 4<<20)
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := int64(0); off+4096 <= 4<<20; off += 4096 {
+			if err := f.ReadAt(buf, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkWriteAt(b *testing.B) {
+	pool, err := NewPool(1<<20, DefaultPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := pool.Open(filepath.Join(b.TempDir(), "w.dat"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.WriteAt(buf, int64(i%8192)*256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

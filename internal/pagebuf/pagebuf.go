@@ -1,0 +1,278 @@
+// Package pagebuf provides the paged-I/O layer of the §4.1 storage
+// architecture: fixed-size pages read and written through a shared LRU
+// buffer pool with hit/miss accounting. The paper's experiments use a 1 MB
+// buffer over 4 KB pages; those are the defaults.
+package pagebuf
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultPageSize is the page size of the paper's experiments.
+const DefaultPageSize = 4096
+
+// DefaultBufferBytes is the buffer-pool size of the paper's experiments.
+const DefaultBufferBytes = 1 << 20
+
+// Stats counts buffer-pool traffic. LogicalReads is the number of page
+// requests; PhysicalReads the subset that missed the pool and hit the disk.
+type Stats struct {
+	LogicalReads  int64
+	PhysicalReads int64
+	PageWrites    int64
+	Evictions     int64
+}
+
+// HitRatio is the fraction of page requests served from the pool.
+func (s Stats) HitRatio() float64 {
+	if s.LogicalReads == 0 {
+		return 0
+	}
+	return 1 - float64(s.PhysicalReads)/float64(s.LogicalReads)
+}
+
+// Sub returns s - o, for measuring a span of work.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		LogicalReads:  s.LogicalReads - o.LogicalReads,
+		PhysicalReads: s.PhysicalReads - o.PhysicalReads,
+		PageWrites:    s.PageWrites - o.PageWrites,
+		Evictions:     s.Evictions - o.Evictions,
+	}
+}
+
+// Pool is an LRU buffer pool shared by several paged files, mirroring the
+// single memory buffer of the paper's setup. It is not safe for concurrent
+// use; the clustering algorithms are single-threaded by design.
+type Pool struct {
+	pageSize int
+	capacity int
+	frames   map[frameKey]*list.Element
+	lru      *list.List // front = most recently used
+	stats    Stats
+	nextFile int32
+}
+
+type frameKey struct {
+	file int32
+	page int64
+}
+
+type frame struct {
+	key   frameKey
+	data  []byte
+	dirty bool
+	f     *File
+}
+
+// NewPool returns a pool of bufferBytes/pageSize frames.
+func NewPool(bufferBytes, pageSize int) (*Pool, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("pagebuf: page size %d too small", pageSize)
+	}
+	capacity := bufferBytes / pageSize
+	if capacity < 1 {
+		return nil, fmt.Errorf("pagebuf: buffer of %d bytes holds no %d-byte page", bufferBytes, pageSize)
+	}
+	return &Pool{
+		pageSize: pageSize,
+		capacity: capacity,
+		frames:   make(map[frameKey]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// PageSize returns the pool's page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns a snapshot of the traffic counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the traffic counters.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// File is one paged file attached to a pool. All reads and writes go through
+// the pool's frames.
+type File struct {
+	pool  *Pool
+	id    int32
+	os    *os.File
+	pages int64 // allocated pages
+	size  int64 // logical byte size
+}
+
+// Open attaches the file at path to the pool, creating it if absent.
+func (p *Pool) Open(path string) (*File, error) {
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := osf.Stat()
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	f := &File{pool: p, id: p.nextFile, os: osf, size: st.Size()}
+	f.pages = (f.size + int64(p.pageSize) - 1) / int64(p.pageSize)
+	p.nextFile++
+	return f, nil
+}
+
+// Size returns the logical byte size of the file.
+func (f *File) Size() int64 { return f.size }
+
+// page returns the frame for pageNo, faulting it in if needed.
+func (f *File) page(pageNo int64) (*frame, error) {
+	p := f.pool
+	p.stats.LogicalReads++
+	key := frameKey{file: f.id, page: pageNo}
+	if el, ok := p.frames[key]; ok {
+		p.lru.MoveToFront(el)
+		return el.Value.(*frame), nil
+	}
+	p.stats.PhysicalReads++
+	fr := &frame{key: key, data: make([]byte, p.pageSize), f: f}
+	if pageNo < f.pages {
+		if _, err := f.os.ReadAt(fr.data, pageNo*int64(p.pageSize)); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("pagebuf: read page %d: %w", pageNo, err)
+		}
+	}
+	if p.lru.Len() >= p.capacity {
+		if err := p.evict(); err != nil {
+			return nil, err
+		}
+	}
+	p.frames[key] = p.lru.PushFront(fr)
+	return fr, nil
+}
+
+// evict writes back and drops the least recently used frame.
+func (p *Pool) evict() error {
+	el := p.lru.Back()
+	if el == nil {
+		return nil
+	}
+	fr := el.Value.(*frame)
+	if fr.dirty {
+		if err := fr.f.writeBack(fr); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(el)
+	delete(p.frames, fr.key)
+	p.stats.Evictions++
+	return nil
+}
+
+func (f *File) writeBack(fr *frame) error {
+	p := f.pool
+	if _, err := f.os.WriteAt(fr.data, fr.key.page*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("pagebuf: write page %d: %w", fr.key.page, err)
+	}
+	if fr.key.page >= f.pages {
+		f.pages = fr.key.page + 1
+	}
+	p.stats.PageWrites++
+	return nil
+}
+
+// ReadAt copies len(buf) bytes starting at byte offset off into buf, reading
+// through the pool page by page. Reading past the logical end of the file is
+// an error.
+func (f *File) ReadAt(buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > f.size {
+		return fmt.Errorf("pagebuf: read [%d,%d) beyond file size %d", off, off+int64(len(buf)), f.size)
+	}
+	ps := int64(f.pool.pageSize)
+	for len(buf) > 0 {
+		pageNo := off / ps
+		in := off % ps
+		n := ps - in
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		fr, err := f.page(pageNo)
+		if err != nil {
+			return err
+		}
+		copy(buf[:n], fr.data[in:in+n])
+		buf = buf[n:]
+		off += n
+	}
+	return nil
+}
+
+// WriteAt writes buf at byte offset off through the pool, extending the file
+// as needed. Pages become dirty and reach disk on eviction or Flush.
+func (f *File) WriteAt(buf []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pagebuf: negative offset %d", off)
+	}
+	ps := int64(f.pool.pageSize)
+	end := off + int64(len(buf))
+	for len(buf) > 0 {
+		pageNo := off / ps
+		in := off % ps
+		n := ps - in
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		fr, err := f.page(pageNo)
+		if err != nil {
+			return err
+		}
+		copy(fr.data[in:in+n], buf[:n])
+		fr.dirty = true
+		buf = buf[n:]
+		off += n
+	}
+	if end > f.size {
+		f.size = end
+	}
+	return nil
+}
+
+// Append writes buf at the current end of the file and returns the offset it
+// landed at.
+func (f *File) Append(buf []byte) (int64, error) {
+	off := f.size
+	return off, f.WriteAt(buf, off)
+}
+
+// Flush writes every dirty frame of this file back to disk and syncs it.
+func (f *File) Flush() error {
+	for el := f.pool.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.key.file == f.id && fr.dirty {
+			if err := f.writeBack(fr); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return f.os.Sync()
+}
+
+// Close flushes and closes the file, dropping its frames from the pool.
+func (f *File) Close() error {
+	if err := f.Flush(); err != nil {
+		f.os.Close()
+		return err
+	}
+	var next *list.Element
+	for el := f.pool.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		fr := el.Value.(*frame)
+		if fr.key.file == f.id {
+			f.pool.lru.Remove(el)
+			delete(f.pool.frames, fr.key)
+		}
+	}
+	return f.os.Close()
+}

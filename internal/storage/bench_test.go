@@ -1,0 +1,86 @@
+package storage_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/storage"
+	"netclus/internal/testnet"
+)
+
+func benchStore(b *testing.B, bufferBytes int) *storage.Store {
+	b.Helper()
+	n, _, err := testnet.RandomClustered(1, 3000, 9000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := storage.Build(dir, n, storage.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	s, err := storage.Open(dir, storage.Options{BufferBytes: bufferBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func BenchmarkStoreNeighbors(b *testing.B) {
+	s := benchStore(b, 1<<20)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Neighbors(network.NodeID(rng.Intn(s.NumNodes()))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorePointInfo(b *testing.B) {
+	s := benchStore(b, 1<<20)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PointInfo(network.PointID(rng.Intn(s.NumPoints()))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreScanGroups(b *testing.B) {
+	s := benchStore(b, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := s.ScanGroups(func(network.GroupID, network.PointGroup, []float64) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpsLinkOverStore measures the full density clustering through the
+// disk path, at the paper's buffer size and at a starved one.
+func BenchmarkEpsLinkOverStore(b *testing.B) {
+	for _, buf := range []int{64 << 10, 1 << 20} {
+		buf := buf
+		name := "buffer=64K"
+		if buf == 1<<20 {
+			name = "buffer=1M"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := benchStore(b, buf)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EpsLink(s, core.EpsLinkOptions{Eps: 0.4, MinSup: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(float64(st.PhysicalReads)/float64(b.N), "faults/op")
+		})
+	}
+}

@@ -1,0 +1,624 @@
+// Package storage implements the paper's §4.1 disk-based network
+// representation: an adjacency-list flat file and a points flat file, each
+// indexed by B+-trees, all accessed through a shared LRU buffer pool.
+//
+// Layout of a store directory:
+//
+//	meta.bin  - fixed-size header: magic, page size, |V|, |E|, N, #groups
+//	adj.dat   - one record per node, packed in BFS (connectivity) order:
+//	            [deg u32] then deg x [adjNode u32, group i32, weight f64]
+//	adj.idx   - B+-tree: node ID -> byte offset of its adjacency record
+//	pts.dat   - one record per point group, in group (edge-key) order:
+//	            [n1 u32, n2 u32, count u32, first u32, weight f64]
+//	            then count x [offset f64, tag i32]
+//	grp.idx   - B+-tree: group ID -> byte offset of its record
+//	pts.idx   - sparse B+-tree: first point ID of a group -> same offset
+//	            (resolves an arbitrary point ID by floor search, §4.1)
+//
+// The BFS packing order plays the role of CCAM's connectivity clustering:
+// adjacent nodes land on nearby pages, so traversals fault fewer pages than
+// an arbitrary order would (see the storage ablation benchmark).
+//
+// Store implements network.Graph, so every clustering algorithm runs
+// unmodified over it; pool statistics expose the I/O behaviour.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+
+	"netclus/internal/bptree"
+	"netclus/internal/network"
+	"netclus/internal/pagebuf"
+)
+
+const (
+	metaMagic   = 0x4E43_5354 // "NCST"
+	metaSize    = 4 * 8
+	adjHeader   = 4
+	adjEntry    = 16
+	groupHeader = 4*4 + 8
+	pointEntry  = 12
+)
+
+// Layout selects the physical order of adjacency records in adj.dat.
+type Layout string
+
+const (
+	// LayoutBFS packs nodes in breadth-first order — the CCAM-flavoured
+	// connectivity clustering (default).
+	LayoutBFS Layout = "bfs"
+	// LayoutNodeID packs nodes in node-ID order.
+	LayoutNodeID Layout = "nodeid"
+	// LayoutRandom packs nodes in a shuffled order — the worst-case
+	// baseline of the storage ablation.
+	LayoutRandom Layout = "random"
+)
+
+// Options configure building and opening a store.
+type Options struct {
+	// PageSize is the page size of every file (default 4096, the paper's).
+	PageSize int
+	// BufferBytes is the shared buffer-pool size (default 1 MB, the
+	// paper's).
+	BufferBytes int
+	// Layout is the adjacency packing order (default LayoutBFS). Only
+	// meaningful for Build.
+	Layout Layout
+	// NoReorder is a shorthand for Layout = LayoutNodeID.
+	NoReorder bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = pagebuf.DefaultPageSize
+	}
+	if o.BufferBytes == 0 {
+		o.BufferBytes = pagebuf.DefaultBufferBytes
+	}
+	return o
+}
+
+// Build materializes n into a store under dir (which must exist).
+func Build(dir string, n *network.Network, opts Options) error {
+	opts = opts.withDefaults()
+	pool, err := pagebuf.NewPool(opts.BufferBytes, opts.PageSize)
+	if err != nil {
+		return err
+	}
+
+	// Adjacency file in the configured packing order.
+	layout := opts.Layout
+	if opts.NoReorder && layout == "" {
+		layout = LayoutNodeID
+	}
+	var order []network.NodeID
+	switch layout {
+	case "", LayoutBFS:
+		if order, err = bfsOrder(n); err != nil {
+			return err
+		}
+	case LayoutNodeID:
+		order = make([]network.NodeID, n.NumNodes())
+		for i := range order {
+			order[i] = network.NodeID(i)
+		}
+	case LayoutRandom:
+		order = make([]network.NodeID, n.NumNodes())
+		for i := range order {
+			order[i] = network.NodeID(i)
+		}
+		// Deterministic shuffle (Fisher-Yates with a fixed LCG) so stores
+		// are reproducible without a randomness dependency here.
+		state := uint64(0x9E3779B97F4A7C15)
+		for i := len(order) - 1; i > 0; i-- {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int(state % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+	default:
+		return fmt.Errorf("storage: unknown layout %q", layout)
+	}
+	adjF, err := pool.Open(filepath.Join(dir, "adj.dat"))
+	if err != nil {
+		return err
+	}
+	defer adjF.Close()
+	nodeOff := make([]uint64, n.NumNodes())
+	var rec []byte
+	for _, node := range order {
+		adj, err := n.Neighbors(node)
+		if err != nil {
+			return err
+		}
+		need := adjHeader + adjEntry*len(adj)
+		if cap(rec) < need {
+			rec = make([]byte, need)
+		}
+		rec = rec[:need]
+		binary.LittleEndian.PutUint32(rec[0:], uint32(len(adj)))
+		for i, nb := range adj {
+			at := adjHeader + adjEntry*i
+			binary.LittleEndian.PutUint32(rec[at:], uint32(nb.Node))
+			binary.LittleEndian.PutUint32(rec[at+4:], uint32(nb.Group))
+			binary.LittleEndian.PutUint64(rec[at+8:], floatBits(nb.Weight))
+		}
+		off, err := adjF.Append(rec)
+		if err != nil {
+			return err
+		}
+		nodeOff[node] = uint64(off)
+	}
+
+	adjIdxF, err := pool.Open(filepath.Join(dir, "adj.idx"))
+	if err != nil {
+		return err
+	}
+	defer adjIdxF.Close()
+	adjIdx, err := bptree.Create(adjIdxF, opts.PageSize)
+	if err != nil {
+		return err
+	}
+	keys := make([]uint64, n.NumNodes())
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := adjIdx.BulkLoad(keys, nodeOff); err != nil {
+		return err
+	}
+
+	// Points file in group order.
+	ptsF, err := pool.Open(filepath.Join(dir, "pts.dat"))
+	if err != nil {
+		return err
+	}
+	defer ptsF.Close()
+	var grpKeys, grpVals, firstKeys []uint64
+	err = n.ScanGroups(func(g network.GroupID, pg network.PointGroup, offsets []float64) error {
+		need := groupHeader + pointEntry*len(offsets)
+		if cap(rec) < need {
+			rec = make([]byte, need)
+		}
+		rec = rec[:need]
+		binary.LittleEndian.PutUint32(rec[0:], uint32(pg.N1))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(pg.N2))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(pg.Count))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(pg.First))
+		binary.LittleEndian.PutUint64(rec[16:], floatBits(pg.Weight))
+		for i, off := range offsets {
+			at := groupHeader + pointEntry*i
+			binary.LittleEndian.PutUint64(rec[at:], floatBits(off))
+			binary.LittleEndian.PutUint32(rec[at+8:], uint32(n.Tag(pg.First+network.PointID(i))))
+		}
+		off, err := ptsF.Append(rec)
+		if err != nil {
+			return err
+		}
+		grpKeys = append(grpKeys, uint64(g))
+		grpVals = append(grpVals, uint64(off))
+		firstKeys = append(firstKeys, uint64(pg.First))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	grpIdxF, err := pool.Open(filepath.Join(dir, "grp.idx"))
+	if err != nil {
+		return err
+	}
+	defer grpIdxF.Close()
+	grpIdx, err := bptree.Create(grpIdxF, opts.PageSize)
+	if err != nil {
+		return err
+	}
+	if err := grpIdx.BulkLoad(grpKeys, grpVals); err != nil {
+		return err
+	}
+	ptsIdxF, err := pool.Open(filepath.Join(dir, "pts.idx"))
+	if err != nil {
+		return err
+	}
+	defer ptsIdxF.Close()
+	ptsIdx, err := bptree.Create(ptsIdxF, opts.PageSize)
+	if err != nil {
+		return err
+	}
+	if err := ptsIdx.BulkLoad(firstKeys, grpVals); err != nil {
+		return err
+	}
+
+	// Meta header.
+	metaF, err := pool.Open(filepath.Join(dir, "meta.bin"))
+	if err != nil {
+		return err
+	}
+	defer metaF.Close()
+	meta := make([]byte, metaSize)
+	binary.LittleEndian.PutUint32(meta[0:], metaMagic)
+	binary.LittleEndian.PutUint32(meta[4:], uint32(opts.PageSize))
+	binary.LittleEndian.PutUint32(meta[8:], uint32(n.NumNodes()))
+	binary.LittleEndian.PutUint32(meta[12:], uint32(n.NumEdges()))
+	binary.LittleEndian.PutUint32(meta[16:], uint32(n.NumPoints()))
+	binary.LittleEndian.PutUint32(meta[20:], uint32(n.NumGroups()))
+	return metaF.WriteAt(meta, 0)
+}
+
+// bfsOrder returns the nodes in breadth-first order from node 0, visiting
+// every component.
+func bfsOrder(n *network.Network) ([]network.NodeID, error) {
+	seen := make([]bool, n.NumNodes())
+	order := make([]network.NodeID, 0, n.NumNodes())
+	var queue []network.NodeID
+	for s := 0; s < n.NumNodes(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], network.NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			order = append(order, u)
+			adj, err := n.Neighbors(u)
+			if err != nil {
+				return nil, err
+			}
+			for _, nb := range adj {
+				if !seen[nb.Node] {
+					seen[nb.Node] = true
+					queue = append(queue, nb.Node)
+				}
+			}
+		}
+	}
+	return order, nil
+}
+
+// Store is the disk-backed network.Graph.
+type Store struct {
+	pool   *pagebuf.Pool
+	adjF   *pagebuf.File
+	ptsF   *pagebuf.File
+	adjIdx *bptree.Tree
+	grpIdx *bptree.Tree
+	ptsIdx *bptree.Tree
+	files  []*pagebuf.File
+
+	nodes, edges, points, groups int
+
+	hdr      [groupHeader]byte
+	payload  []byte
+	nbrBuf   []network.Neighbor
+	offBuf   []float64
+	scanBuf  []float64
+	scratch4 [4]byte
+}
+
+var _ network.Graph = (*Store)(nil)
+
+// Open opens the store under dir. Pass zero Options for the paper's
+// defaults (4 KB pages, 1 MB buffer).
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	pool, err := pagebuf.NewPool(opts.BufferBytes, opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{pool: pool}
+	open := func(name string) (*pagebuf.File, error) {
+		f, err := pool.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		s.files = append(s.files, f)
+		return f, nil
+	}
+	fail := func(err error) (*Store, error) {
+		s.Close()
+		return nil, err
+	}
+
+	metaF, err := open("meta.bin")
+	if err != nil {
+		return fail(err)
+	}
+	meta := make([]byte, metaSize)
+	if err := metaF.ReadAt(meta, 0); err != nil {
+		return fail(fmt.Errorf("storage: reading meta: %w", err))
+	}
+	if binary.LittleEndian.Uint32(meta[0:]) != metaMagic {
+		return fail(fmt.Errorf("storage: %s is not a netclus store", dir))
+	}
+	if ps := int(binary.LittleEndian.Uint32(meta[4:])); ps != opts.PageSize {
+		return fail(fmt.Errorf("storage: store built with page size %d, opened with %d", ps, opts.PageSize))
+	}
+	s.nodes = int(binary.LittleEndian.Uint32(meta[8:]))
+	s.edges = int(binary.LittleEndian.Uint32(meta[12:]))
+	s.points = int(binary.LittleEndian.Uint32(meta[16:]))
+	s.groups = int(binary.LittleEndian.Uint32(meta[20:]))
+
+	if s.adjF, err = open("adj.dat"); err != nil {
+		return fail(err)
+	}
+	if s.ptsF, err = open("pts.dat"); err != nil {
+		return fail(err)
+	}
+	adjIdxF, err := open("adj.idx")
+	if err != nil {
+		return fail(err)
+	}
+	if s.adjIdx, err = bptree.Open(adjIdxF, opts.PageSize); err != nil {
+		return fail(fmt.Errorf("storage: adj.idx: %w", err))
+	}
+	grpIdxF, err := open("grp.idx")
+	if err != nil {
+		return fail(err)
+	}
+	if s.grpIdx, err = bptree.Open(grpIdxF, opts.PageSize); err != nil {
+		return fail(fmt.Errorf("storage: grp.idx: %w", err))
+	}
+	ptsIdxF, err := open("pts.idx")
+	if err != nil {
+		return fail(err)
+	}
+	if s.ptsIdx, err = bptree.Open(ptsIdxF, opts.PageSize); err != nil {
+		return fail(fmt.Errorf("storage: pts.idx: %w", err))
+	}
+	return s, nil
+}
+
+// Close closes every file of the store.
+func (s *Store) Close() error {
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = nil
+	return first
+}
+
+// Stats returns the buffer pool's traffic counters.
+func (s *Store) Stats() pagebuf.Stats { return s.pool.Stats() }
+
+// ResetStats zeroes the buffer pool's traffic counters.
+func (s *Store) ResetStats() { s.pool.ResetStats() }
+
+// NumNodes returns |V|.
+func (s *Store) NumNodes() int { return s.nodes }
+
+// NumEdges returns |E|.
+func (s *Store) NumEdges() int { return s.edges }
+
+// NumPoints returns N.
+func (s *Store) NumPoints() int { return s.points }
+
+// NumGroups returns the number of point groups.
+func (s *Store) NumGroups() int { return s.groups }
+
+// Neighbors reads node id's adjacency record. The returned slice is valid
+// until the next Neighbors call on this store.
+func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
+	if id < 0 || int(id) >= s.nodes {
+		return nil, fmt.Errorf("%w: %d", network.ErrNodeRange, id)
+	}
+	off, ok, err := s.adjIdx.Search(uint64(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("storage: node %d missing from adj.idx", id)
+	}
+	if err := s.adjF.ReadAt(s.scratch4[:], int64(off)); err != nil {
+		return nil, err
+	}
+	deg := int(binary.LittleEndian.Uint32(s.scratch4[:]))
+	need := adjEntry * deg
+	if cap(s.payload) < need {
+		s.payload = make([]byte, need)
+	}
+	s.payload = s.payload[:need]
+	if err := s.adjF.ReadAt(s.payload, int64(off)+adjHeader); err != nil {
+		return nil, err
+	}
+	if cap(s.nbrBuf) < deg {
+		s.nbrBuf = make([]network.Neighbor, deg)
+	}
+	s.nbrBuf = s.nbrBuf[:deg]
+	for i := 0; i < deg; i++ {
+		at := adjEntry * i
+		s.nbrBuf[i] = network.Neighbor{
+			Node:   network.NodeID(binary.LittleEndian.Uint32(s.payload[at:])),
+			Group:  network.GroupID(binary.LittleEndian.Uint32(s.payload[at+4:])),
+			Weight: bitsFloat(binary.LittleEndian.Uint64(s.payload[at+8:])),
+		}
+	}
+	return s.nbrBuf, nil
+}
+
+// readGroupHeader reads the fixed group header at off.
+func (s *Store) readGroupHeader(off int64) (network.PointGroup, error) {
+	if err := s.ptsF.ReadAt(s.hdr[:], off); err != nil {
+		return network.PointGroup{}, err
+	}
+	return network.PointGroup{
+		N1:     network.NodeID(binary.LittleEndian.Uint32(s.hdr[0:])),
+		N2:     network.NodeID(binary.LittleEndian.Uint32(s.hdr[4:])),
+		Count:  int32(binary.LittleEndian.Uint32(s.hdr[8:])),
+		First:  network.PointID(binary.LittleEndian.Uint32(s.hdr[12:])),
+		Weight: bitsFloat(binary.LittleEndian.Uint64(s.hdr[16:])),
+	}, nil
+}
+
+func (s *Store) groupOffset(g network.GroupID) (int64, error) {
+	if g < 0 || int(g) >= s.groups {
+		return 0, fmt.Errorf("%w: %d", network.ErrGroupRange, g)
+	}
+	off, ok, err := s.grpIdx.Search(uint64(g))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("storage: group %d missing from grp.idx", g)
+	}
+	return int64(off), nil
+}
+
+// Group reads the descriptor of group g.
+func (s *Store) Group(g network.GroupID) (network.PointGroup, error) {
+	off, err := s.groupOffset(g)
+	if err != nil {
+		return network.PointGroup{}, err
+	}
+	return s.readGroupHeader(off)
+}
+
+// GroupOffsets reads the point offsets of group g. The returned slice is
+// valid until the next GroupOffsets call on this store.
+func (s *Store) GroupOffsets(g network.GroupID) ([]float64, error) {
+	off, err := s.groupOffset(g)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := s.readGroupHeader(off)
+	if err != nil {
+		return nil, err
+	}
+	var err2 error
+	s.offBuf, err2 = s.readPoints(off, int(pg.Count), s.offBuf, nil)
+	return s.offBuf, err2
+}
+
+// readPoints decodes count point entries following the header at off into
+// dst (offsets) and tags (may be nil).
+func (s *Store) readPoints(off int64, count int, dst []float64, tags []int32) ([]float64, error) {
+	need := pointEntry * count
+	if cap(s.payload) < need {
+		s.payload = make([]byte, need)
+	}
+	s.payload = s.payload[:need]
+	if err := s.ptsF.ReadAt(s.payload, off+groupHeader); err != nil {
+		return nil, err
+	}
+	if cap(dst) < count {
+		dst = make([]float64, count)
+	}
+	dst = dst[:count]
+	for i := 0; i < count; i++ {
+		at := pointEntry * i
+		dst[i] = bitsFloat(binary.LittleEndian.Uint64(s.payload[at:]))
+		if tags != nil {
+			tags[i] = int32(binary.LittleEndian.Uint32(s.payload[at+8:]))
+		}
+	}
+	return dst, nil
+}
+
+// PointInfo resolves point p by floor search on the sparse point index.
+func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
+	if p < 0 || int(p) >= s.points {
+		return network.PointInfo{}, fmt.Errorf("%w: %d", network.ErrPointRange, p)
+	}
+	first, off, ok, err := s.ptsIdx.Floor(uint64(p))
+	if err != nil {
+		return network.PointInfo{}, err
+	}
+	if !ok {
+		return network.PointInfo{}, fmt.Errorf("storage: no group at or below point %d", p)
+	}
+	pg, err := s.readGroupHeader(int64(off))
+	if err != nil {
+		return network.PointInfo{}, err
+	}
+	idx := int(p) - int(first)
+	if idx < 0 || idx >= int(pg.Count) {
+		return network.PointInfo{}, fmt.Errorf("storage: point %d outside its group [%d,%d)", p, first, int(first)+int(pg.Count))
+	}
+	entry := make([]byte, pointEntry)
+	if err := s.ptsF.ReadAt(entry, int64(off)+groupHeader+int64(pointEntry*idx)); err != nil {
+		return network.PointInfo{}, err
+	}
+	// Group IDs are dense in pts.dat order, but the record does not carry
+	// its own ID; recover it from the group index by the record offset.
+	// The adjacency entries carry the group ID directly, so this lookup
+	// only happens on PointInfo calls. A linear probe via grp.idx would be
+	// O(G); instead exploit that groups are ordered by First: the group ID
+	// equals the rank of `first` in pts.idx, tracked in the tree itself.
+	gid, err := s.groupIDByFirst(first)
+	if err != nil {
+		return network.PointInfo{}, err
+	}
+	return network.PointInfo{
+		Group:  gid,
+		N1:     pg.N1,
+		N2:     pg.N2,
+		Pos:    bitsFloat(binary.LittleEndian.Uint64(entry[0:])),
+		Weight: pg.Weight,
+		Tag:    int32(binary.LittleEndian.Uint32(entry[8:])),
+	}, nil
+}
+
+// groupIDByFirst finds the dense group ID whose first point is `first` by
+// binary search over grp.idx (group IDs are dense and their records'
+// First fields ascend with the ID).
+func (s *Store) groupIDByFirst(first uint64) (network.GroupID, error) {
+	lo, hi := 0, s.groups-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		pg, err := s.Group(network.GroupID(mid))
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case uint64(pg.First) == first:
+			return network.GroupID(mid), nil
+		case uint64(pg.First) < first:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return network.GroupID(lo), nil
+}
+
+// Tag returns the tag of point p (0 when out of range), mirroring
+// network.Network.Tag.
+func (s *Store) Tag(p network.PointID) int32 {
+	pi, err := s.PointInfo(p)
+	if err != nil {
+		return 0
+	}
+	return pi.Tag
+}
+
+// ScanGroups performs a single sequential scan of the points file. The scan
+// is bounded by the meta group count, not the file size: a reopened paged
+// file is padded to whole pages.
+func (s *Store) ScanGroups(fn func(g network.GroupID, pg network.PointGroup, offsets []float64) error) error {
+	off := int64(0)
+	end := s.ptsF.Size()
+	for g := 0; g < s.groups; g++ {
+		if off+groupHeader > end {
+			return fmt.Errorf("storage: pts.dat truncated at group %d (offset %d of %d)", g, off, end)
+		}
+		pg, err := s.readGroupHeader(off)
+		if err != nil {
+			return err
+		}
+		if pg.Count < 1 {
+			return fmt.Errorf("storage: group %d has count %d", g, pg.Count)
+		}
+		var err2 error
+		s.scanBuf, err2 = s.readPoints(off, int(pg.Count), s.scanBuf, nil)
+		if err2 != nil {
+			return err2
+		}
+		if err := fn(network.GroupID(g), pg, s.scanBuf); err != nil {
+			return err
+		}
+		off += groupHeader + int64(pointEntry*int(pg.Count))
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package testnet builds small randomized networks with points for the test
+// suites of the other packages. It is test-support code, kept out of _test
+// files so that network, core, storage and matrix tests can share it.
+package testnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netclus/internal/datagen"
+	"netclus/internal/network"
+)
+
+// Random returns a connected road-like network with about `nodes` nodes and
+// `points` uniformly placed points, deterministic per seed.
+func Random(seed int64, nodes, points int) (*network.Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	edges := nodes + nodes/4
+	base, err := datagen.RandomConnectedNetwork(nodes, edges, rng)
+	if err != nil {
+		return nil, err
+	}
+	if points == 0 {
+		return base, nil
+	}
+	return datagen.GenerateUniform(base, points, rng)
+}
+
+// RandomClustered returns a connected network with k generated clusters plus
+// outliers and the ClusterConfig used (whose Eps/Delta suit the algorithms).
+func RandomClustered(seed int64, nodes, points, k int) (*network.Network, datagen.ClusterConfig, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base, err := datagen.RandomConnectedNetwork(nodes, nodes+nodes/4, rng)
+	if err != nil {
+		return nil, datagen.ClusterConfig{}, err
+	}
+	cfg := datagen.DefaultClusterConfig(points, k, 0.05)
+	net, err := datagen.GeneratePoints(base, cfg, rng)
+	if err != nil {
+		return nil, cfg, err
+	}
+	return net, cfg, nil
+}
+
+// Line builds the deterministic example network of the paper's Figure 1
+// flavour: a path of n nodes with unit edges and one point placed every
+// `every` units along the whole line.
+func Line(n int, every float64) (*network.Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("testnet: line needs >= 2 nodes")
+	}
+	b := network.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(network.Coord{X: float64(i)})
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(network.NodeID(i), network.NodeID(i+1), 1)
+	}
+	total := float64(n - 1)
+	tag := int32(0)
+	for x := every / 2; x < total; x += every {
+		edge := int(x)
+		if edge >= n-1 {
+			edge = n - 2
+		}
+		b.AddPoint(network.NodeID(edge), network.NodeID(edge+1), x-float64(edge), tag)
+		tag++
+	}
+	return b.Build()
+}
+
+// Paper1 builds the concrete 6-node network of the paper's Figure 1,
+// including its six points, with the weights readable from the figure.
+func Paper1() (*network.Network, error) {
+	b := network.NewBuilder()
+	coords := []network.Coord{{X: 0, Y: 2}, {X: 3, Y: 3}, {X: 3, Y: 1}, {X: 5, Y: 2.5}, {X: 5, Y: 0.5}, {X: 7, Y: 1.5}}
+	for _, c := range coords {
+		b.AddNode(c)
+	}
+	// Edges (1-indexed in the figure; 0-indexed here) with figure weights.
+	b.AddEdge(0, 1, 2.7) // n1-n2, carries p1 at 1.2
+	b.AddEdge(0, 2, 4.5) // n1-n3, carries p2 at 1.0 and p3 at 3.2 (gap 2.2)
+	b.AddEdge(1, 3, 2.2) // n2-n4, carries p5 at 1.0
+	b.AddEdge(2, 3, 3.0) // n3-n4
+	b.AddEdge(2, 4, 2.8) // n3-n5, carries p6 at 2.5
+	b.AddEdge(3, 5, 6.0) // n4-n6, carries p4 at 5.1
+	b.AddEdge(4, 5, 2.0) // n5-n6
+	b.AddPoint(0, 1, 1.2, 1)
+	b.AddPoint(0, 2, 1.0, 2)
+	b.AddPoint(0, 2, 3.2, 3)
+	b.AddPoint(3, 5, 5.1, 4)
+	b.AddPoint(1, 3, 1.0, 5)
+	b.AddPoint(2, 4, 2.5, 6)
+	return b.Build()
+}

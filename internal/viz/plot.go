@@ -1,0 +1,138 @@
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// PlotOptions configure a 2-D series plot.
+type PlotOptions struct {
+	// Width and Height in pixels (default 720x360).
+	Width, Height int
+	// Title and axis captions.
+	Title, XLabel, YLabel string
+	// LogY plots the Y axis logarithmically (values must be positive).
+	LogY bool
+	// Bars draws vertical bars instead of a line (the paper's Figure 15
+	// style: one bar per merge).
+	Bars bool
+	// MarkY draws a horizontal reference line at this Y (e.g. ε); ignored
+	// when NaN.
+	MarkY float64
+	// MarkYLabel captions the reference line.
+	MarkYLabel string
+}
+
+// PlotSeries renders y[i] against i as an SVG line or bar chart — enough to
+// regenerate the paper's Figure 15 (merge distance per merge) and the OPTICS
+// reachability plot without any plotting dependency. Infinite values are
+// clipped to the top of the chart.
+func PlotSeries(w io.Writer, y []float64, opts PlotOptions) error {
+	if len(y) == 0 {
+		return fmt.Errorf("viz: empty series")
+	}
+	if opts.Width == 0 {
+		opts.Width = 720
+	}
+	if opts.Height == 0 {
+		opts.Height = 360
+	}
+	const mLeft, mRight, mTop, mBottom = 60.0, 15.0, 30.0, 40.0
+	plotW := float64(opts.Width) - mLeft - mRight
+	plotH := float64(opts.Height) - mTop - mBottom
+
+	// Y range over finite values.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		minY = math.Min(minY, v)
+		maxY = math.Max(maxY, v)
+	}
+	if !(.0 <= minY) && math.IsInf(minY, 1) { // all infinite
+		minY, maxY = 0, 1
+	}
+	if !math.IsNaN(opts.MarkY) && !math.IsInf(opts.MarkY, 0) {
+		minY = math.Min(minY, opts.MarkY)
+		maxY = math.Max(maxY, opts.MarkY)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	yt := func(v float64) float64 {
+		if math.IsInf(v, 1) || math.IsNaN(v) {
+			return mTop // clip to top
+		}
+		lo, hi, x := minY, maxY, v
+		if opts.LogY {
+			floor := math.Max(lo, 1e-12)
+			lo, hi = math.Log10(floor), math.Log10(math.Max(hi, floor*10))
+			x = math.Log10(math.Max(x, floor))
+		}
+		frac := (x - lo) / (hi - lo)
+		return mTop + plotH*(1-frac)
+	}
+	xt := func(i int) float64 {
+		if len(y) == 1 {
+			return mLeft + plotW/2
+		}
+		return mLeft + plotW*float64(i)/float64(len(y)-1)
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	// Axes.
+	fmt.Fprintf(bw, `<g stroke="#444444" stroke-width="1">`+"\n")
+	fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", mLeft, mTop, mLeft, mTop+plotH)
+	fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", mLeft, mTop+plotH, mLeft+plotW, mTop+plotH)
+	fmt.Fprintf(bw, "</g>\n")
+	// Y tick labels (min, mid, max).
+	fmt.Fprintf(bw, `<g font-family="sans-serif" font-size="10" fill="#333333">`+"\n")
+	for _, v := range []float64{minY, (minY + maxY) / 2, maxY} {
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="end">%.3g</text>`+"\n", mLeft-4, yt(v)+3, v)
+	}
+	fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+		mLeft+plotW/2, float64(opts.Height)-8, opts.XLabel)
+	fmt.Fprintf(bw, `<text x="14" y="%.1f" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		mTop+plotH/2, mTop+plotH/2, opts.YLabel)
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="%.1f" y="18" text-anchor="middle" font-size="13">%s</text>`+"\n",
+			mLeft+plotW/2, opts.Title)
+	}
+	fmt.Fprintf(bw, "</g>\n")
+
+	// Reference line.
+	if !math.IsNaN(opts.MarkY) && !math.IsInf(opts.MarkY, 0) {
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e6194b" stroke-dasharray="4 3"/>`+"\n",
+			mLeft, yt(opts.MarkY), mLeft+plotW, yt(opts.MarkY))
+		if opts.MarkYLabel != "" {
+			fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="#e6194b">%s</text>`+"\n",
+				mLeft+plotW-40, yt(opts.MarkY)-4, opts.MarkYLabel)
+		}
+	}
+
+	// The series.
+	if opts.Bars {
+		bw.WriteString(`<g fill="#4363d8">` + "\n")
+		barW := math.Max(1, plotW/float64(len(y))-1)
+		for i, v := range y {
+			top := yt(v)
+			fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f"/>`+"\n",
+				xt(i)-barW/2, top, barW, mTop+plotH-top)
+		}
+		bw.WriteString("</g>\n")
+	} else {
+		bw.WriteString(`<polyline fill="none" stroke="#4363d8" stroke-width="1.5" points="`)
+		for i, v := range y {
+			fmt.Fprintf(bw, "%.1f,%.1f ", xt(i), yt(v))
+		}
+		bw.WriteString(`"/>` + "\n")
+	}
+	bw.WriteString("</svg>\n")
+	return bw.Flush()
+}

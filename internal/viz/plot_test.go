@@ -1,0 +1,57 @@
+package viz_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"netclus/internal/viz"
+)
+
+func TestPlotSeriesLine(t *testing.T) {
+	var buf bytes.Buffer
+	y := []float64{1, 2, 3, 2, 10}
+	err := viz.PlotSeries(&buf, y, viz.PlotOptions{
+		Title: "merge distances", XLabel: "merge", YLabel: "distance",
+		MarkY: 2.5, MarkYLabel: "eps",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "merge distances", "eps", "stroke-dasharray"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plot missing %q", want)
+		}
+	}
+}
+
+func TestPlotSeriesBarsAndInf(t *testing.T) {
+	var buf bytes.Buffer
+	y := []float64{0.5, math.Inf(1), 1.5, 2.0}
+	err := viz.PlotSeries(&buf, y, viz.PlotOptions{Bars: true, MarkY: math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "<rect") != 5 { // background + 4 bars
+		t.Fatalf("bar count wrong:\n%s", s)
+	}
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Fatal("non-finite values leaked into the SVG")
+	}
+}
+
+func TestPlotSeriesLogAndEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := viz.PlotSeries(&buf, []float64{0.001, 10, 10000}, viz.PlotOptions{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := viz.PlotSeries(&buf, []float64{5}, viz.PlotOptions{}); err != nil {
+		t.Fatal(err) // single point, constant series
+	}
+	if err := viz.PlotSeries(&buf, nil, viz.PlotOptions{}); err == nil {
+		t.Fatal("want error for empty series")
+	}
+}

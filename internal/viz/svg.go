@@ -1,0 +1,138 @@
+// Package viz renders networks and clusterings to SVG — the counterpart of
+// the paper's Figure 11 visualizations. The network's planar embedding is
+// drawn in light gray; points are colored by cluster label, with noise in
+// gray crosses.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"netclus/internal/network"
+)
+
+// Options configure the rendering.
+type Options struct {
+	// Width and Height of the SVG canvas in pixels (default 800x800).
+	Width, Height int
+	// PointRadius in pixels (default 2).
+	PointRadius float64
+	// HideEdges suppresses drawing the network itself.
+	HideEdges bool
+	// MinClusterSize hides the color of clusters smaller than this
+	// (drawn as noise instead), mirroring the paper's "only plot large
+	// clusters with colors".
+	MinClusterSize int
+	// Title is an optional caption drawn in the top-left corner.
+	Title string
+}
+
+// palette is a categorical 16-color cycle with clearly separated hues.
+var palette = []string{
+	"#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#42d4f4",
+	"#f032e6", "#bfef45", "#fabed4", "#469990", "#9a6324", "#800000",
+	"#808000", "#000075", "#ffe119", "#a9a9a9",
+}
+
+// Render writes an SVG drawing of n to w. labels may be nil (all points
+// drawn as one cluster) or hold one label per point with core.Noise (-1)
+// marking outliers. The network must carry a planar embedding.
+func Render(w io.Writer, n *network.Network, labels []int32, opts Options) error {
+	if !n.HasCoords() {
+		return fmt.Errorf("viz: network has no planar embedding")
+	}
+	if labels != nil && len(labels) != n.NumPoints() {
+		return fmt.Errorf("viz: %d labels for %d points", len(labels), n.NumPoints())
+	}
+	if opts.Width == 0 {
+		opts.Width = 800
+	}
+	if opts.Height == 0 {
+		opts.Height = 800
+	}
+	if opts.PointRadius == 0 {
+		opts.PointRadius = 2
+	}
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := 0; i < n.NumNodes(); i++ {
+		c := n.Coord(network.NodeID(i))
+		minX, maxX = math.Min(minX, c.X), math.Max(maxX, c.X)
+		minY, maxY = math.Min(minY, c.Y), math.Max(maxY, c.Y)
+	}
+	if n.NumNodes() == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	const margin = 10.0
+	sx := (float64(opts.Width) - 2*margin) / math.Max(maxX-minX, 1e-12)
+	sy := (float64(opts.Height) - 2*margin) / math.Max(maxY-minY, 1e-12)
+	s := math.Min(sx, sy)
+	tx := func(c network.Coord) (float64, float64) {
+		return margin + (c.X-minX)*s, float64(opts.Height) - margin - (c.Y-minY)*s
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	if !opts.HideEdges {
+		fmt.Fprintf(bw, `<g stroke="#dddddd" stroke-width="0.5">`+"\n")
+		for u := 0; u < n.NumNodes(); u++ {
+			adj, err := n.Neighbors(network.NodeID(u))
+			if err != nil {
+				return err
+			}
+			for _, nb := range adj {
+				if network.NodeID(u) < nb.Node {
+					x1, y1 := tx(n.Coord(network.NodeID(u)))
+					x2, y2 := tx(n.Coord(nb.Node))
+					fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", x1, y1, x2, y2)
+				}
+			}
+		}
+		fmt.Fprintf(bw, "</g>\n")
+	}
+
+	sizes := map[int32]int{}
+	if labels != nil {
+		for _, l := range labels {
+			sizes[l]++
+		}
+	}
+	color := func(p int) string {
+		if labels == nil {
+			return palette[0]
+		}
+		l := labels[p]
+		if l < 0 || sizes[l] < opts.MinClusterSize {
+			return ""
+		}
+		return palette[int(l)%len(palette)]
+	}
+
+	fmt.Fprintf(bw, `<g>`+"\n")
+	for p := 0; p < n.NumPoints(); p++ {
+		c, err := n.PointCoord(network.PointID(p))
+		if err != nil {
+			return err
+		}
+		x, y := tx(c)
+		if col := color(p); col != "" {
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, opts.PointRadius, col)
+		} else {
+			r := opts.PointRadius
+			fmt.Fprintf(bw, `<path d="M%.1f %.1f L%.1f %.1f M%.1f %.1f L%.1f %.1f" stroke="#999999" stroke-width="0.7"/>`+"\n",
+				x-r, y-r, x+r, y+r, x-r, y+r, x+r, y-r)
+		}
+	}
+	fmt.Fprintf(bw, "</g>\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="12" y="20" font-family="sans-serif" font-size="14">%s</text>`+"\n", opts.Title)
+	}
+	fmt.Fprintf(bw, "</svg>\n")
+	return bw.Flush()
+}

@@ -1,0 +1,73 @@
+package viz_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+	"netclus/internal/viz"
+)
+
+func TestRenderProducesWellFormedSVG(t *testing.T) {
+	n, cfg, err := testnet.RandomClustered(3, 200, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.EpsLink(n, core.EpsLinkOptions{Eps: cfg.Eps(), MinSup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = viz.Render(&buf, n, res.Labels, viz.Options{Title: "eps-link", MinClusterSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<line", "eps-link"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle")+strings.Count(svg, "<path") < n.NumPoints() {
+		t.Fatal("not every point drawn")
+	}
+}
+
+func TestRenderNilLabelsAndHideEdges(t *testing.T) {
+	n, err := testnet.Random(2, 30, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := viz.Render(&buf, n, nil, viz.Options{HideEdges: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<line") {
+		t.Fatal("edges drawn despite HideEdges")
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	n, err := testnet.Random(2, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := viz.Render(&buf, n, make([]int32, 3), viz.Options{}); err == nil {
+		t.Fatal("want label-length error")
+	}
+	// Coordinate-free network.
+	b := network.NewBuilder()
+	b.AddNodes(2)
+	b.AddEdge(0, 1, 1)
+	bare, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viz.Render(&buf, bare, nil, viz.Options{}); err == nil {
+		t.Fatal("want embedding error")
+	}
+}

@@ -1,0 +1,291 @@
+// Package netclus clusters objects lying on a spatial network under the
+// shortest-path (network) distance, implementing Yiu & Mamoulis,
+// "Clustering Objects on a Spatial Network", SIGMOD 2004.
+//
+// A spatial network is an undirected weighted graph; objects (points) sit at
+// arbitrary positions on its edges, and the dissimilarity between two
+// objects is the length of the shortest path between them over the network —
+// not their Euclidean distance. The package provides:
+//
+//   - the network data model with an in-memory implementation (Builder /
+//     Network) and a disk-based one with the paper's §4.1 storage
+//     architecture (BuildStore / OpenStore: flat adjacency and point-group
+//     files indexed by B+-trees behind a 1 MB LRU buffer);
+//   - three clustering paradigms adapted to network distance: partitioning
+//     (KMedoids, with the Fig. 4 concurrent expansion and Fig. 5 incremental
+//     medoid replacement), density-based (EpsLink and a network DBSCAN), and
+//     hierarchical (SingleLink, producing an exact single-link Dendrogram
+//     with the δ scalability heuristic and §5.3 interesting-level hints);
+//   - network operators: multi-source Dijkstra, point-to-point distance,
+//     ε-range queries; §6 extensions (Reweight for time-dependent or
+//     alternative weights, Combine for multi-network clustering through
+//     transition edges);
+//   - the paper's synthetic workload generators, external quality indices
+//     (ARI, NMI, purity), and an SVG renderer for Figure 11-style maps.
+//
+// Quick start:
+//
+//	b := netclus.NewBuilder()
+//	n0 := b.AddNode(netclus.Coord{X: 0, Y: 0})
+//	n1 := b.AddNode(netclus.Coord{X: 1, Y: 0})
+//	b.AddEdge(n0, n1, 1.0)
+//	b.AddPoint(n0, n1, 0.25, 0)
+//	b.AddPoint(n0, n1, 0.40, 0)
+//	net, err := b.Build()
+//	...
+//	res, err := netclus.EpsLink(net, netclus.EpsLinkOptions{Eps: 0.2})
+//	// res.Labels[p] is the cluster of point p, netclus.Noise for outliers.
+//
+// All clustering functions accept the Graph interface, so they run
+// identically over an in-memory Network or a disk Store. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the paper-reproduction index.
+package netclus
+
+import (
+	"io"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/storage"
+	"netclus/internal/viz"
+)
+
+// Core data model (see internal/network).
+type (
+	// NodeID identifies a network node; IDs are dense in [0, NumNodes).
+	NodeID = network.NodeID
+	// PointID identifies an object on the network; points on the same edge
+	// have sequential IDs in ascending offset order.
+	PointID = network.PointID
+	// GroupID identifies the point group (all points of one edge).
+	GroupID = network.GroupID
+	// Coord is an optional planar embedding of a node.
+	Coord = network.Coord
+	// Neighbor is one adjacency-list entry.
+	Neighbor = network.Neighbor
+	// PointInfo is a resolved point position.
+	PointInfo = network.PointInfo
+	// PointGroup describes the points of one edge.
+	PointGroup = network.PointGroup
+	// Graph is the access interface all clustering algorithms use.
+	Graph = network.Graph
+	// Network is the in-memory Graph implementation.
+	Network = network.Network
+	// Builder assembles a Network.
+	Builder = network.Builder
+	// Seed is a multi-source traversal seed.
+	Seed = network.Seed
+	// Transition joins two networks at a pair of nodes (§6).
+	Transition = network.Transition
+	// WeightFunc rewrites edge weights (§6).
+	WeightFunc = network.WeightFunc
+)
+
+// NoGroup marks an edge without points.
+const NoGroup = network.NoGroup
+
+// NewBuilder returns an empty network builder.
+func NewBuilder() *Builder { return network.NewBuilder() }
+
+// ReadNetwork parses the text interchange formats (see internal/network).
+func ReadNetwork(nodes, edges, points io.Reader) (*Network, error) {
+	return network.ReadNetwork(nodes, edges, points)
+}
+
+// WriteNetwork writes a network in the text interchange formats.
+func WriteNetwork(n *Network, nodes, edges, points io.Writer) error {
+	return network.WriteNetwork(n, nodes, edges, points)
+}
+
+// PointDistance computes the network distance d(p, q) of Definition 4.
+func PointDistance(g Graph, p, q PointID) (float64, error) {
+	return network.PointDistance(g, p, q)
+}
+
+// NodeDistances runs Dijkstra from src and returns every node's distance.
+func NodeDistances(g Graph, src NodeID) ([]float64, error) {
+	return network.NodeDistances(g, src)
+}
+
+// NodeDistancesFrom runs a multi-source Dijkstra from the given seeds.
+func NodeDistancesFrom(g Graph, seeds []Seed) ([]float64, error) {
+	return network.NodeDistancesFrom(g, seeds)
+}
+
+// RangeScratch amortizes the state of repeated ε-range queries.
+type RangeScratch = network.RangeScratch
+
+// NewRangeScratch allocates range-query scratch for g.
+func NewRangeScratch(g Graph) *RangeScratch { return network.NewRangeScratch(g) }
+
+// PointDist pairs a point with its network distance from a query point.
+type PointDist = network.PointDist
+
+// KNearestNeighbors returns p's k closest points by network distance.
+func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
+	return network.KNearestNeighbors(g, p, k)
+}
+
+// NearestNeighbor returns p's single closest point by network distance.
+func NearestNeighbor(g Graph, p PointID) (PointDist, error) {
+	return network.NearestNeighbor(g, p)
+}
+
+// Reweight derives a network with every edge weight mapped through f —
+// the §6 mechanism for travel-time, cost or time-of-day snapshots.
+func Reweight(n *Network, f WeightFunc) (*Network, error) { return network.Reweight(n, f) }
+
+// Combine merges two networks joined by transition edges (§6); the second
+// network's nodes are renumbered by the returned offset.
+func Combine(a, b *Network, transitions []Transition) (*Network, NodeID, error) {
+	return network.Combine(a, b, transitions)
+}
+
+// LargestComponent extracts the largest connected component.
+func LargestComponent(n *Network) (*Network, error) { return network.LargestComponent(n) }
+
+// ExtractConnectedFraction grows a connected subnetwork covering the given
+// fraction of nodes (the Figure 14 experiment's subnetwork derivation).
+func ExtractConnectedFraction(n *Network, start NodeID, frac float64) (*Network, error) {
+	return network.ExtractConnectedFraction(n, start, frac)
+}
+
+// Clustering algorithms (see internal/core).
+type (
+	// KMedoidsOptions configures the §4.2 partitioning algorithm.
+	KMedoidsOptions = core.KMedoidsOptions
+	// KMedoidsResult is its outcome.
+	KMedoidsResult = core.KMedoidsResult
+	// EpsLinkOptions configures the §4.3 ε-Link algorithm.
+	EpsLinkOptions = core.EpsLinkOptions
+	// EpsLinkResult is its outcome.
+	EpsLinkResult = core.EpsLinkResult
+	// DBSCANOptions configures the network DBSCAN adaptation.
+	DBSCANOptions = core.DBSCANOptions
+	// DBSCANResult is its outcome.
+	DBSCANResult = core.DBSCANResult
+	// SingleLinkOptions configures the §4.4 hierarchical algorithm.
+	SingleLinkOptions = core.SingleLinkOptions
+	// SingleLinkResult is its outcome.
+	SingleLinkResult = core.SingleLinkResult
+	// OPTICSOptions configures the OPTICS cluster-ordering extension.
+	OPTICSOptions = core.OPTICSOptions
+	// OPTICSResult is its outcome (ordering + reachability plot).
+	OPTICSResult = core.OPTICSResult
+	// RepLinkOptions configures representative-based complete/average
+	// linkage (the paper's §7 future work).
+	RepLinkOptions = core.RepLinkOptions
+	// RepLinkResult is its outcome.
+	RepLinkResult = core.RepLinkResult
+	// Linkage selects RepLink's merge criterion.
+	Linkage = core.Linkage
+	// Dendrogram is the recorded merge history of SingleLink.
+	Dendrogram = core.Dendrogram
+	// MergeStep is one agglomeration of the dendrogram.
+	MergeStep = core.MergeStep
+	// InterestingLevel is a §5.3 dendrogram level hint.
+	InterestingLevel = core.InterestingLevel
+	// ClusterStats counts the traversal work of an algorithm run.
+	ClusterStats = core.Stats
+	// TimeWeight is a time-dependent edge weight function (§6).
+	TimeWeight = core.TimeWeight
+	// TimeSweepOptions configures a time-dependent clustering sweep.
+	TimeSweepOptions = core.TimeSweepOptions
+	// TimeSweepResult holds the per-instant clusterings and their
+	// evolution events.
+	TimeSweepResult = core.TimeSweepResult
+	// ClusterEvent is one cluster-evolution event between snapshots.
+	ClusterEvent = core.ClusterEvent
+)
+
+// Cluster-evolution event types (§6 time-parameterized clusters).
+const (
+	EventStable    = core.EventStable
+	EventSplit     = core.EventSplit
+	EventMerge     = core.EventMerge
+	EventAppear    = core.EventAppear
+	EventDisappear = core.EventDisappear
+)
+
+// TimeSweep clusters the objects at several instants of a time-dependent
+// network and tracks cluster evolution (§6's time-parameterized clusters).
+func TimeSweep(base *Network, opts TimeSweepOptions) (*TimeSweepResult, error) {
+	return core.TimeSweep(base, opts)
+}
+
+// Noise labels points assigned to no cluster.
+const Noise = core.Noise
+
+// KMedoids runs the partitioning algorithm of §4.2.
+func KMedoids(g Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
+	return core.KMedoids(g, opts)
+}
+
+// EpsLink runs the density-based ε-Link algorithm of §4.3.
+func EpsLink(g Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
+	return core.EpsLink(g, opts)
+}
+
+// DBSCAN runs the network adaptation of DBSCAN (§4.3).
+func DBSCAN(g Graph, opts DBSCANOptions) (*DBSCANResult, error) {
+	return core.DBSCAN(g, opts)
+}
+
+// SingleLink runs the hierarchical algorithm of §4.4.
+func SingleLink(g Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
+	return core.SingleLink(g, opts)
+}
+
+// OPTICS computes the density-based cluster ordering under the network
+// distance — the paper's cited remedy (§2, [2]) for choosing ε: one run at a
+// generous Eps encodes the DBSCAN clustering of every ε' <= Eps, extracted
+// with OPTICSResult.ExtractDBSCAN.
+func OPTICS(g Graph, opts OPTICSOptions) (*OPTICSResult, error) {
+	return core.OPTICS(g, opts)
+}
+
+// RepLink linkage criteria.
+const (
+	CompleteLinkage = core.CompleteLinkage
+	AverageLinkage  = core.AverageLinkage
+)
+
+// RepLink runs representative-based agglomerative clustering under the
+// network distance (complete or average linkage; §7 future work). With
+// MaxReps = 0 it is exact; with a cap and the ε pre-phase it scales.
+func RepLink(g Graph, opts RepLinkOptions) (*RepLinkResult, error) {
+	return core.RepLink(g, opts)
+}
+
+// CountClusters counts distinct non-noise labels.
+func CountClusters(labels []int32) int { return core.CountClusters(labels) }
+
+// SuppressSmallClusters relabels clusters below minSup to Noise, in place.
+func SuppressSmallClusters(labels []int32, minSup int) []int32 {
+	return core.SuppressSmallClusters(labels, minSup)
+}
+
+// Disk storage (see internal/storage).
+type StoreOptions = storage.Options
+
+// Store is the disk-backed Graph (§4.1 storage architecture).
+type Store = storage.Store
+
+// BuildStore materializes n into a store directory.
+func BuildStore(dir string, n *Network, opts StoreOptions) error {
+	return storage.Build(dir, n, opts)
+}
+
+// OpenStore opens a store directory; zero Options give the paper's
+// parameters (4 KB pages, 1 MB buffer).
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	return storage.Open(dir, opts)
+}
+
+// RenderSVG draws the network and a clustering to w as SVG.
+func RenderSVG(w io.Writer, n *Network, labels []int32, opts RenderOptions) error {
+	return viz.Render(w, n, labels, opts)
+}
+
+// RenderOptions configure RenderSVG.
+type RenderOptions = viz.Options

@@ -1,0 +1,186 @@
+package netclus_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"netclus"
+)
+
+// buildDemoNetwork assembles the Figure 1-flavoured network through the
+// public API.
+func buildDemoNetwork(t testing.TB) *netclus.Network {
+	t.Helper()
+	b := netclus.NewBuilder()
+	rng := rand.New(rand.NewSource(3))
+	grid, err := netclus.GridNetwork(12, 12, 1.0, 0.3, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	cfg := netclus.DefaultClusterConfig(400, 3, 0.08)
+	g, err := netclus.GeneratePoints(grid, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPublicAPIEndToEnd drives the whole façade: generate, cluster with all
+// paradigms, evaluate, serialize, store, render.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := buildDemoNetwork(t)
+	cfg := netclus.DefaultClusterConfig(400, 3, 0.08)
+
+	el, err := netclus.EpsLink(g, netclus.EpsLinkOptions{Eps: cfg.Eps(), MinSup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := netclus.DBSCAN(g, netclus.DBSCANOptions{Eps: cfg.Eps(), MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := netclus.KMedoids(g, netclus.KMedoidsOptions{K: 3, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := netclus.SingleLink(g, netclus.SingleLinkOptions{Delta: cfg.Delta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth := netclus.NoiseAsSingletons(g.Tags(), netclus.OutlierTag)
+	for name, labels := range map[string][]int32{
+		"eps-link":    el.Labels,
+		"dbscan":      db.Labels,
+		"single-link": netclus.SuppressSmallClusters(sl.Dendrogram.LabelsAtDistance(cfg.Eps()), 3),
+	} {
+		ari, err := netclus.ARI(truth, netclus.NoiseAsSingletons(labels, netclus.Noise))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari < 0.85 {
+			t.Errorf("%s: ARI %v < 0.85", name, ari)
+		}
+	}
+	if km.R <= 0 || len(km.Medoids) != 3 {
+		t.Fatalf("k-medoids result: %+v", km)
+	}
+	if _, err := netclus.NMI(truth, truth); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netclus.Purity(truth, truth); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, f1, _ := netclus.PairwiseF1(truth, truth); f1 != 1 {
+		t.Fatal("self F1 != 1")
+	}
+
+	// Text serialization round trip.
+	var nodes, edges, points bytes.Buffer
+	if err := netclus.WriteNetwork(g, &nodes, &edges, &points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := netclus.ReadNetwork(&nodes, &edges, &points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPoints() != g.NumPoints() {
+		t.Fatal("round trip lost points")
+	}
+
+	// Disk store round trip and clustering parity.
+	dir := t.TempDir()
+	if err := netclus.BuildStore(dir, g, netclus.StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := netclus.OpenStore(dir, netclus.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	el2, err := netclus.EpsLink(st, netclus.EpsLinkOptions{Eps: cfg.Eps(), MinSup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := netclus.ARI(el.Labels, el2.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari != 1 {
+		t.Fatalf("store clustering diverged: ARI %v", ari)
+	}
+
+	// SVG rendering.
+	var svg bytes.Buffer
+	if err := netclus.RenderSVG(&svg, g, el.Labels, netclus.RenderOptions{Title: "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "</svg>") {
+		t.Fatal("svg not closed")
+	}
+
+	// Distance queries through the façade.
+	if d, err := netclus.PointDistance(g, 0, 0); err != nil || d != 0 {
+		t.Fatalf("self distance: %v, %v", d, err)
+	}
+	dist, err := netclus.NodeDistances(g, 0)
+	if err != nil || dist[0] != 0 {
+		t.Fatalf("NodeDistances: %v", err)
+	}
+	scratch := netclus.NewRangeScratch(g)
+	nb, err := scratch.RangeQuery(g, 0, cfg.Eps())
+	if err != nil || len(nb) == 0 {
+		t.Fatalf("range query: %d results, %v", len(nb), err)
+	}
+}
+
+func TestPublicAPIWeightVariants(t *testing.T) {
+	g := buildDemoNetwork(t)
+	slow, err := netclus.Reweight(g, func(u, v netclus.NodeID, base float64) float64 { return base * 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.NumPoints() != g.NumPoints() {
+		t.Fatal("reweight lost points")
+	}
+	other := buildDemoNetwork(t)
+	comb, offset, err := netclus.Combine(g, other, []netclus.Transition{{A: 0, B: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.NumNodes() != g.NumNodes()+other.NumNodes() || offset != netclus.NodeID(g.NumNodes()) {
+		t.Fatal("combine shape wrong")
+	}
+	lc, err := netclus.LargestComponent(comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumNodes() != comb.NumNodes() {
+		t.Fatal("combined network with a transition should be connected")
+	}
+	sub, err := netclus.ExtractConnectedFraction(g, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != g.NumNodes()/2 {
+		t.Fatalf("extracted %d of %d nodes", sub.NumNodes(), g.NumNodes())
+	}
+}
+
+func TestRoadSpecs(t *testing.T) {
+	if len(netclus.Roads) != 4 {
+		t.Fatalf("%d road specs", len(netclus.Roads))
+	}
+	names := map[string]bool{}
+	for _, r := range netclus.Roads {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"NA", "SF", "TG", "OL"} {
+		if !names[want] {
+			t.Fatalf("missing road %s", want)
+		}
+	}
+}
