@@ -1,0 +1,22 @@
+package netclus
+
+import (
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/storage"
+)
+
+// Sentinel errors. Every failure returned by the package wraps one of these
+// (or a context error, for cancelled runs), so callers can classify errors
+// with errors.Is without parsing messages.
+var (
+	// ErrPointNotFound reports a PointID outside [0, NumPoints).
+	ErrPointNotFound = network.ErrPointRange
+	// ErrNodeNotFound reports a NodeID outside [0, NumNodes).
+	ErrNodeNotFound = network.ErrNodeRange
+	// ErrInvalidOptions reports an Options value a clustering algorithm
+	// rejected (non-positive Eps, K out of range, ...).
+	ErrInvalidOptions = core.ErrInvalidOptions
+	// ErrStoreClosed reports a query on a Store after Close.
+	ErrStoreClosed = storage.ErrClosed
+)

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"netclus/internal/pagebuf"
 )
@@ -26,6 +27,12 @@ const (
 )
 
 // Tree is a B+-tree over one paged file.
+//
+// Lookups (Search, Floor, Scan) are safe for concurrent use once the tree is
+// built: each call works on page scratch drawn from an internal pool, and the
+// underlying pagebuf.File is itself synchronized. Mutations (Insert,
+// BulkLoad) are not; the store builds its trees single-threaded and serves
+// them read-only, matching the paper's static networks.
 type Tree struct {
 	f        *pagebuf.File
 	pageSize int
@@ -34,7 +41,7 @@ type Tree struct {
 	count    int64
 	leafCap  int
 	intCap   int
-	buf      []byte // page scratch
+	bufs     sync.Pool // per-lookup page scratch ([]byte of pageSize)
 }
 
 // ErrDuplicate is returned by Insert for keys already present.
@@ -94,12 +101,17 @@ func Open(f *pagebuf.File, pageSize int) (*Tree, error) {
 
 func newTree(f *pagebuf.File, pageSize int) *Tree {
 	lc, ic := caps(pageSize)
-	return &Tree{
+	t := &Tree{
 		f: f, pageSize: pageSize,
 		leafCap: lc, intCap: ic,
-		buf: make([]byte, pageSize),
 	}
+	t.bufs.New = func() any { return make([]byte, pageSize) }
+	return t
 }
+
+// getBuf draws a page buffer from the per-tree pool; putBuf returns it.
+func (t *Tree) getBuf() []byte  { return t.bufs.Get().([]byte) }
+func (t *Tree) putBuf(b []byte) { t.bufs.Put(b) } //nolint:staticcheck // slice header churn is fine here
 
 // Count returns the number of keys in the tree.
 func (t *Tree) Count() int64 { return t.count }
@@ -225,28 +237,32 @@ func (t *Tree) findLeaf(k uint64, buf []byte) (int64, error) {
 
 // Search returns the value for k.
 func (t *Tree) Search(k uint64) (uint64, bool, error) {
-	if _, err := t.findLeaf(k, t.buf); err != nil {
+	buf := t.getBuf()
+	defer t.putBuf(buf)
+	if _, err := t.findLeaf(k, buf); err != nil {
 		return 0, false, err
 	}
-	i := searchLeafSlot(t.buf, k)
-	if i < nodeKeys(t.buf) && leafKey(t.buf, i) == k {
-		return leafVal(t.buf, i), true, nil
+	i := searchLeafSlot(buf, k)
+	if i < nodeKeys(buf) && leafKey(buf, i) == k {
+		return leafVal(buf, i), true, nil
 	}
 	return 0, false, nil
 }
 
 // Floor returns the greatest (key, value) with key <= k.
 func (t *Tree) Floor(k uint64) (key, val uint64, ok bool, err error) {
-	page, err := t.findLeaf(k, t.buf)
+	buf := t.getBuf()
+	defer t.putBuf(buf)
+	page, err := t.findLeaf(k, buf)
 	if err != nil {
 		return 0, 0, false, err
 	}
-	i := searchLeafSlot(t.buf, k)
-	if i < nodeKeys(t.buf) && leafKey(t.buf, i) == k {
-		return k, leafVal(t.buf, i), true, nil
+	i := searchLeafSlot(buf, k)
+	if i < nodeKeys(buf) && leafKey(buf, i) == k {
+		return k, leafVal(buf, i), true, nil
 	}
 	if i > 0 {
-		return leafKey(t.buf, i-1), leafVal(t.buf, i-1), true, nil
+		return leafKey(buf, i-1), leafVal(buf, i-1), true, nil
 	}
 	// k is smaller than every key in this leaf. Because separators are
 	// copied up on splits, a smaller key can only live in a left sibling
@@ -255,31 +271,31 @@ func (t *Tree) Floor(k uint64) (key, val uint64, ok bool, err error) {
 	// also wasteful — the simple correct answer: if this is the global
 	// leftmost leaf there is no floor, otherwise descend again biased left.
 	_ = page
-	return t.floorSlow(k)
+	return t.floorSlow(k, buf)
 }
 
 // floorSlow scans leaves from the left up to k. It only runs when k sorts
 // before the leaf chosen by the separators, which with copied-up separators
 // means k is smaller than the smallest key of its leaf; the true floor is
 // then the largest key of the previous non-empty leaf.
-func (t *Tree) floorSlow(k uint64) (uint64, uint64, bool, error) {
-	page, err := t.leftmostLeaf(t.buf)
+func (t *Tree) floorSlow(k uint64, buf []byte) (uint64, uint64, bool, error) {
+	page, err := t.leftmostLeaf(buf)
 	if err != nil {
 		return 0, 0, false, err
 	}
 	haveKey, haveVal, have := uint64(0), uint64(0), false
 	for page >= 0 {
-		if err := t.readPage(page, t.buf); err != nil {
+		if err := t.readPage(page, buf); err != nil {
 			return 0, 0, false, err
 		}
-		n := nodeKeys(t.buf)
-		if n > 0 && leafKey(t.buf, 0) > k {
+		n := nodeKeys(buf)
+		if n > 0 && leafKey(buf, 0) > k {
 			break
 		}
-		for i := 0; i < n && leafKey(t.buf, i) <= k; i++ {
-			haveKey, haveVal, have = leafKey(t.buf, i), leafVal(t.buf, i), true
+		for i := 0; i < n && leafKey(buf, i) <= k; i++ {
+			haveKey, haveVal, have = leafKey(buf, i), leafVal(buf, i), true
 		}
-		page = leafNext(t.buf, t.pageSize)
+		page = leafNext(buf, t.pageSize)
 	}
 	return haveKey, haveVal, have, nil
 }
@@ -298,14 +314,16 @@ func (t *Tree) leftmostLeaf(buf []byte) (int64, error) {
 // Scan calls fn for every (key, value) with key >= from, in ascending key
 // order, until fn returns false or an error.
 func (t *Tree) Scan(from uint64, fn func(k, v uint64) (bool, error)) error {
-	page, err := t.findLeaf(from, t.buf)
+	buf := t.getBuf()
+	defer t.putBuf(buf)
+	page, err := t.findLeaf(from, buf)
 	if err != nil {
 		return err
 	}
-	i := searchLeafSlot(t.buf, from)
+	i := searchLeafSlot(buf, from)
 	for {
-		for ; i < nodeKeys(t.buf); i++ {
-			cont, err := fn(leafKey(t.buf, i), leafVal(t.buf, i))
+		for ; i < nodeKeys(buf); i++ {
+			cont, err := fn(leafKey(buf, i), leafVal(buf, i))
 			if err != nil {
 				return err
 			}
@@ -313,12 +331,12 @@ func (t *Tree) Scan(from uint64, fn func(k, v uint64) (bool, error)) error {
 				return nil
 			}
 		}
-		next := leafNext(t.buf, t.pageSize)
+		next := leafNext(buf, t.pageSize)
 		if next < 0 {
 			return nil
 		}
 		page = next
-		if err := t.readPage(page, t.buf); err != nil {
+		if err := t.readPage(page, buf); err != nil {
 			return err
 		}
 		i = 0

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"netclus/internal/network"
+	"netclus/internal/unionfind"
 )
 
 // DBSCANOptions configures the network adaptation of DBSCAN (§4.3): the
@@ -16,6 +18,12 @@ type DBSCANOptions struct {
 	// ε-neighbourhood (itself included) holds at least MinPts points. The
 	// paper's experiments use MinPts = 3.
 	MinPts int
+	// Workers fans the range queries across this many goroutines (<= 1 runs
+	// the sequential expansion). The parallel mode makes two passes — core
+	// flags, then core-core unions plus border adoption — each worker with
+	// its own graph read view and scratch; labels are identical to the
+	// sequential run.
+	Workers int
 }
 
 // DBSCANResult is the outcome of one DBSCAN run.
@@ -44,11 +52,22 @@ type DBSCANResult struct {
 // with larger MinPts it is more robust to noise but issues many more range
 // queries, which is what Table 2 measures.
 func DBSCAN(g network.Graph, opts DBSCANOptions) (*DBSCANResult, error) {
+	return DBSCANCtx(context.Background(), g, opts)
+}
+
+// DBSCANCtx is DBSCAN with cancellation: the range queries check ctx
+// periodically and the run returns an error wrapping ctx.Err() when it is
+// done. With opts.Workers > 1 the queries are fanned across that many
+// goroutines.
+func DBSCANCtx(ctx context.Context, g network.Graph, opts DBSCANOptions) (*DBSCANResult, error) {
 	if !(opts.Eps > 0) {
-		return nil, fmt.Errorf("core: DBSCAN needs Eps > 0, got %v", opts.Eps)
+		return nil, fmt.Errorf("%w: DBSCAN: Eps must be > 0 (got %v)", ErrInvalidOptions, opts.Eps)
 	}
 	if opts.MinPts < 1 {
-		return nil, fmt.Errorf("core: DBSCAN needs MinPts >= 1, got %d", opts.MinPts)
+		return nil, fmt.Errorf("%w: DBSCAN: MinPts must be >= 1 (got %d)", ErrInvalidOptions, opts.MinPts)
+	}
+	if workers := normWorkers(opts.Workers); workers > 1 {
+		return dbscanParallel(ctx, g, opts, workers)
 	}
 	n := g.NumPoints()
 	res := &DBSCANResult{Labels: make([]int32, n), Core: make([]bool, n)}
@@ -64,7 +83,7 @@ func DBSCAN(g network.Graph, opts DBSCANOptions) (*DBSCANResult, error) {
 		if labels[p] != unvisited {
 			continue
 		}
-		nb, err := scratch.RangeQuery(g, network.PointID(p), opts.Eps)
+		nb, err := scratch.RangeQueryCtx(ctx, g, network.PointID(p), opts.Eps)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +109,7 @@ func DBSCAN(g network.Graph, opts DBSCANOptions) (*DBSCANResult, error) {
 				continue
 			}
 			labels[q] = c
-			qnb, err := scratch.RangeQuery(g, q, opts.Eps)
+			qnb, err := scratch.RangeQueryCtx(ctx, g, q, opts.Eps)
 			if err != nil {
 				return nil, err
 			}
@@ -103,5 +122,108 @@ func DBSCAN(g network.Graph, opts DBSCANOptions) (*DBSCANResult, error) {
 		}
 	}
 	res.NumClusters = int(next)
+	return res, nil
+}
+
+// borderEdge records that non-core point border lies in the ε-neighbourhood
+// of core point core — a cluster-adoption candidate.
+type borderEdge struct {
+	border network.PointID
+	core   network.PointID
+}
+
+// dbscanParallel reproduces the sequential labelling in two parallel passes.
+//
+// Pass 1 flags core points (one ε-range query per point). Pass 2 re-queries
+// the core points only: core-core neighbour pairs are unioned (the clusters
+// are exactly the components of the core-core ε-graph) and core-border
+// pairs are recorded. Cluster IDs go to components by ascending minimum
+// core point — the order the sequential outer scan discovers them — and a
+// border point joins the smallest cluster ID among its core neighbours,
+// which is the cluster that would have reached it first sequentially
+// (clusters expand to completion one at a time, in ID order).
+func dbscanParallel(ctx context.Context, g network.Graph, opts DBSCANOptions, workers int) (*DBSCANResult, error) {
+	n := g.NumPoints()
+	res := &DBSCANResult{Labels: make([]int32, n), Core: make([]bool, n)}
+	core := res.Core
+	statsArr := make([]Stats, workers)
+
+	// Pass 1: core flags. Each worker writes disjoint core[p] slots.
+	err := parallelPoints(workers, n, func(w int) func(lo, hi int) error {
+		view := network.ReadView(g)
+		scratch := network.NewRangeScratch(view)
+		st := &statsArr[w]
+		return func(lo, hi int) error {
+			for p := lo; p < hi; p++ {
+				nb, err := scratch.RangeQueryCtx(ctx, view, network.PointID(p), opts.Eps)
+				if err != nil {
+					return err
+				}
+				st.RangeQueries++
+				if len(nb) >= opts.MinPts {
+					core[p] = true
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: core-core unions and border adoption candidates.
+	ufs := make([]*unionfind.UF, workers)
+	borders := make([][]borderEdge, workers)
+	err = parallelPoints(workers, n, func(w int) func(lo, hi int) error {
+		view := network.ReadView(g)
+		scratch := network.NewRangeScratch(view)
+		uf := unionfind.New(n)
+		ufs[w] = uf
+		st := &statsArr[w]
+		return func(lo, hi int) error {
+			for p := lo; p < hi; p++ {
+				if !core[p] {
+					continue
+				}
+				nb, err := scratch.RangeQueryCtx(ctx, view, network.PointID(p), opts.Eps)
+				if err != nil {
+					return err
+				}
+				st.RangeQueries++
+				for _, q := range nb {
+					if core[q] {
+						uf.Union(p, int(q))
+					} else {
+						borders[w] = append(borders[w], borderEdge{border: q, core: network.PointID(p)})
+					}
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	uf := mergeUnionFinds(ufs)
+	next := labelComponents(uf, res.Labels, func(p int) bool { return core[p] })
+	labels := res.Labels
+	for _, bl := range borders {
+		for _, be := range bl {
+			c := labels[uf.Find(int(be.core))]
+			if labels[be.border] == Noise || c < labels[be.border] {
+				labels[be.border] = c
+			}
+		}
+	}
+	for _, flag := range core {
+		if flag {
+			res.CorePoints++
+		}
+	}
+	res.NumClusters = int(next)
+	for _, st := range statsArr {
+		res.Stats.add(st)
+	}
 	return res, nil
 }

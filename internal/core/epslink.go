@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"netclus/internal/heapx"
 	"netclus/internal/network"
+	"netclus/internal/unionfind"
 )
 
 // EpsLinkOptions configures the ε-Link algorithm (§4.3.1).
@@ -16,6 +18,12 @@ type EpsLinkOptions struct {
 	Eps float64
 	// MinSup declares clusters with fewer members outliers (0/1 keeps all).
 	MinSup int
+	// Workers fans the clustering across this many goroutines (<= 1 runs the
+	// sequential Fig. 6 algorithm). The parallel mode issues one ε-range
+	// query per point, each worker with its own graph read view and scratch,
+	// and merges the per-worker union-finds; labels are identical to the
+	// sequential run.
+	Workers int
 }
 
 // EpsLinkResult is the outcome of one EpsLink run.
@@ -42,6 +50,8 @@ type epsEntry struct {
 // (the paper keeps one cluster at a time; outliers would otherwise pay a
 // full array reset each).
 type epsLinkState struct {
+	ctx       context.Context
+	ticks     int
 	g         network.Graph
 	eps       float64
 	labels    []int32
@@ -77,8 +87,18 @@ func (s *epsLinkState) push(n network.NodeID, d float64) {
 // per cluster, and in total it visits only edges that carry points or lie
 // within ε of one.
 func EpsLink(g network.Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
+	return EpsLinkCtx(context.Background(), g, opts)
+}
+
+// EpsLinkCtx is EpsLink with cancellation: the traversal checks ctx
+// periodically and returns an error wrapping ctx.Err() when it is done.
+// With opts.Workers > 1 the run is fanned across that many goroutines.
+func EpsLinkCtx(ctx context.Context, g network.Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
 	if !(opts.Eps > 0) {
-		return nil, fmt.Errorf("core: EpsLink needs Eps > 0, got %v", opts.Eps)
+		return nil, fmt.Errorf("%w: EpsLink: Eps must be > 0 (got %v)", ErrInvalidOptions, opts.Eps)
+	}
+	if workers := normWorkers(opts.Workers); workers > 1 {
+		return epsLinkParallel(ctx, g, opts, workers)
 	}
 	n := g.NumPoints()
 	res := &EpsLinkResult{Labels: make([]int32, n)}
@@ -86,6 +106,7 @@ func EpsLink(g network.Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
 		res.Labels[i] = Noise
 	}
 	st := &epsLinkState{
+		ctx:       ctx,
 		g:         g,
 		eps:       opts.Eps,
 		labels:    res.Labels,
@@ -99,6 +120,9 @@ func EpsLink(g network.Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
 	for p := 0; p < n; p++ {
 		if st.clustered[p] {
 			continue
+		}
+		if err := ctxCheck(ctx, &st.ticks); err != nil {
+			return nil, err
 		}
 		if st.epoch == math.MaxInt32 {
 			for i := range st.nnEpoch {
@@ -173,6 +197,9 @@ func (s *epsLinkState) grow(m network.PointID, label int32) error {
 		b := s.h.Pop()
 		if b.dist >= s.nnd(b.node) {
 			continue // the node's distance from the cluster has not improved
+		}
+		if err := ctxCheck(s.ctx, &s.ticks); err != nil {
+			return err
 		}
 		s.setNND(b.node, b.dist)
 		s.stats.NodesSettled++
@@ -254,4 +281,50 @@ func (s *epsLinkState) expandEdge(b epsEntry, nb network.Neighbor, label int32) 
 		s.push(nb.Node, newdNz)
 	}
 	return nil
+}
+
+// epsLinkParallel computes the same clustering as the sequential Fig. 6
+// algorithm from its defining relation: the ε-Link clusters are the
+// connected components of the graph that joins p and q when d(p, q) <= eps.
+// Every point issues one ε-range query (fanned across workers, each with
+// its own read view, scratch and union-find shard); the shards are merged
+// and components are labelled by ascending minimum member — exactly the
+// order in which the sequential run discovers clusters, so the Labels
+// slice is identical.
+func epsLinkParallel(ctx context.Context, g network.Graph, opts EpsLinkOptions, workers int) (*EpsLinkResult, error) {
+	n := g.NumPoints()
+	res := &EpsLinkResult{Labels: make([]int32, n)}
+	ufs := make([]*unionfind.UF, workers)
+	statsArr := make([]Stats, workers)
+	err := parallelPoints(workers, n, func(w int) func(lo, hi int) error {
+		view := network.ReadView(g)
+		scratch := network.NewRangeScratch(view)
+		uf := unionfind.New(n)
+		ufs[w] = uf
+		st := &statsArr[w]
+		return func(lo, hi int) error {
+			for p := lo; p < hi; p++ {
+				nb, err := scratch.RangeQueryCtx(ctx, view, network.PointID(p), opts.Eps)
+				if err != nil {
+					return err
+				}
+				st.RangeQueries++
+				for _, q := range nb {
+					uf.Union(p, int(q))
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	uf := mergeUnionFinds(ufs)
+	res.ClustersFound = int(labelComponents(uf, res.Labels, nil))
+	for _, st := range statsArr {
+		res.Stats.add(st)
+	}
+	SuppressSmallClusters(res.Labels, opts.MinSup)
+	res.NumClusters = CountClusters(res.Labels)
+	return res, nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netclus/internal/heapx"
@@ -53,6 +55,10 @@ func lessMedEntry(a, b medEntry) bool { return a.dist < b.dist }
 // expansion from all medoids that tags every node with its nearest medoid
 // and distance. The state is fully recomputed.
 func MedoidDistFind(g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats) error {
+	return medoidDistFindCtx(context.Background(), g, medoids, st, stats)
+}
+
+func medoidDistFindCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats) error {
 	st.Reset()
 	h := heapx.New(lessMedEntry)
 	for i, m := range medoids {
@@ -60,7 +66,7 @@ func MedoidDistFind(g network.Graph, medoids []network.PointInfo, st *MedoidStat
 		h.Push(medEntry{node: m.N2, med: int32(i), dist: m.Weight - m.Pos})
 		stats.HeapPushes += 2
 	}
-	return concurrentExpansion(g, h, st, stats)
+	return concurrentExpansion(ctx, g, h, st, stats)
 }
 
 // IncMedoidUpdate implements Fig. 5: after medoid slot replacedIdx has been
@@ -78,6 +84,10 @@ func MedoidDistFind(g network.Graph, medoids []network.PointInfo, st *MedoidStat
 // sources alone under-estimate it. Re-pushing the (cheap, 2k) Fig. 4 seeds
 // restores exactness; they are skipped unless they improve a node.
 func IncMedoidUpdate(g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats) error {
+	return incMedoidUpdateCtx(context.Background(), g, medoids, replacedIdx, st, stats)
+}
+
+func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats) error {
 	h := heapx.New(lessMedEntry)
 
 	// Unassign the replaced medoid's cluster.
@@ -111,18 +121,22 @@ func IncMedoidUpdate(g network.Graph, medoids []network.PointInfo, replacedIdx i
 		stats.HeapPushes += 2
 	}
 
-	return concurrentExpansion(g, h, st, stats)
+	return concurrentExpansion(ctx, g, h, st, stats)
 }
 
 // concurrentExpansion is the shared Concurrent_Expansion of Figs. 4-5. The
 // acceptance test B.dist < Dist[B.node] subsumes both variants: with a reset
 // state it is Fig. 4's "not assigned" check, and on a partially retained
 // state it is Fig. 5's "can this node get closer" check.
-func concurrentExpansion(g network.Graph, h *heapx.Heap[medEntry], st *MedoidState, stats *Stats) error {
+func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[medEntry], st *MedoidState, stats *Stats) error {
+	ticks := 0
 	for !h.Empty() {
 		b := h.Pop()
 		if b.dist >= st.Dist[b.node] {
 			continue
+		}
+		if err := ctxCheck(ctx, &ticks); err != nil {
+			return err
 		}
 		st.Med[b.node] = b.med
 		st.Dist[b.node] = b.dist
@@ -211,10 +225,14 @@ type KMedoidsOptions struct {
 	// points instead of a random sample (the paper's "ideal start" of
 	// Fig. 11b). Must contain exactly K distinct points.
 	InitialMedoids []network.PointID
-	// Parallel runs the restarts on separate goroutines. Results are
-	// identical to the serial run (each restart draws its own seed from
-	// Rand up front). Requires a Graph that is safe for concurrent reads:
-	// the in-memory Network is; the disk Store is not.
+	// Workers caps the number of goroutines running restarts concurrently
+	// (<= 1 runs them serially unless Parallel is set). Results are
+	// identical to the serial run: each restart draws its own seed from
+	// Rand up front, and every worker queries through its own graph read
+	// view, so both the in-memory Network and the disk Store are safe.
+	Workers int
+	// Parallel is the legacy switch for Workers: when set and Workers is
+	// unset, every restart gets its own goroutine.
 	Parallel bool
 	// Rand is the randomness source; nil falls back to a fixed-seed
 	// generator so runs are reproducible by default.
@@ -223,10 +241,10 @@ type KMedoidsOptions struct {
 
 func (o *KMedoidsOptions) defaults(g network.Graph) error {
 	if o.K < 1 {
-		return fmt.Errorf("core: KMedoids needs K >= 1, got %d", o.K)
+		return fmt.Errorf("%w: KMedoids: K must be >= 1 (got %d)", ErrInvalidOptions, o.K)
 	}
 	if o.K > g.NumPoints() {
-		return fmt.Errorf("core: K = %d exceeds the %d points", o.K, g.NumPoints())
+		return fmt.Errorf("%w: KMedoids: K must not exceed the number of points (got K = %d for %d points)", ErrInvalidOptions, o.K, g.NumPoints())
 	}
 	if o.MaxBadSwaps == 0 {
 		o.MaxBadSwaps = 15
@@ -235,7 +253,7 @@ func (o *KMedoidsOptions) defaults(g network.Graph) error {
 		o.Restarts = 1
 	}
 	if len(o.InitialMedoids) > 0 && len(o.InitialMedoids) != o.K {
-		return fmt.Errorf("core: %d initial medoids for K = %d", len(o.InitialMedoids), o.K)
+		return fmt.Errorf("%w: KMedoids: InitialMedoids must hold exactly K points (got %d for K = %d)", ErrInvalidOptions, len(o.InitialMedoids), o.K)
 	}
 	if o.Rand == nil {
 		o.Rand = rand.New(rand.NewSource(1))
@@ -285,6 +303,14 @@ func (r *KMedoidsResult) AvgSwapIterTime() time.Duration {
 // Every restart runs on its own seed drawn from opts.Rand up front, so the
 // serial and Parallel modes produce identical results.
 func KMedoids(g network.Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
+	return KMedoidsCtx(context.Background(), g, opts)
+}
+
+// KMedoidsCtx is KMedoids with cancellation: the expansions check ctx
+// periodically and the run returns an error wrapping ctx.Err() when it is
+// done. With opts.Workers > 1 (or opts.Parallel) the restarts are fanned
+// across goroutines, each querying through its own graph read view.
+func KMedoidsCtx(ctx context.Context, g network.Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
 	if err := opts.defaults(g); err != nil {
 		return nil, err
 	}
@@ -296,7 +322,7 @@ func KMedoids(g network.Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
 	results := make([]*restartResult, opts.Restarts)
 	accs := make([]*KMedoidsResult, opts.Restarts)
 	errs := make([]error, opts.Restarts)
-	runOne := func(restart int) {
+	runOne := func(restart int, view network.Graph) {
 		rng := rand.New(rand.NewSource(seeds[restart]))
 		var init []network.PointID
 		if restart == 0 && len(opts.InitialMedoids) > 0 {
@@ -305,21 +331,36 @@ func KMedoids(g network.Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
 			init = samplePoints(g.NumPoints(), opts.K, rng)
 		}
 		accs[restart] = &KMedoidsResult{}
-		results[restart], errs[restart] = kmedoidsOnce(g, opts, init, rng, accs[restart])
+		results[restart], errs[restart] = kmedoidsOnce(ctx, view, opts, init, rng, accs[restart])
 	}
-	if opts.Parallel && opts.Restarts > 1 {
+	workers := normWorkers(opts.Workers)
+	if opts.Parallel && workers < 2 {
+		workers = opts.Restarts
+	}
+	if workers > opts.Restarts {
+		workers = opts.Restarts
+	}
+	if workers > 1 {
+		var nextRestart atomic.Int64
 		var wg sync.WaitGroup
-		for restart := 0; restart < opts.Restarts; restart++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(r int) {
+			go func() {
 				defer wg.Done()
-				runOne(r)
-			}(restart)
+				view := network.ReadView(g)
+				for {
+					r := int(nextRestart.Add(1)) - 1
+					if r >= opts.Restarts {
+						return
+					}
+					runOne(r, view)
+				}
+			}()
 		}
 		wg.Wait()
 	} else {
 		for restart := 0; restart < opts.Restarts; restart++ {
-			runOne(restart)
+			runOne(restart, g)
 		}
 	}
 
@@ -353,7 +394,7 @@ type restartResult struct {
 	r       float64
 }
 
-func kmedoidsOnce(g network.Graph, opts KMedoidsOptions, init []network.PointID, rng *rand.Rand, res *KMedoidsResult) (*restartResult, error) {
+func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, init []network.PointID, rng *rand.Rand, res *KMedoidsResult) (*restartResult, error) {
 	medoidIDs := append([]network.PointID(nil), init...)
 	infos := make([]network.PointInfo, len(medoidIDs))
 	inSet := make(map[network.PointID]bool, len(medoidIDs))
@@ -366,13 +407,13 @@ func kmedoidsOnce(g network.Graph, opts KMedoidsOptions, init []network.PointID,
 		inSet[id] = true
 	}
 	if len(inSet) != len(medoidIDs) {
-		return nil, fmt.Errorf("core: initial medoids contain duplicates")
+		return nil, fmt.Errorf("%w: KMedoids: InitialMedoids must be distinct", ErrInvalidOptions)
 	}
 
 	st := NewMedoidState(g.NumNodes())
 	labels := make([]int32, g.NumPoints())
 	start := time.Now()
-	if err := MedoidDistFind(g, infos, st, &res.Stats); err != nil {
+	if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats); err != nil {
 		return nil, err
 	}
 	r, err := AssignPoints(g, infos, st, labels, &res.Stats)
@@ -401,11 +442,11 @@ func kmedoidsOnce(g network.Graph, opts KMedoidsOptions, init []network.PointID,
 		oldInfo, oldID := infos[mi], medoidIDs[mi]
 		infos[mi], medoidIDs[mi] = candInfo, cand
 		if opts.Recompute {
-			if err := MedoidDistFind(g, infos, st, &res.Stats); err != nil {
+			if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats); err != nil {
 				return nil, err
 			}
 		} else {
-			if err := IncMedoidUpdate(g, infos, mi, st, &res.Stats); err != nil {
+			if err := incMedoidUpdateCtx(ctx, g, infos, mi, st, &res.Stats); err != nil {
 				return nil, err
 			}
 		}

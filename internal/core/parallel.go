@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"netclus/internal/unionfind"
+)
+
+// ErrInvalidOptions is wrapped by every option-validation failure of the
+// clustering algorithms, so callers can recognize all of them with a single
+// errors.Is check.
+var ErrInvalidOptions = errors.New("netclus: invalid options")
+
+// ctxCheckMask paces context polls in core-level loops: the context is
+// polled once every ctxCheckMask+1 bumps, mirroring the pacing inside the
+// network traversal loops.
+const ctxCheckMask = 255
+
+// ctxCheck polls ctx once every ctxCheckMask+1 bumps of *counter and at the
+// first bump, returning a wrapped ctx.Err() when the context is done.
+func ctxCheck(ctx context.Context, counter *int) error {
+	*counter++
+	if *counter != 1 && *counter&ctxCheckMask != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled: %w", err)
+	}
+	return nil
+}
+
+// normWorkers resolves a Workers option value to an effective worker count
+// (0 and negative mean sequential).
+func normWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// batchSize picks the contiguous batch length for fanning n items across
+// workers: small enough to balance skewed per-item cost, large enough to
+// amortize the shared counter and keep same-edge points on one worker.
+func batchSize(n, workers int) int {
+	b := n / (workers * 8)
+	if b < 16 {
+		b = 16
+	}
+	if b > 1024 {
+		b = 1024
+	}
+	return b
+}
+
+// parallelPoints fans work over the index range [0, n) across workers
+// goroutines. Each goroutine calls handler(w) once to build its batch
+// function — handler typically allocates per-worker state there (a graph
+// read view, a RangeScratch, a union-find shard) — then pulls contiguous
+// batches [lo, hi) from a shared counter until the range is exhausted or
+// any worker fails. The first error stops the remaining batches and is
+// returned.
+func parallelPoints(workers, n int, handler func(w int) func(lo, hi int) error) error {
+	size := batchSize(n, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn := handler(w)
+			for !failed.Load() {
+				lo := int(next.Add(int64(size))) - size
+				if lo >= n {
+					return
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				if err := fn(lo, hi); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeUnionFinds folds the worker union-find shards into the first one and
+// returns it: every element is unioned with its shard representative, so the
+// result's components are the transitive closure of all shards' unions. nil
+// shards (workers that never ran) are skipped.
+func mergeUnionFinds(ufs []*unionfind.UF) *unionfind.UF {
+	var dst *unionfind.UF
+	for _, src := range ufs {
+		if src == nil {
+			continue
+		}
+		if dst == nil {
+			dst = src
+			continue
+		}
+		for i := 0; i < src.Len(); i++ {
+			dst.Union(i, src.Find(i))
+		}
+	}
+	return dst
+}
+
+// labelComponents assigns cluster labels by ascending minimum member: it
+// scans the points in ID order and gives each union-find root the next label
+// on first sight — exactly the order in which the sequential algorithms
+// discover clusters. Points for which include returns false keep Noise.
+// It returns the number of labels assigned.
+func labelComponents(uf *unionfind.UF, labels []int32, include func(p int) bool) int32 {
+	rootLab := make([]int32, len(labels))
+	for i := range rootLab {
+		rootLab[i] = Noise
+	}
+	next := int32(0)
+	for p := range labels {
+		labels[p] = Noise
+		if include != nil && !include(p) {
+			continue
+		}
+		r := uf.Find(p)
+		if rootLab[r] == Noise {
+			rootLab[r] = next
+			next++
+		}
+		labels[p] = rootLab[r]
+	}
+	return next
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"netclus/internal/testnet"
+)
+
+// TestEpsLinkParallelMatchesSequential checks the tentpole determinism
+// guarantee: Workers > 1 produces byte-identical labels.
+func TestEpsLinkParallelMatchesSequential(t *testing.T) {
+	net, _, err := testnet.RandomClustered(7, 120, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.05, 0.15, 0.4} {
+		seq, err := EpsLink(net, EpsLinkOptions{Eps: eps, MinSup: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := EpsLink(net, EpsLinkOptions{Eps: eps, MinSup: 3, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumClusters != seq.NumClusters || par.ClustersFound != seq.ClustersFound {
+			t.Fatalf("eps=%v: parallel found %d/%d clusters, sequential %d/%d",
+				eps, par.NumClusters, par.ClustersFound, seq.NumClusters, seq.ClustersFound)
+		}
+		for i := range seq.Labels {
+			if par.Labels[i] != seq.Labels[i] {
+				t.Fatalf("eps=%v: label mismatch at point %d: parallel %d, sequential %d",
+					eps, i, par.Labels[i], seq.Labels[i])
+			}
+		}
+	}
+}
+
+func TestDBSCANParallelMatchesSequential(t *testing.T) {
+	net, _, err := testnet.RandomClustered(11, 120, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minPts := range []int{2, 3, 5} {
+		seq, err := DBSCAN(net, DBSCANOptions{Eps: 0.15, MinPts: minPts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := DBSCAN(net, DBSCANOptions{Eps: 0.15, MinPts: minPts, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumClusters != seq.NumClusters || par.CorePoints != seq.CorePoints {
+			t.Fatalf("minPts=%d: parallel %d clusters / %d cores, sequential %d / %d",
+				minPts, par.NumClusters, par.CorePoints, seq.NumClusters, seq.CorePoints)
+		}
+		for i := range seq.Labels {
+			if par.Labels[i] != seq.Labels[i] {
+				t.Fatalf("minPts=%d: label mismatch at point %d: parallel %d, sequential %d",
+					minPts, i, par.Labels[i], seq.Labels[i])
+			}
+			if par.Core[i] != seq.Core[i] {
+				t.Fatalf("minPts=%d: core flag mismatch at point %d", minPts, i)
+			}
+		}
+	}
+}
+
+func TestOPTICSParallelMatchesSequential(t *testing.T) {
+	net, _, err := testnet.RandomClustered(13, 120, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := OPTICS(net, OPTICSOptions{Eps: 0.3, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := OPTICS(net, OPTICSOptions{Eps: 0.3, MinPts: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Order) != len(seq.Order) {
+		t.Fatalf("order length %d != %d", len(par.Order), len(seq.Order))
+	}
+	for i := range seq.Order {
+		if par.Order[i] != seq.Order[i] || par.Reach[i] != seq.Reach[i] {
+			t.Fatalf("ordering mismatch at position %d: parallel (%d, %v), sequential (%d, %v)",
+				i, par.Order[i], par.Reach[i], seq.Order[i], seq.Reach[i])
+		}
+	}
+	for p := range seq.CoreDist {
+		if par.CoreDist[p] != seq.CoreDist[p] {
+			t.Fatalf("core distance mismatch at point %d", p)
+		}
+	}
+	if par.Stats.RangeQueries != seq.Stats.RangeQueries {
+		t.Fatalf("parallel issued %d range queries, sequential %d",
+			par.Stats.RangeQueries, seq.Stats.RangeQueries)
+	}
+}
+
+func TestKMedoidsWorkersMatchesSequential(t *testing.T) {
+	net, _, err := testnet.RandomClustered(17, 100, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := KMedoids(net, KMedoidsOptions{K: 3, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := KMedoids(net, KMedoidsOptions{K: 3, Restarts: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.R != seq.R {
+		t.Fatalf("parallel R = %v, sequential R = %v", par.R, seq.R)
+	}
+	for i := range seq.Labels {
+		if par.Labels[i] != seq.Labels[i] {
+			t.Fatalf("label mismatch at point %d", i)
+		}
+	}
+	for i := range seq.Medoids {
+		if par.Medoids[i] != seq.Medoids[i] {
+			t.Fatalf("medoid mismatch at slot %d", i)
+		}
+	}
+}
+
+// TestCancelledContext checks that every algorithm notices a pre-cancelled
+// context and surfaces context.Canceled through its error chain.
+func TestCancelledContext(t *testing.T) {
+	net, _, err := testnet.RandomClustered(23, 120, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs := map[string]func() error{
+		"EpsLink": func() error {
+			_, err := EpsLinkCtx(ctx, net, EpsLinkOptions{Eps: 0.2})
+			return err
+		},
+		"EpsLinkWorkers": func() error {
+			_, err := EpsLinkCtx(ctx, net, EpsLinkOptions{Eps: 0.2, Workers: 4})
+			return err
+		},
+		"DBSCAN": func() error {
+			_, err := DBSCANCtx(ctx, net, DBSCANOptions{Eps: 0.2, MinPts: 3})
+			return err
+		},
+		"DBSCANWorkers": func() error {
+			_, err := DBSCANCtx(ctx, net, DBSCANOptions{Eps: 0.2, MinPts: 3, Workers: 4})
+			return err
+		},
+		"OPTICS": func() error {
+			_, err := OPTICSCtx(ctx, net, OPTICSOptions{Eps: 0.2, MinPts: 3})
+			return err
+		},
+		"SingleLink": func() error {
+			_, err := SingleLinkCtx(ctx, net, SingleLinkOptions{})
+			return err
+		},
+		"KMedoids": func() error {
+			_, err := KMedoidsCtx(ctx, net, KMedoidsOptions{K: 3})
+			return err
+		},
+	}
+	for name, run := range runs {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got %v, want a context.Canceled chain", name, err)
+		}
+	}
+}
+
+// TestInvalidOptionsSentinel checks that every validation failure wraps
+// ErrInvalidOptions.
+func TestInvalidOptionsSentinel(t *testing.T) {
+	net, err := testnet.Line(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]func() error{
+		"EpsLink":    func() error { _, err := EpsLink(net, EpsLinkOptions{}); return err },
+		"DBSCAN":     func() error { _, err := DBSCAN(net, DBSCANOptions{Eps: 1, MinPts: 0}); return err },
+		"OPTICS":     func() error { _, err := OPTICS(net, OPTICSOptions{}); return err },
+		"SingleLink": func() error { _, err := SingleLink(net, SingleLinkOptions{Delta: -1}); return err },
+		"KMedoids":   func() error { _, err := KMedoids(net, KMedoidsOptions{K: 0}); return err },
+		"RepLink":    func() error { _, err := RepLink(net, RepLinkOptions{MaxReps: -1}); return err },
+	}
+	for name, run := range runs {
+		if err := run(); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: got %v, want an ErrInvalidOptions chain", name, err)
+		}
+	}
+}

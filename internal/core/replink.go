@@ -62,10 +62,10 @@ type repCluster struct {
 // scales to larger inputs at bounded approximation.
 func RepLink(g network.Graph, opts RepLinkOptions) (*RepLinkResult, error) {
 	if opts.MaxReps < 0 {
-		return nil, fmt.Errorf("core: negative MaxReps %d", opts.MaxReps)
+		return nil, fmt.Errorf("%w: RepLink: MaxReps must be >= 0 (got %d)", ErrInvalidOptions, opts.MaxReps)
 	}
 	if opts.PreEps < 0 {
-		return nil, fmt.Errorf("core: negative PreEps %v", opts.PreEps)
+		return nil, fmt.Errorf("%w: RepLink: PreEps must be >= 0 (got %v)", ErrInvalidOptions, opts.PreEps)
 	}
 	n := g.NumPoints()
 	res := &RepLinkResult{Dendrogram: &Dendrogram{NumPoints: n}}
@@ -169,7 +169,7 @@ func RepLink(g network.Graph, opts RepLinkOptions) (*RepLinkResult, error) {
 			}
 			return sum / float64(cnt), nil
 		default:
-			return 0, fmt.Errorf("core: unknown linkage %d", opts.Linkage)
+			return 0, fmt.Errorf("%w: RepLink: unknown Linkage %d", ErrInvalidOptions, opts.Linkage)
 		}
 	}
 

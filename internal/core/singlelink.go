@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"netclus/internal/heapx"
@@ -76,8 +77,14 @@ type slEntry struct {
 // each candidate when its node settles, which keeps the pacing bound simple
 // and exact also for edges that carry points (DESIGN.md, decision 4).
 func SingleLink(g network.Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
+	return SingleLinkCtx(context.Background(), g, opts)
+}
+
+// SingleLinkCtx is SingleLink with cancellation: the expansion checks ctx
+// periodically and returns an error wrapping ctx.Err() when it is done.
+func SingleLinkCtx(ctx context.Context, g network.Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
 	if opts.Delta < 0 {
-		return nil, fmt.Errorf("core: negative Delta %v", opts.Delta)
+		return nil, fmt.Errorf("%w: SingleLink: Delta must be >= 0 (got %v)", ErrInvalidOptions, opts.Delta)
 	}
 	n := g.NumPoints()
 	res := &SingleLinkResult{Dendrogram: &Dendrogram{NumPoints: n}}
@@ -140,7 +147,11 @@ func SingleLink(g network.Graph, opts SingleLinkOptions) (*SingleLinkResult, err
 	settled := make([]bool, g.NumNodes())
 
 	// Phase 2 (lines 23-44): interleaved expansion and merging.
+	ticks := 0
 	for uf.Sets() > stop {
+		if err := ctxCheck(ctx, &ticks); err != nil {
+			return nil, err
+		}
 		theta := network.Inf
 		if !Q.Empty() {
 			theta = Q.Peek().dist

@@ -75,20 +75,20 @@ type TimeSweepResult struct {
 // point overlap to classify stable/split/merge/appear/disappear events.
 func TimeSweep(base *network.Network, opts TimeSweepOptions) (*TimeSweepResult, error) {
 	if len(opts.Times) == 0 {
-		return nil, fmt.Errorf("core: TimeSweep needs at least one time")
+		return nil, fmt.Errorf("%w: TimeSweep: Times must hold at least one instant", ErrInvalidOptions)
 	}
 	if opts.Weight == nil {
-		return nil, fmt.Errorf("core: TimeSweep needs a Weight function")
+		return nil, fmt.Errorf("%w: TimeSweep: Weight function is required", ErrInvalidOptions)
 	}
 	if !(opts.Eps > 0) {
-		return nil, fmt.Errorf("core: TimeSweep needs Eps > 0")
+		return nil, fmt.Errorf("%w: TimeSweep: Eps must be > 0 (got %v)", ErrInvalidOptions, opts.Eps)
 	}
 	if opts.MatchOverlap == 0 {
 		opts.MatchOverlap = 0.5
 	}
 	for i := 1; i < len(opts.Times); i++ {
 		if opts.Times[i] <= opts.Times[i-1] {
-			return nil, fmt.Errorf("core: Times not ascending at %d", i)
+			return nil, fmt.Errorf("%w: TimeSweep: Times must be strictly ascending (violated at index %d)", ErrInvalidOptions, i)
 		}
 	}
 

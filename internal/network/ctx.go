@@ -1,0 +1,45 @@
+package network
+
+import (
+	"context"
+	"fmt"
+)
+
+// ViewCloner is implemented by Graphs that can mint independent read views
+// sharing the same underlying data. A view belongs to one goroutine: its
+// query methods may reuse per-view buffers, but any number of views can
+// query concurrently. The disk store implements it; the in-memory Network
+// is immutable and needs no views.
+type ViewCloner interface {
+	// ReadView returns a read view of the graph for use by one goroutine.
+	ReadView() Graph
+}
+
+// ReadView returns a graph view that one goroutine may query while other
+// goroutines query their own views of g: g.ReadView() when g implements
+// ViewCloner, else g itself (immutable in-memory graphs are safe to share).
+func ReadView(g Graph) Graph {
+	if vc, ok := g.(ViewCloner); ok {
+		return vc.ReadView()
+	}
+	return g
+}
+
+// cancelCheckMask paces the context checks inside traversal loops: the
+// context is polled once every cancelCheckMask+1 iterations, keeping the
+// overhead of cancellation support off the hot path.
+const cancelCheckMask = 255
+
+// cancelCheck polls ctx once every cancelCheckMask+1 bumps of *counter and
+// at the first bump, returning a wrapped ctx.Err() when the context is done.
+// Traversal loops call it once per settled node / popped entry.
+func cancelCheck(ctx context.Context, counter *int) error {
+	*counter++
+	if *counter != 1 && *counter&cancelCheckMask != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("network: traversal cancelled: %w", err)
+	}
+	return nil
+}

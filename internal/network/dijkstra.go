@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 
 	"netclus/internal/heapx"
@@ -28,9 +29,24 @@ func NodeDistances(g Graph, src NodeID) ([]float64, error) {
 	return NodeDistancesFrom(g, []Seed{{Node: src, Dist: 0}})
 }
 
+// NodeDistancesCtx is NodeDistances with cancellation: the traversal checks
+// ctx periodically and returns an error wrapping ctx.Err() when it is done.
+func NodeDistancesCtx(ctx context.Context, g Graph, src NodeID) ([]float64, error) {
+	return NodeDistancesFromCtx(ctx, g, []Seed{{Node: src, Dist: 0}})
+}
+
 // NodeDistancesFrom runs a multi-source Dijkstra from the given seeds and
 // returns the distance of every node from the seed set.
 func NodeDistancesFrom(g Graph, seeds []Seed) ([]float64, error) {
+	return NodeDistancesFromCtx(context.Background(), g, seeds)
+}
+
+// NodeDistancesFromCtx is NodeDistancesFrom with cancellation.
+func NodeDistancesFromCtx(ctx context.Context, g Graph, seeds []Seed) ([]float64, error) {
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return nil, err
+	}
 	dist := newDistSlice(g.NumNodes())
 	h := heapx.New(lessEntry)
 	for _, s := range seeds {
@@ -43,6 +59,9 @@ func NodeDistancesFrom(g Graph, seeds []Seed) ([]float64, error) {
 		e := h.Pop()
 		if e.dist >= dist[e.node] {
 			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return nil, err
 		}
 		dist[e.node] = e.dist
 		adj, err := g.Neighbors(e.node)
@@ -143,6 +162,12 @@ func PointSeeds(pi PointInfo) []Seed {
 // endpoint, traversing the network, and entering q's edge through either
 // endpoint — or, when p and q share an edge, possibly the direct distance.
 func PointDistance(g Graph, p, q PointID) (float64, error) {
+	return PointDistanceCtx(context.Background(), g, p, q)
+}
+
+// PointDistanceCtx is PointDistance with cancellation: the expansion checks
+// ctx periodically and returns an error wrapping ctx.Err() when it is done.
+func PointDistanceCtx(ctx context.Context, g Graph, p, q PointID) (float64, error) {
 	pi, err := g.PointInfo(p)
 	if err != nil {
 		return 0, err
@@ -151,11 +176,20 @@ func PointDistance(g Graph, p, q PointID) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return PointInfoDistance(g, pi, qi)
+	return PointInfoDistanceCtx(ctx, g, pi, qi)
 }
 
 // PointInfoDistance is PointDistance on already-resolved positions.
 func PointInfoDistance(g Graph, pi, qi PointInfo) (float64, error) {
+	return PointInfoDistanceCtx(context.Background(), g, pi, qi)
+}
+
+// PointInfoDistanceCtx is PointInfoDistance with cancellation.
+func PointInfoDistanceCtx(ctx context.Context, g Graph, pi, qi PointInfo) (float64, error) {
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return 0, err
+	}
 	best := DirectPointDist(pi, qi)
 	// Early-terminating bidirectional-ish search: run Dijkstra from p's exit
 	// seeds until both of q's endpoints are settled or the frontier exceeds
@@ -170,6 +204,9 @@ func PointInfoDistance(g Graph, pi, qi PointInfo) (float64, error) {
 		e := h.Pop()
 		if e.dist >= dist[e.node] {
 			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return 0, err
 		}
 		if e.dist >= best {
 			break // every remaining completion is at least e.dist

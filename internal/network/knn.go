@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,6 +23,17 @@ type PointDist struct {
 // self-tightening radius: the running k-th best distance bounds the
 // expansion, so only the neighbourhood that can still contribute is visited.
 func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
+	return KNearestNeighborsCtx(context.Background(), g, p, k)
+}
+
+// KNearestNeighborsCtx is KNearestNeighbors with cancellation: the expansion
+// checks ctx periodically and returns an error wrapping ctx.Err() when it is
+// done.
+func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]PointDist, error) {
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return nil, err
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
 	}
@@ -95,6 +107,9 @@ func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
 		e := frontier.Pop()
 		if d, ok := dist[e.node]; ok && e.dist >= d {
 			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return nil, err
 		}
 		if e.dist > bound() {
 			break // no unsettled node can contribute anymore

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -81,7 +82,13 @@ func (s *RangeScratch) addPoint(q PointID, d float64) {
 // cited as [16] in the paper). The returned slice is reused by the next
 // query on the same scratch.
 func (s *RangeScratch) RangeQuery(g Graph, p PointID, eps float64) ([]PointID, error) {
-	if err := s.run(g, p, eps); err != nil {
+	return s.RangeQueryCtx(context.Background(), g, p, eps)
+}
+
+// RangeQueryCtx is RangeQuery with cancellation: the expansion checks ctx
+// periodically and returns an error wrapping ctx.Err() when it is done.
+func (s *RangeScratch) RangeQueryCtx(ctx context.Context, g Graph, p PointID, eps float64) ([]PointID, error) {
+	if err := s.run(ctx, g, p, eps); err != nil {
 		return nil, err
 	}
 	return s.result, nil
@@ -93,7 +100,12 @@ func (s *RangeScratch) RangeQuery(g Graph, p PointID, eps float64) ([]PointID, e
 // and reachability distances from it. The returned slice is reused by the
 // next query on the same scratch.
 func (s *RangeScratch) RangeQueryDist(g Graph, p PointID, eps float64) ([]PointDist, error) {
-	if err := s.run(g, p, eps); err != nil {
+	return s.RangeQueryDistCtx(context.Background(), g, p, eps)
+}
+
+// RangeQueryDistCtx is RangeQueryDist with cancellation.
+func (s *RangeScratch) RangeQueryDistCtx(ctx context.Context, g Graph, p PointID, eps float64) ([]PointDist, error) {
+	if err := s.run(ctx, g, p, eps); err != nil {
 		return nil, err
 	}
 	s.resultD = s.resultD[:0]
@@ -104,7 +116,11 @@ func (s *RangeScratch) RangeQueryDist(g Graph, p PointID, eps float64) ([]PointD
 }
 
 // run performs the bounded expansion shared by both query flavours.
-func (s *RangeScratch) run(g Graph, p PointID, eps float64) error {
+func (s *RangeScratch) run(ctx context.Context, g Graph, p PointID, eps float64) error {
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return err // poll once per query even when the expansion stays empty
+	}
 	s.nextEpoch()
 	pi, err := g.PointInfo(p)
 	if err != nil {
@@ -139,6 +155,9 @@ func (s *RangeScratch) run(g Graph, p PointID, eps float64) error {
 		e := s.heap.Pop()
 		if e.dist >= s.dist(e.node) {
 			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return err
 		}
 		s.setDist(e.node, e.dist)
 		adj, err := g.Neighbors(e.node)

@@ -2,13 +2,23 @@
 // architecture: fixed-size pages read and written through a shared LRU
 // buffer pool with hit/miss accounting. The paper's experiments use a 1 MB
 // buffer over 4 KB pages; those are the defaults.
+//
+// The pool and its files are safe for concurrent use: frame lookups,
+// faults, evictions and page copies run under the pool latch, and the
+// traffic counters are atomic so Stats can be sampled without blocking
+// readers. The latch is held only for map/LRU bookkeeping and the page
+// memcpy; disk reads of faulted pages happen under it too, mirroring a
+// single-latch buffer manager.
 package pagebuf
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size of the paper's experiments.
@@ -16,6 +26,9 @@ const DefaultPageSize = 4096
 
 // DefaultBufferBytes is the buffer-pool size of the paper's experiments.
 const DefaultBufferBytes = 1 << 20
+
+// ErrClosed is returned by operations on a closed File.
+var ErrClosed = errors.New("pagebuf: file closed")
 
 // Stats counts buffer-pool traffic. LogicalReads is the number of page
 // requests; PhysicalReads the subset that missed the pool and hit the disk.
@@ -44,15 +57,24 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// counters is the atomic mirror of Stats.
+type counters struct {
+	logicalReads  atomic.Int64
+	physicalReads atomic.Int64
+	pageWrites    atomic.Int64
+	evictions     atomic.Int64
+}
+
 // Pool is an LRU buffer pool shared by several paged files, mirroring the
-// single memory buffer of the paper's setup. It is not safe for concurrent
-// use; the clustering algorithms are single-threaded by design.
+// single memory buffer of the paper's setup. It is safe for concurrent use.
 type Pool struct {
 	pageSize int
 	capacity int
+	stats    counters
+
+	mu       sync.Mutex // guards frames, lru, nextFile and frame contents
 	frames   map[frameKey]*list.Element
 	lru      *list.List // front = most recently used
-	stats    Stats
 	nextFile int32
 }
 
@@ -92,19 +114,33 @@ func (p *Pool) PageSize() int { return p.pageSize }
 func (p *Pool) Capacity() int { return p.capacity }
 
 // Stats returns a snapshot of the traffic counters.
-func (p *Pool) Stats() Stats { return p.stats }
+func (p *Pool) Stats() Stats {
+	return Stats{
+		LogicalReads:  p.stats.logicalReads.Load(),
+		PhysicalReads: p.stats.physicalReads.Load(),
+		PageWrites:    p.stats.pageWrites.Load(),
+		Evictions:     p.stats.evictions.Load(),
+	}
+}
 
 // ResetStats zeroes the traffic counters.
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	p.stats.logicalReads.Store(0)
+	p.stats.physicalReads.Store(0)
+	p.stats.pageWrites.Store(0)
+	p.stats.evictions.Store(0)
+}
 
 // File is one paged file attached to a pool. All reads and writes go through
-// the pool's frames.
+// the pool's frames. A File may be used from several goroutines; individual
+// ReadAt/WriteAt calls are atomic with respect to each other.
 type File struct {
-	pool  *Pool
-	id    int32
-	os    *os.File
-	pages int64 // allocated pages
-	size  int64 // logical byte size
+	pool   *Pool
+	id     int32
+	os     *os.File
+	pages  int64        // allocated pages; guarded by pool.mu
+	size   atomic.Int64 // logical byte size
+	closed atomic.Bool
 }
 
 // Open attaches the file at path to the pool, creating it if absent.
@@ -118,25 +154,30 @@ func (p *Pool) Open(path string) (*File, error) {
 		osf.Close()
 		return nil, err
 	}
-	f := &File{pool: p, id: p.nextFile, os: osf, size: st.Size()}
-	f.pages = (f.size + int64(p.pageSize) - 1) / int64(p.pageSize)
+	f := &File{pool: p, os: osf}
+	f.size.Store(st.Size())
+	p.mu.Lock()
+	f.id = p.nextFile
 	p.nextFile++
+	p.mu.Unlock()
+	f.pages = (st.Size() + int64(p.pageSize) - 1) / int64(p.pageSize)
 	return f, nil
 }
 
 // Size returns the logical byte size of the file.
-func (f *File) Size() int64 { return f.size }
+func (f *File) Size() int64 { return f.size.Load() }
 
-// page returns the frame for pageNo, faulting it in if needed.
+// page returns the frame for pageNo, faulting it in if needed. The pool
+// latch must be held; the returned frame is only valid while it stays held.
 func (f *File) page(pageNo int64) (*frame, error) {
 	p := f.pool
-	p.stats.LogicalReads++
+	p.stats.logicalReads.Add(1)
 	key := frameKey{file: f.id, page: pageNo}
 	if el, ok := p.frames[key]; ok {
 		p.lru.MoveToFront(el)
 		return el.Value.(*frame), nil
 	}
-	p.stats.PhysicalReads++
+	p.stats.physicalReads.Add(1)
 	fr := &frame{key: key, data: make([]byte, p.pageSize), f: f}
 	if pageNo < f.pages {
 		if _, err := f.os.ReadAt(fr.data, pageNo*int64(p.pageSize)); err != nil && err != io.EOF {
@@ -152,7 +193,8 @@ func (f *File) page(pageNo int64) (*frame, error) {
 	return fr, nil
 }
 
-// evict writes back and drops the least recently used frame.
+// evict writes back and drops the least recently used frame. The pool latch
+// must be held.
 func (p *Pool) evict() error {
 	el := p.lru.Back()
 	if el == nil {
@@ -166,10 +208,11 @@ func (p *Pool) evict() error {
 	}
 	p.lru.Remove(el)
 	delete(p.frames, fr.key)
-	p.stats.Evictions++
+	p.stats.evictions.Add(1)
 	return nil
 }
 
+// writeBack flushes one frame to disk. The pool latch must be held.
 func (f *File) writeBack(fr *frame) error {
 	p := f.pool
 	if _, err := f.os.WriteAt(fr.data, fr.key.page*int64(p.pageSize)); err != nil {
@@ -178,7 +221,7 @@ func (f *File) writeBack(fr *frame) error {
 	if fr.key.page >= f.pages {
 		f.pages = fr.key.page + 1
 	}
-	p.stats.PageWrites++
+	p.stats.pageWrites.Add(1)
 	return nil
 }
 
@@ -186,10 +229,15 @@ func (f *File) writeBack(fr *frame) error {
 // through the pool page by page. Reading past the logical end of the file is
 // an error.
 func (f *File) ReadAt(buf []byte, off int64) error {
-	if off < 0 || off+int64(len(buf)) > f.size {
-		return fmt.Errorf("pagebuf: read [%d,%d) beyond file size %d", off, off+int64(len(buf)), f.size)
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	if size := f.Size(); off < 0 || off+int64(len(buf)) > size {
+		return fmt.Errorf("pagebuf: read [%d,%d) beyond file size %d", off, off+int64(len(buf)), size)
 	}
 	ps := int64(f.pool.pageSize)
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / ps
 		in := off % ps
@@ -211,11 +259,16 @@ func (f *File) ReadAt(buf []byte, off int64) error {
 // WriteAt writes buf at byte offset off through the pool, extending the file
 // as needed. Pages become dirty and reach disk on eviction or Flush.
 func (f *File) WriteAt(buf []byte, off int64) error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
 	if off < 0 {
 		return fmt.Errorf("pagebuf: negative offset %d", off)
 	}
 	ps := int64(f.pool.pageSize)
 	end := off + int64(len(buf))
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / ps
 		in := off % ps
@@ -232,39 +285,58 @@ func (f *File) WriteAt(buf []byte, off int64) error {
 		buf = buf[n:]
 		off += n
 	}
-	if end > f.size {
-		f.size = end
+	for {
+		size := f.size.Load()
+		if end <= size || f.size.CompareAndSwap(size, end) {
+			break
+		}
 	}
 	return nil
 }
 
 // Append writes buf at the current end of the file and returns the offset it
-// landed at.
+// landed at. Concurrent appenders must synchronize externally (the store
+// only appends while building, single-threaded).
 func (f *File) Append(buf []byte) (int64, error) {
-	off := f.size
+	off := f.Size()
 	return off, f.WriteAt(buf, off)
 }
 
 // Flush writes every dirty frame of this file back to disk and syncs it.
 func (f *File) Flush() error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	return f.flush()
+}
+
+func (f *File) flush() error {
+	f.pool.mu.Lock()
 	for el := f.pool.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.key.file == f.id && fr.dirty {
 			if err := f.writeBack(fr); err != nil {
+				f.pool.mu.Unlock()
 				return err
 			}
 			fr.dirty = false
 		}
 	}
+	f.pool.mu.Unlock()
 	return f.os.Sync()
 }
 
 // Close flushes and closes the file, dropping its frames from the pool.
+// Further operations return ErrClosed; Close itself is idempotent.
 func (f *File) Close() error {
-	if err := f.Flush(); err != nil {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	if err := f.flush(); err != nil {
 		f.os.Close()
 		return err
 	}
+	f.pool.mu.Lock()
 	var next *list.Element
 	for el := f.pool.lru.Front(); el != nil; el = next {
 		next = el.Next()
@@ -274,5 +346,6 @@ func (f *File) Close() error {
 			delete(f.pool.frames, fr.key)
 		}
 	}
+	f.pool.mu.Unlock()
 	return f.os.Close()
 }

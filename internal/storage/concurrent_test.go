@@ -1,0 +1,143 @@
+package storage_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"netclus/internal/network"
+	"netclus/internal/storage"
+	"netclus/internal/testnet"
+)
+
+// TestConcurrentViews checks that per-goroutine read views of one store,
+// with a buffer pool small enough to evict constantly, return the same
+// records as the in-memory network. Run under -race in CI.
+func TestConcurrentViews(t *testing.T) {
+	n, err := testnet.Random(5, 150, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildStore(t, n, storage.Options{PageSize: 512, BufferBytes: 4 * 512})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := s.Reader()
+			// Stagger the scan start so the workers compete for frames.
+			for i := 0; i < n.NumNodes(); i++ {
+				id := network.NodeID((i + w*17) % n.NumNodes())
+				got, err := view.Neighbors(id)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				want, err := n.Neighbors(id)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(got) != len(want) {
+					errs[w] = fmt.Errorf("node %d: %d neighbours, want %d", id, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs[w] = fmt.Errorf("node %d neighbour %d mismatch", id, j)
+						return
+					}
+				}
+			}
+			for i := 0; i < n.NumPoints(); i++ {
+				id := network.PointID((i + w*31) % n.NumPoints())
+				got, err := view.PointInfo(id)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				want, err := n.PointInfo(id)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got != want {
+					errs[w] = fmt.Errorf("point %d mismatch: %+v != %+v", id, got, want)
+					return
+				}
+			}
+			for g := 0; g < n.NumGroups(); g++ {
+				id := network.GroupID((g + w*13) % n.NumGroups())
+				got, err := view.GroupOffsets(id)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				want, err := n.GroupOffsets(id)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(got) != len(want) {
+					errs[w] = fmt.Errorf("group %d: %d offsets, want %d", id, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs[w] = fmt.Errorf("group %d offset %d mismatch", id, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.BufferStats().Evictions == 0 {
+		t.Fatalf("pool too large for the test to stress eviction: %+v", s.BufferStats())
+	}
+}
+
+// TestClosedStore checks ErrClosed classification and Close idempotency,
+// also through views minted before the close.
+func TestClosedStore(t *testing.T) {
+	n, err := testnet.Line(20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := storage.Build(dir, n, storage.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := s.Reader()
+	if _, err := view.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Neighbors(0); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Neighbors after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := view.PointInfo(0); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("view PointInfo after Close: got %v, want ErrClosed", err)
+	}
+	if err := view.ScanGroups(func(network.GroupID, network.PointGroup, []float64) error { return nil }); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("view ScanGroups after Close: got %v, want ErrClosed", err)
+	}
+}

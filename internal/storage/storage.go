@@ -25,8 +25,10 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 
 	"netclus/internal/bptree"
 	"netclus/internal/network"
@@ -275,8 +277,13 @@ func bfsOrder(n *network.Network) ([]network.NodeID, error) {
 	return order, nil
 }
 
-// Store is the disk-backed network.Graph.
-type Store struct {
+// ErrClosed is returned by queries on a Store after Close.
+var ErrClosed = errors.New("storage: store closed")
+
+// storeShared is the state common to every read view of one opened store:
+// the buffer pool, files, indexes and counts. It is safe for concurrent use
+// (the pool is latched, the B+-tree lookups draw per-call scratch).
+type storeShared struct {
 	pool   *pagebuf.Pool
 	adjF   *pagebuf.File
 	ptsF   *pagebuf.File
@@ -287,6 +294,23 @@ type Store struct {
 
 	nodes, edges, points, groups int
 
+	closed atomic.Bool
+}
+
+// Store is the disk-backed network.Graph.
+//
+// Concurrency contract: the store's pool, files and indexes are internally
+// synchronized, but each *Store value carries its own decode buffers, and
+// Neighbors/GroupOffsets return slices backed by them (valid until the next
+// call on the same value). One *Store value therefore belongs to one
+// goroutine at a time; for concurrent queries give every goroutine its own
+// view from Reader() — views are cheap (a struct and a few lazily grown
+// slices) and share the buffer pool, so the paper's 1 MB memory budget still
+// holds across all of them. Store implements network.ViewCloner, so the
+// clustering algorithms' Workers mode mints views automatically.
+type Store struct {
+	sh *storeShared
+
 	hdr      [groupHeader]byte
 	payload  []byte
 	nbrBuf   []network.Neighbor
@@ -296,6 +320,7 @@ type Store struct {
 }
 
 var _ network.Graph = (*Store)(nil)
+var _ network.ViewCloner = (*Store)(nil)
 
 // Open opens the store under dir. Pass zero Options for the paper's
 // defaults (4 KB pages, 1 MB buffer).
@@ -305,13 +330,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{pool: pool}
+	sh := &storeShared{pool: pool}
+	s := &Store{sh: sh}
 	open := func(name string) (*pagebuf.File, error) {
 		f, err := pool.Open(filepath.Join(dir, name))
 		if err != nil {
 			return nil, err
 		}
-		s.files = append(s.files, f)
+		sh.files = append(sh.files, f)
 		return f, nil
 	}
 	fail := func(err error) (*Store, error) {
@@ -333,85 +359,111 @@ func Open(dir string, opts Options) (*Store, error) {
 	if ps := int(binary.LittleEndian.Uint32(meta[4:])); ps != opts.PageSize {
 		return fail(fmt.Errorf("storage: store built with page size %d, opened with %d", ps, opts.PageSize))
 	}
-	s.nodes = int(binary.LittleEndian.Uint32(meta[8:]))
-	s.edges = int(binary.LittleEndian.Uint32(meta[12:]))
-	s.points = int(binary.LittleEndian.Uint32(meta[16:]))
-	s.groups = int(binary.LittleEndian.Uint32(meta[20:]))
+	sh.nodes = int(binary.LittleEndian.Uint32(meta[8:]))
+	sh.edges = int(binary.LittleEndian.Uint32(meta[12:]))
+	sh.points = int(binary.LittleEndian.Uint32(meta[16:]))
+	sh.groups = int(binary.LittleEndian.Uint32(meta[20:]))
 
-	if s.adjF, err = open("adj.dat"); err != nil {
+	if sh.adjF, err = open("adj.dat"); err != nil {
 		return fail(err)
 	}
-	if s.ptsF, err = open("pts.dat"); err != nil {
+	if sh.ptsF, err = open("pts.dat"); err != nil {
 		return fail(err)
 	}
 	adjIdxF, err := open("adj.idx")
 	if err != nil {
 		return fail(err)
 	}
-	if s.adjIdx, err = bptree.Open(adjIdxF, opts.PageSize); err != nil {
+	if sh.adjIdx, err = bptree.Open(adjIdxF, opts.PageSize); err != nil {
 		return fail(fmt.Errorf("storage: adj.idx: %w", err))
 	}
 	grpIdxF, err := open("grp.idx")
 	if err != nil {
 		return fail(err)
 	}
-	if s.grpIdx, err = bptree.Open(grpIdxF, opts.PageSize); err != nil {
+	if sh.grpIdx, err = bptree.Open(grpIdxF, opts.PageSize); err != nil {
 		return fail(fmt.Errorf("storage: grp.idx: %w", err))
 	}
 	ptsIdxF, err := open("pts.idx")
 	if err != nil {
 		return fail(err)
 	}
-	if s.ptsIdx, err = bptree.Open(ptsIdxF, opts.PageSize); err != nil {
+	if sh.ptsIdx, err = bptree.Open(ptsIdxF, opts.PageSize); err != nil {
 		return fail(fmt.Errorf("storage: pts.idx: %w", err))
 	}
 	return s, nil
 }
 
-// Close closes every file of the store.
+// Reader returns an independent read view of the store for use by one
+// goroutine: it shares the buffer pool, files and indexes but owns its
+// decode buffers. Closing any view closes the whole store.
+func (s *Store) Reader() *Store { return &Store{sh: s.sh} }
+
+// ReadView implements network.ViewCloner.
+func (s *Store) ReadView() network.Graph { return s.Reader() }
+
+// checkOpen guards every query against use after Close.
+func (s *Store) checkOpen() error {
+	if s.sh.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close closes every file of the store. All views share the closed state;
+// queries on any view return ErrClosed afterwards. Close is idempotent.
 func (s *Store) Close() error {
+	if s.sh.closed.Swap(true) {
+		return nil
+	}
 	var first error
-	for _, f := range s.files {
+	for _, f := range s.sh.files {
 		if err := f.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	s.files = nil
 	return first
 }
 
 // Stats returns the buffer pool's traffic counters.
-func (s *Store) Stats() pagebuf.Stats { return s.pool.Stats() }
+func (s *Store) Stats() pagebuf.Stats { return s.sh.pool.Stats() }
+
+// BufferStats returns the buffer pool's traffic counters (an alias of Stats
+// matching the public netclus surface).
+func (s *Store) BufferStats() pagebuf.Stats { return s.sh.pool.Stats() }
 
 // ResetStats zeroes the buffer pool's traffic counters.
-func (s *Store) ResetStats() { s.pool.ResetStats() }
+func (s *Store) ResetStats() { s.sh.pool.ResetStats() }
 
 // NumNodes returns |V|.
-func (s *Store) NumNodes() int { return s.nodes }
+func (s *Store) NumNodes() int { return s.sh.nodes }
 
 // NumEdges returns |E|.
-func (s *Store) NumEdges() int { return s.edges }
+func (s *Store) NumEdges() int { return s.sh.edges }
 
 // NumPoints returns N.
-func (s *Store) NumPoints() int { return s.points }
+func (s *Store) NumPoints() int { return s.sh.points }
 
 // NumGroups returns the number of point groups.
-func (s *Store) NumGroups() int { return s.groups }
+func (s *Store) NumGroups() int { return s.sh.groups }
 
 // Neighbors reads node id's adjacency record. The returned slice is valid
-// until the next Neighbors call on this store.
+// until the next Neighbors call on this view.
 func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
-	if id < 0 || int(id) >= s.nodes {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if id < 0 || int(id) >= s.sh.nodes {
 		return nil, fmt.Errorf("%w: %d", network.ErrNodeRange, id)
 	}
-	off, ok, err := s.adjIdx.Search(uint64(id))
+	off, ok, err := s.sh.adjIdx.Search(uint64(id))
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("storage: node %d missing from adj.idx", id)
 	}
-	if err := s.adjF.ReadAt(s.scratch4[:], int64(off)); err != nil {
+	if err := s.sh.adjF.ReadAt(s.scratch4[:], int64(off)); err != nil {
 		return nil, err
 	}
 	deg := int(binary.LittleEndian.Uint32(s.scratch4[:]))
@@ -420,7 +472,7 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 		s.payload = make([]byte, need)
 	}
 	s.payload = s.payload[:need]
-	if err := s.adjF.ReadAt(s.payload, int64(off)+adjHeader); err != nil {
+	if err := s.sh.adjF.ReadAt(s.payload, int64(off)+adjHeader); err != nil {
 		return nil, err
 	}
 	if cap(s.nbrBuf) < deg {
@@ -440,7 +492,7 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 
 // readGroupHeader reads the fixed group header at off.
 func (s *Store) readGroupHeader(off int64) (network.PointGroup, error) {
-	if err := s.ptsF.ReadAt(s.hdr[:], off); err != nil {
+	if err := s.sh.ptsF.ReadAt(s.hdr[:], off); err != nil {
 		return network.PointGroup{}, err
 	}
 	return network.PointGroup{
@@ -453,10 +505,13 @@ func (s *Store) readGroupHeader(off int64) (network.PointGroup, error) {
 }
 
 func (s *Store) groupOffset(g network.GroupID) (int64, error) {
-	if g < 0 || int(g) >= s.groups {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	if g < 0 || int(g) >= s.sh.groups {
 		return 0, fmt.Errorf("%w: %d", network.ErrGroupRange, g)
 	}
-	off, ok, err := s.grpIdx.Search(uint64(g))
+	off, ok, err := s.sh.grpIdx.Search(uint64(g))
 	if err != nil {
 		return 0, err
 	}
@@ -476,7 +531,7 @@ func (s *Store) Group(g network.GroupID) (network.PointGroup, error) {
 }
 
 // GroupOffsets reads the point offsets of group g. The returned slice is
-// valid until the next GroupOffsets call on this store.
+// valid until the next GroupOffsets call on this view.
 func (s *Store) GroupOffsets(g network.GroupID) ([]float64, error) {
 	off, err := s.groupOffset(g)
 	if err != nil {
@@ -499,7 +554,7 @@ func (s *Store) readPoints(off int64, count int, dst []float64, tags []int32) ([
 		s.payload = make([]byte, need)
 	}
 	s.payload = s.payload[:need]
-	if err := s.ptsF.ReadAt(s.payload, off+groupHeader); err != nil {
+	if err := s.sh.ptsF.ReadAt(s.payload, off+groupHeader); err != nil {
 		return nil, err
 	}
 	if cap(dst) < count {
@@ -518,10 +573,13 @@ func (s *Store) readPoints(off int64, count int, dst []float64, tags []int32) ([
 
 // PointInfo resolves point p by floor search on the sparse point index.
 func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
-	if p < 0 || int(p) >= s.points {
+	if err := s.checkOpen(); err != nil {
+		return network.PointInfo{}, err
+	}
+	if p < 0 || int(p) >= s.sh.points {
 		return network.PointInfo{}, fmt.Errorf("%w: %d", network.ErrPointRange, p)
 	}
-	first, off, ok, err := s.ptsIdx.Floor(uint64(p))
+	first, off, ok, err := s.sh.ptsIdx.Floor(uint64(p))
 	if err != nil {
 		return network.PointInfo{}, err
 	}
@@ -537,7 +595,7 @@ func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
 		return network.PointInfo{}, fmt.Errorf("storage: point %d outside its group [%d,%d)", p, first, int(first)+int(pg.Count))
 	}
 	entry := make([]byte, pointEntry)
-	if err := s.ptsF.ReadAt(entry, int64(off)+groupHeader+int64(pointEntry*idx)); err != nil {
+	if err := s.sh.ptsF.ReadAt(entry, int64(off)+groupHeader+int64(pointEntry*idx)); err != nil {
 		return network.PointInfo{}, err
 	}
 	// Group IDs are dense in pts.dat order, but the record does not carry
@@ -564,7 +622,7 @@ func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
 // binary search over grp.idx (group IDs are dense and their records'
 // First fields ascend with the ID).
 func (s *Store) groupIDByFirst(first uint64) (network.GroupID, error) {
-	lo, hi := 0, s.groups-1
+	lo, hi := 0, s.sh.groups-1
 	for lo < hi {
 		mid := (lo + hi) / 2
 		pg, err := s.Group(network.GroupID(mid))
@@ -597,9 +655,12 @@ func (s *Store) Tag(p network.PointID) int32 {
 // is bounded by the meta group count, not the file size: a reopened paged
 // file is padded to whole pages.
 func (s *Store) ScanGroups(fn func(g network.GroupID, pg network.PointGroup, offsets []float64) error) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	off := int64(0)
-	end := s.ptsF.Size()
-	for g := 0; g < s.groups; g++ {
+	end := s.sh.ptsF.Size()
+	for g := 0; g < s.sh.groups; g++ {
 		if off+groupHeader > end {
 			return fmt.Errorf("storage: pts.dat truncated at group %d (offset %d of %d)", g, off, end)
 		}

@@ -42,10 +42,12 @@
 package netclus
 
 import (
+	"context"
 	"io"
 
 	"netclus/internal/core"
 	"netclus/internal/network"
+	"netclus/internal/pagebuf"
 	"netclus/internal/storage"
 	"netclus/internal/viz"
 )
@@ -102,6 +104,12 @@ func PointDistance(g Graph, p, q PointID) (float64, error) {
 	return network.PointDistance(g, p, q)
 }
 
+// PointDistanceCtx is PointDistance with cancellation: the traversal checks
+// ctx periodically and returns an error wrapping ctx.Err() when it is done.
+func PointDistanceCtx(ctx context.Context, g Graph, p, q PointID) (float64, error) {
+	return network.PointDistanceCtx(ctx, g, p, q)
+}
+
 // NodeDistances runs Dijkstra from src and returns every node's distance.
 func NodeDistances(g Graph, src NodeID) ([]float64, error) {
 	return network.NodeDistances(g, src)
@@ -124,6 +132,11 @@ type PointDist = network.PointDist
 // KNearestNeighbors returns p's k closest points by network distance.
 func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
 	return network.KNearestNeighbors(g, p, k)
+}
+
+// KNearestNeighborsCtx is KNearestNeighbors with cancellation.
+func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]PointDist, error) {
+	return network.KNearestNeighborsCtx(ctx, g, p, k)
 }
 
 // NearestNeighbor returns p's single closest point by network distance.
@@ -221,9 +234,21 @@ func KMedoids(g Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
 	return core.KMedoids(g, opts)
 }
 
+// KMedoidsCtx is KMedoids with cancellation; opts.Workers fans the restarts
+// across goroutines, each on its own read view of g.
+func KMedoidsCtx(ctx context.Context, g Graph, opts KMedoidsOptions) (*KMedoidsResult, error) {
+	return core.KMedoidsCtx(ctx, g, opts)
+}
+
 // EpsLink runs the density-based ε-Link algorithm of §4.3.
 func EpsLink(g Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
 	return core.EpsLink(g, opts)
+}
+
+// EpsLinkCtx is EpsLink with cancellation; opts.Workers fans the range
+// queries across goroutines with labels identical to the sequential run.
+func EpsLinkCtx(ctx context.Context, g Graph, opts EpsLinkOptions) (*EpsLinkResult, error) {
+	return core.EpsLinkCtx(ctx, g, opts)
 }
 
 // DBSCAN runs the network adaptation of DBSCAN (§4.3).
@@ -231,9 +256,20 @@ func DBSCAN(g Graph, opts DBSCANOptions) (*DBSCANResult, error) {
 	return core.DBSCAN(g, opts)
 }
 
+// DBSCANCtx is DBSCAN with cancellation; opts.Workers fans the range
+// queries across goroutines with labels identical to the sequential run.
+func DBSCANCtx(ctx context.Context, g Graph, opts DBSCANOptions) (*DBSCANResult, error) {
+	return core.DBSCANCtx(ctx, g, opts)
+}
+
 // SingleLink runs the hierarchical algorithm of §4.4.
 func SingleLink(g Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
 	return core.SingleLink(g, opts)
+}
+
+// SingleLinkCtx is SingleLink with cancellation.
+func SingleLinkCtx(ctx context.Context, g Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
+	return core.SingleLinkCtx(ctx, g, opts)
 }
 
 // OPTICS computes the density-based cluster ordering under the network
@@ -242,6 +278,13 @@ func SingleLink(g Graph, opts SingleLinkOptions) (*SingleLinkResult, error) {
 // with OPTICSResult.ExtractDBSCAN.
 func OPTICS(g Graph, opts OPTICSOptions) (*OPTICSResult, error) {
 	return core.OPTICS(g, opts)
+}
+
+// OPTICSCtx is OPTICS with cancellation; opts.Workers fans the range
+// queries across goroutines with an ordering identical to the sequential
+// run.
+func OPTICSCtx(ctx context.Context, g Graph, opts OPTICSOptions) (*OPTICSResult, error) {
+	return core.OPTICSCtx(ctx, g, opts)
 }
 
 // RepLink linkage criteria.
@@ -270,6 +313,11 @@ type StoreOptions = storage.Options
 
 // Store is the disk-backed Graph (§4.1 storage architecture).
 type Store = storage.Store
+
+// BufferStats reports the buffer pool's cumulative page traffic — hits,
+// misses, reads, writes and the derived hit ratio. Store.BufferStats
+// returns a consistent snapshot at any time, also while queries run.
+type BufferStats = pagebuf.Stats
 
 // BuildStore materializes n into a store directory.
 func BuildStore(dir string, n *Network, opts StoreOptions) error {
