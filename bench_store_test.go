@@ -1,0 +1,213 @@
+// BenchmarkStoreSuite records the disk-store performance trajectory into
+// BENCH_store.json: cold vs warm read paths, record caches on vs off, and
+// 1/4/8-worker DBSCAN + k-medoids runs over the store. Run it with
+//
+//	go test -run '^$' -bench StoreSuite -benchtime 1x .
+//
+// for a smoke pass (CI does) or with a larger -benchtime for stable numbers.
+// The suite also asserts that cached and uncached clustering labels are
+// byte-identical, so the perf harness doubles as an end-to-end cache
+// invariant check.
+package netclus_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"netclus"
+)
+
+// benchStoreResults accumulates the final measurement of every sub-benchmark
+// (later runs of the same name overwrite earlier calibration runs).
+var (
+	benchStoreMu      sync.Mutex
+	benchStoreResults = map[string]benchStoreEntry{}
+)
+
+type benchStoreEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+type benchStoreReport struct {
+	GoVersion  string                     `json:"go_version"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Scale      float64                    `json:"scale"`
+	Nodes      int                        `json:"nodes"`
+	Points     int                        `json:"points"`
+	Results    map[string]benchStoreEntry `json:"results"`
+}
+
+func recordBenchStore(b *testing.B, name string) {
+	b.Helper()
+	benchStoreMu.Lock()
+	benchStoreResults[name] = benchStoreEntry{
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Iters:   b.N,
+	}
+	benchStoreMu.Unlock()
+}
+
+func BenchmarkStoreSuite(b *testing.B) {
+	scale := benchScale()
+	g, gen, err := netclus.RoadDataset("OL", scale, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := netclus.BuildStore(dir, g, netclus.StoreOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	report := benchStoreReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Nodes:      g.NumNodes(),
+		Points:     g.NumPoints(),
+		Results:    benchStoreResults,
+	}
+	b.Cleanup(func() {
+		benchStoreMu.Lock()
+		defer benchStoreMu.Unlock()
+		if len(benchStoreResults) == 0 {
+			return
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if err := os.WriteFile("BENCH_store.json", append(data, '\n'), 0o644); err != nil {
+			b.Error(err)
+		}
+	})
+
+	cachedOpts := netclus.StoreOptions{PoolShards: 8}
+	uncachedOpts := netclus.StoreOptions{PoolShards: 8, DisableRecordCaches: true}
+	modes := []struct {
+		name string
+		opts netclus.StoreOptions
+	}{
+		{"cached", cachedOpts},
+		{"uncached", uncachedOpts},
+	}
+
+	// Cold read path: every iteration opens a fresh store (empty pool and
+	// caches) and pays the faults of one full adjacency sweep.
+	for _, mode := range modes {
+		mode := mode
+		b.Run("neighbors/cold/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := netclus.OpenStore(dir, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for u := 0; u < s.NumNodes(); u++ {
+					if _, err := s.Neighbors(netclus.NodeID(u)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+			recordBenchStore(b, "neighbors/cold/"+mode.name)
+		})
+	}
+
+	// Warm read path: pool and caches primed, random probes.
+	for _, mode := range modes {
+		mode := mode
+		b.Run("neighbors/warm/"+mode.name, func(b *testing.B) {
+			s, err := netclus.OpenStore(dir, mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for u := 0; u < s.NumNodes(); u++ {
+				if _, err := s.Neighbors(netclus.NodeID(u)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Neighbors(netclus.NodeID(rng.Intn(s.NumNodes()))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordBenchStore(b, "neighbors/warm/"+mode.name)
+		})
+	}
+
+	// Clustering over the disk store at 1/4/8 workers, caches on and off.
+	var labelRef []int32
+	for _, mode := range modes {
+		mode := mode
+		for _, workers := range []int{1, 4, 8} {
+			workers := workers
+			name := fmt.Sprintf("dbscan/workers=%d/%s", workers, mode.name)
+			b.Run(name, func(b *testing.B) {
+				s, err := netclus.OpenStore(dir, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				var labels []int32
+				for i := 0; i < b.N; i++ {
+					res, err := netclus.DBSCAN(s, netclus.DBSCANOptions{Eps: gen.Eps(), MinPts: 3, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					labels = res.Labels
+				}
+				recordBenchStore(b, name)
+				// Cache invariant: every mode and worker count must produce
+				// byte-identical labels.
+				b.StopTimer()
+				if labelRef == nil {
+					labelRef = labels
+				} else if len(labels) != len(labelRef) {
+					b.Fatalf("label count %d, want %d", len(labels), len(labelRef))
+				} else {
+					for i := range labelRef {
+						if labels[i] != labelRef[i] {
+							b.Fatalf("%s: label %d = %d, reference %d", name, i, labels[i], labelRef[i])
+						}
+					}
+				}
+			})
+		}
+	}
+	for _, mode := range modes {
+		mode := mode
+		for _, workers := range []int{1, 4, 8} {
+			workers := workers
+			name := fmt.Sprintf("kmedoids/workers=%d/%s", workers, mode.name)
+			b.Run(name, func(b *testing.B) {
+				s, err := netclus.OpenStore(dir, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				for i := 0; i < b.N; i++ {
+					_, err := netclus.KMedoids(s, netclus.KMedoidsOptions{
+						K: 10, Restarts: 8, Workers: workers,
+						Rand: rand.New(rand.NewSource(7)),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				recordBenchStore(b, name)
+			})
+		}
+	}
+}

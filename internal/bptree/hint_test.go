@@ -1,0 +1,118 @@
+package bptree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"netclus/internal/pagebuf"
+)
+
+func hintTestTree(t *testing.T, keys, vals []uint64) *Tree {
+	t.Helper()
+	pool, err := pagebuf.NewPool(64*256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pool.Open(filepath.Join(t.TempDir(), "t.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	tr, err := Create(f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSearchHintMatchesSearch drives random lookups (present, absent, out of
+// range) through one hint and checks every answer against the plain Search.
+func TestSearchHintMatchesSearch(t *testing.T) {
+	const n = 500
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 3) // gaps so absent keys exist
+		vals[i] = uint64(i * 7)
+	}
+	tr := hintTestTree(t, keys, vals)
+	if tr.Height() < 2 {
+		t.Fatalf("tree too small to exercise descents (height %d)", tr.Height())
+	}
+
+	var h LeafHint
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(3*n + 10))
+		wantV, wantOK, err := tr.Search(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotV, gotOK, err := tr.SearchHint(k, &h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotV != wantV || gotOK != wantOK {
+			t.Fatalf("key %d: hint (%d,%v) vs plain (%d,%v)", k, gotV, gotOK, wantV, wantOK)
+		}
+	}
+	if h.Hits == 0 || h.Misses == 0 {
+		t.Fatalf("hint counters did not move: hits=%d misses=%d", h.Hits, h.Misses)
+	}
+}
+
+// TestFloorHintMatchesFloor does the same for floor lookups, including keys
+// below the smallest key (no floor) and above the largest.
+func TestFloorHintMatchesFloor(t *testing.T) {
+	const n = 400
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(10 + i*5)
+		vals[i] = uint64(i)
+	}
+	tr := hintTestTree(t, keys, vals)
+
+	var h LeafHint
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(5*n + 40))
+		wantK, wantV, wantOK, err := tr.Floor(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotK, gotV, gotOK, err := tr.FloorHint(k, &h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotK != wantK || gotV != wantV || gotOK != wantOK {
+			t.Fatalf("floor %d: hint (%d,%d,%v) vs plain (%d,%d,%v)", k, gotK, gotV, gotOK, wantK, wantV, wantOK)
+		}
+	}
+}
+
+// TestSequentialHintHitRate checks the motivating access pattern: ascending
+// key probes should hit the cached leaf for all but one key per leaf.
+func TestSequentialHintHitRate(t *testing.T) {
+	const n = 1000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = uint64(i)
+	}
+	tr := hintTestTree(t, keys, vals)
+	var h LeafHint
+	for i := 0; i < n; i++ {
+		if _, ok, err := tr.SearchHint(uint64(i), &h); err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if h.Hits < int64(n)*3/4 {
+		t.Fatalf("sequential scan hit only %d/%d through the hint", h.Hits, n)
+	}
+}

@@ -90,8 +90,11 @@ func StorageAblation(cfg Config) ([]StorageRow, error) {
 }
 
 // withStore opens the store with a cold buffer pool, runs fn, and closes it.
+// Record caches are disabled so the measured I/O counts stay the paper's
+// logical/physical page accesses (DESIGN.md §2): a decoded-record hit would
+// bypass the buffer pool and under-count the metric being reproduced.
 func withStore(dir string, bufKB int, fn func(*storage.Store) error) error {
-	st, err := storage.Open(dir, storage.Options{BufferBytes: bufKB * 1024})
+	st, err := storage.Open(dir, storage.Options{BufferBytes: bufKB * 1024, DisableRecordCaches: true})
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@ type Network struct {
 	coords   []Coord    // optional node embedding (nil if absent)
 	groups   []PointGroup
 	pointPos []float64 // offset of every point, grouped per edge, ascending
+	pointGrp []GroupID // group of every point, precomputed in Build
 	tags     []int32   // application tag per point
 	numEdges int
 }
@@ -65,11 +66,13 @@ func (n *Network) PointInfo(p PointID) (PointInfo, error) {
 	if p < 0 || int(p) >= len(n.pointPos) {
 		return PointInfo{}, fmt.Errorf("%w: %d", ErrPointRange, p)
 	}
-	// Groups are sorted by First; find the last group with First <= p.
-	g := sort.Search(len(n.groups), func(i int) bool { return n.groups[i].First > p }) - 1
+	// The point -> group table is precomputed in Build: PointInfo runs once
+	// per point per clustering pass, so the O(log G) search it replaced was
+	// a measurable constant on every algorithm.
+	g := n.pointGrp[p]
 	pg := n.groups[g]
 	return PointInfo{
-		Group:  GroupID(g),
+		Group:  g,
 		N1:     pg.N1,
 		N2:     pg.N2,
 		Pos:    n.pointPos[p],
@@ -245,6 +248,7 @@ func (b *Builder) Build() (*Network, error) {
 
 	net := &Network{
 		pointPos: make([]float64, len(pts)),
+		pointGrp: make([]GroupID, len(pts)),
 		tags:     make([]int32, len(pts)),
 		numEdges: len(b.edges),
 	}
@@ -271,6 +275,7 @@ func (b *Builder) Build() (*Network, error) {
 		edgeGrp[k] = g
 		for t := i; t < j; t++ {
 			net.pointPos[t] = pts[t].pos
+			net.pointGrp[t] = g
 			net.tags[t] = pts[t].tag
 		}
 		i = j

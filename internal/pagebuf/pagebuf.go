@@ -3,12 +3,14 @@
 // buffer pool with hit/miss accounting. The paper's experiments use a 1 MB
 // buffer over 4 KB pages; those are the defaults.
 //
-// The pool and its files are safe for concurrent use: frame lookups,
-// faults, evictions and page copies run under the pool latch, and the
-// traffic counters are atomic so Stats can be sampled without blocking
-// readers. The latch is held only for map/LRU bookkeeping and the page
-// memcpy; disk reads of faulted pages happen under it too, mirroring a
-// single-latch buffer manager.
+// The pool is sharded: the frame table and LRU list are split by page-key
+// hash into independently latched shards, so concurrent readers working on
+// different pages rarely contend on the same latch. Each shard owns an equal
+// slice of the frame budget and its own traffic counters; Stats aggregates
+// them into one snapshot, so the paper's page-access accounting is unchanged.
+// A shard latch is held only for map/LRU bookkeeping and the page memcpy;
+// disk reads of faulted pages happen under it too, mirroring a partitioned
+// buffer manager.
 package pagebuf
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -26,6 +29,10 @@ const DefaultPageSize = 4096
 
 // DefaultBufferBytes is the buffer-pool size of the paper's experiments.
 const DefaultBufferBytes = 1 << 20
+
+// maxShards bounds the automatic shard count; more shards than this stop
+// paying off because each holds too few frames.
+const maxShards = 64
 
 // ErrClosed is returned by operations on a closed File.
 var ErrClosed = errors.New("pagebuf: file closed")
@@ -57,7 +64,17 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-// counters is the atomic mirror of Stats.
+// Add returns s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		LogicalReads:  s.LogicalReads + o.LogicalReads,
+		PhysicalReads: s.PhysicalReads + o.PhysicalReads,
+		PageWrites:    s.PageWrites + o.PageWrites,
+		Evictions:     s.Evictions + o.Evictions,
+	}
+}
+
+// counters is the atomic mirror of Stats, one instance per shard.
 type counters struct {
 	logicalReads  atomic.Int64
 	physicalReads atomic.Int64
@@ -65,17 +82,42 @@ type counters struct {
 	evictions     atomic.Int64
 }
 
+func (c *counters) snapshot() Stats {
+	return Stats{
+		LogicalReads:  c.logicalReads.Load(),
+		PhysicalReads: c.physicalReads.Load(),
+		PageWrites:    c.pageWrites.Load(),
+		Evictions:     c.evictions.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.logicalReads.Store(0)
+	c.physicalReads.Store(0)
+	c.pageWrites.Store(0)
+	c.evictions.Store(0)
+}
+
+// shard is one latch domain of the pool: a frame table and LRU list over a
+// fixed slice of the frame budget, plus its own traffic counters.
+type shard struct {
+	mu       sync.Mutex // guards frames, lru and frame contents
+	frames   map[frameKey]*list.Element
+	lru      *list.List // front = most recently used
+	capacity int
+	stats    counters
+}
+
 // Pool is an LRU buffer pool shared by several paged files, mirroring the
-// single memory buffer of the paper's setup. It is safe for concurrent use.
+// single memory buffer of the paper's setup. It is safe for concurrent use;
+// the frame table is sharded by page-key hash so readers on different pages
+// take different latches.
 type Pool struct {
 	pageSize int
 	capacity int
-	stats    counters
-
-	mu       sync.Mutex // guards frames, lru, nextFile and frame contents
-	frames   map[frameKey]*list.Element
-	lru      *list.List // front = most recently used
-	nextFile int32
+	shardCnt uint32
+	shards   []shard
+	nextFile atomic.Int32
 }
 
 type frameKey struct {
@@ -90,55 +132,117 @@ type frame struct {
 	f     *File
 }
 
-// NewPool returns a pool of bufferBytes/pageSize frames.
+// NewPool returns a pool of bufferBytes/pageSize frames with an automatic
+// shard count (one per CPU, capped so every shard keeps a useful number of
+// frames).
 func NewPool(bufferBytes, pageSize int) (*Pool, error) {
+	return NewPoolShards(bufferBytes, pageSize, 0)
+}
+
+// NewPoolShards is NewPool with an explicit shard count. shards is rounded up
+// to a power of two and clamped so each shard holds at least one frame;
+// 0 selects the automatic count.
+func NewPoolShards(bufferBytes, pageSize, shards int) (*Pool, error) {
 	if pageSize < 64 {
 		return nil, fmt.Errorf("pagebuf: page size %d too small", pageSize)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("pagebuf: negative shard count %d", shards)
 	}
 	capacity := bufferBytes / pageSize
 	if capacity < 1 {
 		return nil, fmt.Errorf("pagebuf: buffer of %d bytes holds no %d-byte page", bufferBytes, pageSize)
 	}
-	return &Pool{
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > maxShards {
+			shards = maxShards
+		}
+	}
+	shards = ceilPow2(shards)
+	// Every shard needs at least one frame or it could never hold a page.
+	for shards > 1 && capacity/shards < 1 {
+		shards /= 2
+	}
+	p := &Pool{
 		pageSize: pageSize,
 		capacity: capacity,
-		frames:   make(map[frameKey]*list.Element),
-		lru:      list.New(),
-	}, nil
+		shardCnt: uint32(shards),
+		shards:   make([]shard, shards),
+	}
+	// Distribute the frame budget; the first capacity%shards shards take the
+	// remainder so the total stays exactly bufferBytes/pageSize.
+	base, extra := capacity/shards, capacity%shards
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.capacity = base
+		if i < extra {
+			sh.capacity++
+		}
+		sh.frames = make(map[frameKey]*list.Element)
+		sh.lru = list.New()
+	}
+	return p, nil
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// shardOf hashes a frame key onto its shard (Fibonacci mix of file and page).
+func (p *Pool) shardOf(key frameKey) *shard {
+	h := uint64(key.page)*0x9E3779B97F4A7C15 + uint64(uint32(key.file))*0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return &p.shards[uint32(h)&(p.shardCnt-1)]
 }
 
 // PageSize returns the pool's page size.
 func (p *Pool) PageSize() int { return p.pageSize }
 
-// Capacity returns the number of frames.
+// Capacity returns the total number of frames across all shards.
 func (p *Pool) Capacity() int { return p.capacity }
 
-// Stats returns a snapshot of the traffic counters.
+// Shards returns the number of latch shards.
+func (p *Pool) Shards() int { return int(p.shardCnt) }
+
+// Stats returns a snapshot of the traffic counters, aggregated over shards.
 func (p *Pool) Stats() Stats {
-	return Stats{
-		LogicalReads:  p.stats.logicalReads.Load(),
-		PhysicalReads: p.stats.physicalReads.Load(),
-		PageWrites:    p.stats.pageWrites.Load(),
-		Evictions:     p.stats.evictions.Load(),
+	var agg Stats
+	for i := range p.shards {
+		agg = agg.Add(p.shards[i].stats.snapshot())
 	}
+	return agg
 }
 
-// ResetStats zeroes the traffic counters.
+// ShardStats returns the per-shard traffic counters, for balance inspection.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i := range p.shards {
+		out[i] = p.shards[i].stats.snapshot()
+	}
+	return out
+}
+
+// ResetStats zeroes the traffic counters of every shard.
 func (p *Pool) ResetStats() {
-	p.stats.logicalReads.Store(0)
-	p.stats.physicalReads.Store(0)
-	p.stats.pageWrites.Store(0)
-	p.stats.evictions.Store(0)
+	for i := range p.shards {
+		p.shards[i].stats.reset()
+	}
 }
 
 // File is one paged file attached to a pool. All reads and writes go through
 // the pool's frames. A File may be used from several goroutines; individual
-// ReadAt/WriteAt calls are atomic with respect to each other.
+// page accesses are atomic with respect to each other, and multi-page
+// ReadAt/WriteAt calls lock one shard at a time.
 type File struct {
 	pool   *Pool
 	id     int32
 	os     *os.File
-	pages  int64        // allocated pages; guarded by pool.mu
+	pages  atomic.Int64 // allocated pages (max written page + 1)
 	size   atomic.Int64 // logical byte size
 	closed atomic.Bool
 }
@@ -156,72 +260,73 @@ func (p *Pool) Open(path string) (*File, error) {
 	}
 	f := &File{pool: p, os: osf}
 	f.size.Store(st.Size())
-	p.mu.Lock()
-	f.id = p.nextFile
-	p.nextFile++
-	p.mu.Unlock()
-	f.pages = (st.Size() + int64(p.pageSize) - 1) / int64(p.pageSize)
+	f.id = p.nextFile.Add(1) - 1
+	f.pages.Store((st.Size() + int64(p.pageSize) - 1) / int64(p.pageSize))
 	return f, nil
 }
 
 // Size returns the logical byte size of the file.
 func (f *File) Size() int64 { return f.size.Load() }
 
-// page returns the frame for pageNo, faulting it in if needed. The pool
+// page returns the frame for pageNo, faulting it in if needed. The shard
 // latch must be held; the returned frame is only valid while it stays held.
-func (f *File) page(pageNo int64) (*frame, error) {
+func (f *File) page(sh *shard, pageNo int64) (*frame, error) {
 	p := f.pool
-	p.stats.logicalReads.Add(1)
+	sh.stats.logicalReads.Add(1)
 	key := frameKey{file: f.id, page: pageNo}
-	if el, ok := p.frames[key]; ok {
-		p.lru.MoveToFront(el)
+	if el, ok := sh.frames[key]; ok {
+		sh.lru.MoveToFront(el)
 		return el.Value.(*frame), nil
 	}
-	p.stats.physicalReads.Add(1)
+	sh.stats.physicalReads.Add(1)
 	fr := &frame{key: key, data: make([]byte, p.pageSize), f: f}
-	if pageNo < f.pages {
+	if pageNo < f.pages.Load() {
 		if _, err := f.os.ReadAt(fr.data, pageNo*int64(p.pageSize)); err != nil && err != io.EOF {
 			return nil, fmt.Errorf("pagebuf: read page %d: %w", pageNo, err)
 		}
 	}
-	if p.lru.Len() >= p.capacity {
-		if err := p.evict(); err != nil {
+	if sh.lru.Len() >= sh.capacity {
+		if err := sh.evict(); err != nil {
 			return nil, err
 		}
 	}
-	p.frames[key] = p.lru.PushFront(fr)
+	sh.frames[key] = sh.lru.PushFront(fr)
 	return fr, nil
 }
 
-// evict writes back and drops the least recently used frame. The pool latch
-// must be held.
-func (p *Pool) evict() error {
-	el := p.lru.Back()
+// evict writes back and drops the least recently used frame of this shard.
+// The shard latch must be held.
+func (sh *shard) evict() error {
+	el := sh.lru.Back()
 	if el == nil {
 		return nil
 	}
 	fr := el.Value.(*frame)
 	if fr.dirty {
-		if err := fr.f.writeBack(fr); err != nil {
+		if err := fr.f.writeBack(sh, fr); err != nil {
 			return err
 		}
 	}
-	p.lru.Remove(el)
-	delete(p.frames, fr.key)
-	p.stats.evictions.Add(1)
+	sh.lru.Remove(el)
+	delete(sh.frames, fr.key)
+	sh.stats.evictions.Add(1)
 	return nil
 }
 
-// writeBack flushes one frame to disk. The pool latch must be held.
-func (f *File) writeBack(fr *frame) error {
+// writeBack flushes one frame to disk. The latch of the frame's shard must be
+// held.
+func (f *File) writeBack(sh *shard, fr *frame) error {
 	p := f.pool
 	if _, err := f.os.WriteAt(fr.data, fr.key.page*int64(p.pageSize)); err != nil {
 		return fmt.Errorf("pagebuf: write page %d: %w", fr.key.page, err)
 	}
-	if fr.key.page >= f.pages {
-		f.pages = fr.key.page + 1
+	for {
+		pages := f.pages.Load()
+		if fr.key.page < pages || f.pages.CompareAndSwap(pages, fr.key.page+1) {
+			break
+		}
 	}
-	p.stats.pageWrites.Add(1)
+	sh.stats.pageWrites.Add(1)
 	return nil
 }
 
@@ -236,8 +341,6 @@ func (f *File) ReadAt(buf []byte, off int64) error {
 		return fmt.Errorf("pagebuf: read [%d,%d) beyond file size %d", off, off+int64(len(buf)), size)
 	}
 	ps := int64(f.pool.pageSize)
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / ps
 		in := off % ps
@@ -245,11 +348,15 @@ func (f *File) ReadAt(buf []byte, off int64) error {
 		if n > int64(len(buf)) {
 			n = int64(len(buf))
 		}
-		fr, err := f.page(pageNo)
+		sh := f.pool.shardOf(frameKey{file: f.id, page: pageNo})
+		sh.mu.Lock()
+		fr, err := f.page(sh, pageNo)
 		if err != nil {
+			sh.mu.Unlock()
 			return err
 		}
 		copy(buf[:n], fr.data[in:in+n])
+		sh.mu.Unlock()
 		buf = buf[n:]
 		off += n
 	}
@@ -267,8 +374,6 @@ func (f *File) WriteAt(buf []byte, off int64) error {
 	}
 	ps := int64(f.pool.pageSize)
 	end := off + int64(len(buf))
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / ps
 		in := off % ps
@@ -276,12 +381,16 @@ func (f *File) WriteAt(buf []byte, off int64) error {
 		if n > int64(len(buf)) {
 			n = int64(len(buf))
 		}
-		fr, err := f.page(pageNo)
+		sh := f.pool.shardOf(frameKey{file: f.id, page: pageNo})
+		sh.mu.Lock()
+		fr, err := f.page(sh, pageNo)
 		if err != nil {
+			sh.mu.Unlock()
 			return err
 		}
 		copy(fr.data[in:in+n], buf[:n])
 		fr.dirty = true
+		sh.mu.Unlock()
 		buf = buf[n:]
 		off += n
 	}
@@ -311,18 +420,21 @@ func (f *File) Flush() error {
 }
 
 func (f *File) flush() error {
-	f.pool.mu.Lock()
-	for el := f.pool.lru.Front(); el != nil; el = el.Next() {
-		fr := el.Value.(*frame)
-		if fr.key.file == f.id && fr.dirty {
-			if err := f.writeBack(fr); err != nil {
-				f.pool.mu.Unlock()
-				return err
+	for i := range f.pool.shards {
+		sh := &f.pool.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			fr := el.Value.(*frame)
+			if fr.key.file == f.id && fr.dirty {
+				if err := f.writeBack(sh, fr); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		sh.mu.Unlock()
 	}
-	f.pool.mu.Unlock()
 	return f.os.Sync()
 }
 
@@ -336,16 +448,19 @@ func (f *File) Close() error {
 		f.os.Close()
 		return err
 	}
-	f.pool.mu.Lock()
-	var next *list.Element
-	for el := f.pool.lru.Front(); el != nil; el = next {
-		next = el.Next()
-		fr := el.Value.(*frame)
-		if fr.key.file == f.id {
-			f.pool.lru.Remove(el)
-			delete(f.pool.frames, fr.key)
+	for i := range f.pool.shards {
+		sh := &f.pool.shards[i]
+		sh.mu.Lock()
+		var next *list.Element
+		for el := sh.lru.Front(); el != nil; el = next {
+			next = el.Next()
+			fr := el.Value.(*frame)
+			if fr.key.file == f.id {
+				sh.lru.Remove(el)
+				delete(sh.frames, fr.key)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	f.pool.mu.Unlock()
 	return f.os.Close()
 }

@@ -1,0 +1,133 @@
+package pagebuf
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNewPoolShardsValidation(t *testing.T) {
+	if _, err := NewPoolShards(1024, 256, -1); err == nil {
+		t.Fatal("want error for negative shard count")
+	}
+	// Explicit counts round up to a power of two.
+	p, err := NewPoolShards(64*4096, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 {
+		t.Fatalf("3 shards rounded to %d, want 4", p.Shards())
+	}
+	if p.Capacity() != 64 {
+		t.Fatalf("capacity %d, want 64", p.Capacity())
+	}
+	// A pool with fewer frames than shards clamps the shard count so every
+	// shard can hold a page.
+	tiny, err := NewPoolShards(2*256, 256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Shards() > 2 {
+		t.Fatalf("2-frame pool kept %d shards", tiny.Shards())
+	}
+}
+
+// TestShardStatsAggregate checks that the per-shard counters sum to the
+// aggregate snapshot and that traffic actually spreads across shards.
+func TestShardStatsAggregate(t *testing.T) {
+	p, err := NewPoolShards(64*256, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Open(filepath.Join(t.TempDir(), "x.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WriteAt(make([]byte, 32*256), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	for i := 0; i < 32; i++ {
+		if err := f.ReadAt(buf, int64(i)*256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := p.Stats()
+	var sum Stats
+	touched := 0
+	for _, st := range p.ShardStats() {
+		sum = sum.Add(st)
+		if st.LogicalReads > 0 {
+			touched++
+		}
+	}
+	if sum != agg {
+		t.Fatalf("shard stats sum %+v != aggregate %+v", sum, agg)
+	}
+	if touched < 2 {
+		t.Fatalf("32 pages landed on %d of %d shards", touched, p.Shards())
+	}
+	p.ResetStats()
+	if st := p.Stats(); st != (Stats{}) {
+		t.Fatalf("reset left counters: %+v", st)
+	}
+}
+
+// TestShardedPoolConcurrentReadWrite hammers an explicitly sharded pool from
+// many goroutines with overlapping page sets. Run under -race in CI.
+func TestShardedPoolConcurrentReadWrite(t *testing.T) {
+	p, err := NewPoolShards(8*256, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Open(filepath.Join(t.TempDir(), "x.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const workers = 8
+	const region = 1024
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w)))
+			base := int64(w * region)
+			data := make([]byte, region)
+			got := make([]byte, region)
+			for r := 0; r < 30; r++ {
+				rnd.Read(data)
+				if err := f.WriteAt(data, base); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := f.ReadAt(got, base); err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs[w] = errReadBack
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.Evictions == 0 {
+		t.Fatalf("8-frame pool over %d bytes must evict: %+v", workers*region, st)
+	}
+}
+
+var errReadBack = errors.New("read back mismatch")

@@ -10,7 +10,7 @@ import (
 	"netclus/internal/testnet"
 )
 
-func benchStore(b *testing.B, bufferBytes int) *storage.Store {
+func benchStoreOpts(b *testing.B, opts storage.Options) *storage.Store {
 	b.Helper()
 	n, _, err := testnet.RandomClustered(1, 3000, 9000, 5)
 	if err != nil {
@@ -20,7 +20,7 @@ func benchStore(b *testing.B, bufferBytes int) *storage.Store {
 	if err := storage.Build(dir, n, storage.Options{}); err != nil {
 		b.Fatal(err)
 	}
-	s, err := storage.Open(dir, storage.Options{BufferBytes: bufferBytes})
+	s, err := storage.Open(dir, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -28,25 +28,90 @@ func benchStore(b *testing.B, bufferBytes int) *storage.Store {
 	return s
 }
 
+func benchStore(b *testing.B, bufferBytes int) *storage.Store {
+	return benchStoreOpts(b, storage.Options{BufferBytes: bufferBytes})
+}
+
+// BenchmarkStoreNeighbors measures the warm traversal read path with the
+// decoded-record caches on (the default) and off (the paper's original
+// descend-and-decode path). The cached/uncached ratio is the record-cache
+// payoff the PR's acceptance criterion tracks.
 func BenchmarkStoreNeighbors(b *testing.B) {
-	s := benchStore(b, 1<<20)
-	rng := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Neighbors(network.NodeID(rng.Intn(s.NumNodes()))); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name string
+		opts storage.Options
+	}{
+		{"cached", storage.Options{}},
+		{"uncached", storage.Options{DisableRecordCaches: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchStoreOpts(b, mode.opts)
+			// Warm the pool and caches with one full pass.
+			for u := 0; u < s.NumNodes(); u++ {
+				if _, err := s.Neighbors(network.NodeID(u)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Neighbors(network.NodeID(rng.Intn(s.NumNodes()))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkStorePointInfo(b *testing.B) {
-	s := benchStore(b, 1<<20)
-	rng := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.PointInfo(network.PointID(rng.Intn(s.NumPoints()))); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name string
+		opts storage.Options
+	}{
+		{"cached", storage.Options{}},
+		{"uncached", storage.Options{DisableRecordCaches: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchStoreOpts(b, mode.opts)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.PointInfo(network.PointID(rng.Intn(s.NumPoints()))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreNeighborsParallel measures the sharded pool + record caches
+// under concurrent load: every goroutine random-reads through its own view.
+func BenchmarkStoreNeighborsParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts storage.Options
+	}{
+		{"cached", storage.Options{}},
+		{"uncached", storage.Options{DisableRecordCaches: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchStoreOpts(b, mode.opts)
+			for u := 0; u < s.NumNodes(); u++ {
+				if _, err := s.Neighbors(network.NodeID(u)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				view := s.Reader()
+				rng := rand.New(rand.NewSource(2))
+				for pb.Next() {
+					if _, err := view.Neighbors(network.NodeID(rng.Intn(s.NumNodes()))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default decoded-record cache bounds (entries, not bytes). At the paper's
+// average degrees an adjacency entry is ~100 bytes and a group entry a few
+// hundred, so the defaults add roughly half the paper's 1 MB page budget as
+// decode-avoidance memory; set the *CacheEntries options to trade space for
+// traversal speed, or DisableRecordCaches for the paper's original path.
+const (
+	DefaultAdjCacheEntries   = 4096
+	DefaultGroupCacheEntries = 1024
+)
+
+// maxCacheShards bounds the automatic shard count of a record cache.
+const maxCacheShards = 16
+
+// CacheStats counts decoded-record cache traffic: the adjacency cache
+// (node -> neighbours), the group cache (group -> header + offsets) and the
+// per-view B+-tree leaf hints. A hit is a read answered without touching the
+// page buffer, so PageBuffer.LogicalReads + these hits together recover the
+// paper's logical page-access metric for the uncached layout.
+type CacheStats struct {
+	AdjHits, AdjMisses, AdjEvictions       int64
+	GroupHits, GroupMisses, GroupEvictions int64
+	LeafHits, LeafMisses                   int64
+}
+
+// Sub returns s - o, for measuring a span of work.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{
+		AdjHits:        s.AdjHits - o.AdjHits,
+		AdjMisses:      s.AdjMisses - o.AdjMisses,
+		AdjEvictions:   s.AdjEvictions - o.AdjEvictions,
+		GroupHits:      s.GroupHits - o.GroupHits,
+		GroupMisses:    s.GroupMisses - o.GroupMisses,
+		GroupEvictions: s.GroupEvictions - o.GroupEvictions,
+		LeafHits:       s.LeafHits - o.LeafHits,
+		LeafMisses:     s.LeafMisses - o.LeafMisses,
+	}
+}
+
+// HitRatio is the fraction of record lookups (adjacency + group) served from
+// the decoded caches.
+func (s CacheStats) HitRatio() float64 {
+	total := s.AdjHits + s.AdjMisses + s.GroupHits + s.GroupMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AdjHits+s.GroupHits) / float64(total)
+}
+
+// cacheCounters are the shared atomic traffic counters of one record cache.
+type cacheCounters struct {
+	hits, misses, evictions atomic.Int64
+}
+
+// recCache is a sharded, bounded map from a dense uint32 record ID to its
+// decoded value. Entries are immutable once inserted (readers share them), so
+// a lookup is one shard latch around a map read. Eviction is FIFO per shard:
+// the paper's traversals touch records with strong locality, so recency
+// tracking buys little over insertion order at these sizes.
+type recCache[V any] struct {
+	shards []recShard[V]
+	mask   uint32
+	cnt    cacheCounters
+}
+
+type recShard[V any] struct {
+	mu   sync.Mutex
+	m    map[uint32]V
+	fifo []uint32 // insertion ring; len == cap(m budget)
+	head int
+	cap  int
+	_    [32]byte // keep neighbouring shard latches off one cache line
+}
+
+// newRecCache returns a cache bounded to entries values across
+// power-of-two shards (0 shards = automatic).
+func newRecCache[V any](entries, shards int) *recCache[V] {
+	if entries < 1 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > maxCacheShards {
+		shards = maxCacheShards
+	}
+	p := 1
+	for p < shards {
+		p *= 2
+	}
+	shards = p
+	for shards > 1 && entries/shards < 1 {
+		shards /= 2
+	}
+	c := &recCache[V]{shards: make([]recShard[V], shards), mask: uint32(shards - 1)}
+	base, extra := entries/shards, entries%shards
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = base
+		if i < extra {
+			sh.cap++
+		}
+		sh.m = make(map[uint32]V, sh.cap)
+		sh.fifo = make([]uint32, 0, sh.cap)
+	}
+	return c
+}
+
+// shardOf mixes the dense ID so consecutive IDs spread across shards.
+func (c *recCache[V]) shardOf(k uint32) *recShard[V] {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return &c.shards[uint32(h>>32)&c.mask]
+}
+
+// get returns the cached value for k.
+func (c *recCache[V]) get(k uint32) (V, bool) {
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok {
+		c.cnt.hits.Add(1)
+	} else {
+		c.cnt.misses.Add(1)
+	}
+	return v, ok
+}
+
+// put inserts or replaces the value for k, evicting the oldest entry of the
+// shard when it is full. Values must never be mutated after put: readers on
+// other goroutines share them.
+func (c *recCache[V]) put(k uint32, v V) {
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if _, exists := sh.m[k]; exists {
+		sh.m[k] = v
+		sh.mu.Unlock()
+		return
+	}
+	if len(sh.fifo) < sh.cap {
+		sh.m[k] = v
+		sh.fifo = append(sh.fifo, k)
+		sh.mu.Unlock()
+		return
+	}
+	old := sh.fifo[sh.head]
+	delete(sh.m, old)
+	sh.fifo[sh.head] = k
+	sh.head++
+	if sh.head == len(sh.fifo) {
+		sh.head = 0
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+	c.cnt.evictions.Add(1)
+}
+
+// len returns the number of cached entries (for tests).
+func (c *recCache[V]) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

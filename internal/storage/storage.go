@@ -70,6 +70,22 @@ type Options struct {
 	Layout Layout
 	// NoReorder is a shorthand for Layout = LayoutNodeID.
 	NoReorder bool
+	// PoolShards overrides the buffer pool's latch shard count (0 = one
+	// per CPU). Only meaningful for Open.
+	PoolShards int
+	// AdjCacheEntries bounds the decoded adjacency cache in entries
+	// (0 = DefaultAdjCacheEntries, negative = disabled). Only meaningful
+	// for Open.
+	AdjCacheEntries int
+	// GroupCacheEntries bounds the decoded group cache in entries
+	// (0 = DefaultGroupCacheEntries, negative = disabled). Only meaningful
+	// for Open.
+	GroupCacheEntries int
+	// DisableRecordCaches turns off both decoded-record caches and the
+	// B+-tree leaf hints, restoring the paper's original access path where
+	// every read descends an index and decodes from the page buffer.
+	// Benchmarks and the cache-invariant tests use it as the baseline.
+	DisableRecordCaches bool
 }
 
 func (o Options) withDefaults() Options {
@@ -281,8 +297,9 @@ func bfsOrder(n *network.Network) ([]network.NodeID, error) {
 var ErrClosed = errors.New("storage: store closed")
 
 // storeShared is the state common to every read view of one opened store:
-// the buffer pool, files, indexes and counts. It is safe for concurrent use
-// (the pool is latched, the B+-tree lookups draw per-call scratch).
+// the buffer pool, files, indexes, counts and the decoded-record caches. It
+// is safe for concurrent use (the pool and caches are shard-latched, the
+// B+-tree lookups draw per-call scratch).
 type storeShared struct {
 	pool   *pagebuf.Pool
 	adjF   *pagebuf.File
@@ -294,7 +311,23 @@ type storeShared struct {
 
 	nodes, edges, points, groups int
 
+	// Decoded-record caches above the page buffer (nil when disabled).
+	// Cached values are immutable and shared by every view.
+	adjCache             *recCache[[]network.Neighbor]
+	grpCache             *recCache[groupRec]
+	hints                bool // per-view B+-tree leaf hints enabled
+	leafHits, leafMisses atomic.Int64
+
 	closed atomic.Bool
+}
+
+// groupRec is a group-cache entry: the record's file offset, its header and,
+// once some view has decoded them, its point offsets (nil until then; never
+// mutated afterwards — a fresh entry replaces it).
+type groupRec struct {
+	off     int64
+	pg      network.PointGroup
+	offsets []float64
 }
 
 // Store is the disk-backed network.Graph.
@@ -311,12 +344,23 @@ type storeShared struct {
 type Store struct {
 	sh *storeShared
 
-	hdr      [groupHeader]byte
-	payload  []byte
-	nbrBuf   []network.Neighbor
-	offBuf   []float64
-	scanBuf  []float64
-	scratch4 [4]byte
+	hdr [groupHeader]byte
+	// Raw-byte scratch is split per file: Neighbors fills adjPayload while
+	// readPoints fills ptsPayload, so an interleaved GroupOffsets between a
+	// Neighbors call and the use of its result cannot clobber the bytes
+	// being decoded (see TestInterleavedScratch).
+	adjPayload []byte
+	ptsPayload []byte
+	nbrBuf     []network.Neighbor
+	offBuf     []float64
+	scanBuf    []float64
+	scratch4   [4]byte
+
+	// Per-view B+-tree leaf hints: the last leaf of each index is kept
+	// decoded so runs of nearby keys skip the descent entirely.
+	adjHint bptree.LeafHint
+	grpHint bptree.LeafHint
+	ptsHint bptree.LeafHint
 }
 
 var _ network.Graph = (*Store)(nil)
@@ -326,11 +370,24 @@ var _ network.ViewCloner = (*Store)(nil)
 // defaults (4 KB pages, 1 MB buffer).
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	pool, err := pagebuf.NewPool(opts.BufferBytes, opts.PageSize)
+	pool, err := pagebuf.NewPoolShards(opts.BufferBytes, opts.PageSize, opts.PoolShards)
 	if err != nil {
 		return nil, err
 	}
 	sh := &storeShared{pool: pool}
+	if !opts.DisableRecordCaches {
+		adjEntries := opts.AdjCacheEntries
+		if adjEntries == 0 {
+			adjEntries = DefaultAdjCacheEntries
+		}
+		grpEntries := opts.GroupCacheEntries
+		if grpEntries == 0 {
+			grpEntries = DefaultGroupCacheEntries
+		}
+		sh.adjCache = newRecCache[[]network.Neighbor](adjEntries, 0)
+		sh.grpCache = newRecCache[groupRec](grpEntries, 0)
+		sh.hints = true
+	}
 	s := &Store{sh: sh}
 	open := func(name string) (*pagebuf.File, error) {
 		f, err := pool.Open(filepath.Join(dir, name))
@@ -428,6 +485,62 @@ func (s *Store) Close() error {
 // Stats returns the buffer pool's traffic counters.
 func (s *Store) Stats() pagebuf.Stats { return s.sh.pool.Stats() }
 
+// CacheStats returns the decoded-record cache counters (adjacency cache,
+// group cache, leaf hints), aggregated over every view of the store. All
+// zeros when the caches are disabled.
+func (s *Store) CacheStats() CacheStats {
+	var cs CacheStats
+	if c := s.sh.adjCache; c != nil {
+		cs.AdjHits = c.cnt.hits.Load()
+		cs.AdjMisses = c.cnt.misses.Load()
+		cs.AdjEvictions = c.cnt.evictions.Load()
+	}
+	if c := s.sh.grpCache; c != nil {
+		cs.GroupHits = c.cnt.hits.Load()
+		cs.GroupMisses = c.cnt.misses.Load()
+		cs.GroupEvictions = c.cnt.evictions.Load()
+	}
+	cs.LeafHits = s.sh.leafHits.Load()
+	cs.LeafMisses = s.sh.leafMisses.Load()
+	return cs
+}
+
+// idxSearch is an exact index lookup through the view's leaf hint (or the
+// plain descent when hints are disabled), mirroring hint traffic into the
+// shared leaf counters.
+func (s *Store) idxSearch(t *bptree.Tree, h *bptree.LeafHint, k uint64) (uint64, bool, error) {
+	if !s.sh.hints {
+		return t.Search(k)
+	}
+	hits := h.Hits
+	v, ok, err := t.SearchHint(k, h)
+	if err == nil {
+		if h.Hits != hits {
+			s.sh.leafHits.Add(1)
+		} else {
+			s.sh.leafMisses.Add(1)
+		}
+	}
+	return v, ok, err
+}
+
+// idxFloor is idxSearch for floor lookups.
+func (s *Store) idxFloor(t *bptree.Tree, h *bptree.LeafHint, k uint64) (uint64, uint64, bool, error) {
+	if !s.sh.hints {
+		return t.Floor(k)
+	}
+	hits := h.Hits
+	key, val, ok, err := t.FloorHint(k, h)
+	if err == nil {
+		if h.Hits != hits {
+			s.sh.leafHits.Add(1)
+		} else {
+			s.sh.leafMisses.Add(1)
+		}
+	}
+	return key, val, ok, err
+}
+
 // BufferStats returns the buffer pool's traffic counters (an alias of Stats
 // matching the public netclus surface).
 func (s *Store) BufferStats() pagebuf.Stats { return s.sh.pool.Stats() }
@@ -448,7 +561,8 @@ func (s *Store) NumPoints() int { return s.sh.points }
 func (s *Store) NumGroups() int { return s.sh.groups }
 
 // Neighbors reads node id's adjacency record. The returned slice is valid
-// until the next Neighbors call on this view.
+// until the next Neighbors call on this view and must not be modified (with
+// the record caches enabled it is shared by every view).
 func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
@@ -456,7 +570,13 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 	if id < 0 || int(id) >= s.sh.nodes {
 		return nil, fmt.Errorf("%w: %d", network.ErrNodeRange, id)
 	}
-	off, ok, err := s.sh.adjIdx.Search(uint64(id))
+	cache := s.sh.adjCache
+	if cache != nil {
+		if nbrs, ok := cache.get(uint32(id)); ok {
+			return nbrs, nil
+		}
+	}
+	off, ok, err := s.idxSearch(s.sh.adjIdx, &s.adjHint, uint64(id))
 	if err != nil {
 		return nil, err
 	}
@@ -468,26 +588,36 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 	}
 	deg := int(binary.LittleEndian.Uint32(s.scratch4[:]))
 	need := adjEntry * deg
-	if cap(s.payload) < need {
-		s.payload = make([]byte, need)
+	if cap(s.adjPayload) < need {
+		s.adjPayload = make([]byte, need)
 	}
-	s.payload = s.payload[:need]
-	if err := s.sh.adjF.ReadAt(s.payload, int64(off)+adjHeader); err != nil {
+	s.adjPayload = s.adjPayload[:need]
+	if err := s.sh.adjF.ReadAt(s.adjPayload, int64(off)+adjHeader); err != nil {
 		return nil, err
 	}
-	if cap(s.nbrBuf) < deg {
-		s.nbrBuf = make([]network.Neighbor, deg)
+	var nbrs []network.Neighbor
+	if cache != nil {
+		// The cached slice is shared and immutable; allocate it exactly.
+		nbrs = make([]network.Neighbor, deg)
+	} else {
+		if cap(s.nbrBuf) < deg {
+			s.nbrBuf = make([]network.Neighbor, deg)
+		}
+		s.nbrBuf = s.nbrBuf[:deg]
+		nbrs = s.nbrBuf
 	}
-	s.nbrBuf = s.nbrBuf[:deg]
 	for i := 0; i < deg; i++ {
 		at := adjEntry * i
-		s.nbrBuf[i] = network.Neighbor{
-			Node:   network.NodeID(binary.LittleEndian.Uint32(s.payload[at:])),
-			Group:  network.GroupID(binary.LittleEndian.Uint32(s.payload[at+4:])),
-			Weight: bitsFloat(binary.LittleEndian.Uint64(s.payload[at+8:])),
+		nbrs[i] = network.Neighbor{
+			Node:   network.NodeID(binary.LittleEndian.Uint32(s.adjPayload[at:])),
+			Group:  network.GroupID(binary.LittleEndian.Uint32(s.adjPayload[at+4:])),
+			Weight: bitsFloat(binary.LittleEndian.Uint64(s.adjPayload[at+8:])),
 		}
 	}
-	return s.nbrBuf, nil
+	if cache != nil {
+		cache.put(uint32(id), nbrs)
+	}
+	return nbrs, nil
 }
 
 // readGroupHeader reads the fixed group header at off.
@@ -511,7 +641,7 @@ func (s *Store) groupOffset(g network.GroupID) (int64, error) {
 	if g < 0 || int(g) >= s.sh.groups {
 		return 0, fmt.Errorf("%w: %d", network.ErrGroupRange, g)
 	}
-	off, ok, err := s.sh.grpIdx.Search(uint64(g))
+	off, ok, err := s.idxSearch(s.sh.grpIdx, &s.grpHint, uint64(g))
 	if err != nil {
 		return 0, err
 	}
@@ -521,28 +651,69 @@ func (s *Store) groupOffset(g network.GroupID) (int64, error) {
 	return int64(off), nil
 }
 
-// Group reads the descriptor of group g.
-func (s *Store) Group(g network.GroupID) (network.PointGroup, error) {
-	off, err := s.groupOffset(g)
-	if err != nil {
-		return network.PointGroup{}, err
+// groupRecord resolves group g to its cache entry (offset + header),
+// consulting and filling the group cache when enabled.
+func (s *Store) groupRecord(g network.GroupID) (groupRec, error) {
+	cache := s.sh.grpCache
+	if cache != nil {
+		if err := s.checkOpen(); err != nil {
+			return groupRec{}, err
+		}
+		if g < 0 || int(g) >= s.sh.groups {
+			return groupRec{}, fmt.Errorf("%w: %d", network.ErrGroupRange, g)
+		}
+		if rec, ok := cache.get(uint32(g)); ok {
+			return rec, nil
+		}
 	}
-	return s.readGroupHeader(off)
-}
-
-// GroupOffsets reads the point offsets of group g. The returned slice is
-// valid until the next GroupOffsets call on this view.
-func (s *Store) GroupOffsets(g network.GroupID) ([]float64, error) {
 	off, err := s.groupOffset(g)
 	if err != nil {
-		return nil, err
+		return groupRec{}, err
 	}
 	pg, err := s.readGroupHeader(off)
 	if err != nil {
+		return groupRec{}, err
+	}
+	rec := groupRec{off: off, pg: pg}
+	if cache != nil {
+		cache.put(uint32(g), rec)
+	}
+	return rec, nil
+}
+
+// Group reads the descriptor of group g.
+func (s *Store) Group(g network.GroupID) (network.PointGroup, error) {
+	rec, err := s.groupRecord(g)
+	if err != nil {
+		return network.PointGroup{}, err
+	}
+	return rec.pg, nil
+}
+
+// GroupOffsets reads the point offsets of group g. The returned slice is
+// valid until the next GroupOffsets call on this view and must not be
+// modified (with the record caches enabled it is shared by every view).
+func (s *Store) GroupOffsets(g network.GroupID) ([]float64, error) {
+	rec, err := s.groupRecord(g)
+	if err != nil {
 		return nil, err
 	}
+	if rec.offsets != nil {
+		return rec.offsets, nil
+	}
+	if cache := s.sh.grpCache; cache != nil {
+		// Decode into a fresh shared slice and re-insert the completed
+		// entry; concurrent decoders race benignly (identical values).
+		offsets, err := s.readPoints(rec.off, int(rec.pg.Count), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		rec.offsets = offsets
+		cache.put(uint32(g), rec)
+		return offsets, nil
+	}
 	var err2 error
-	s.offBuf, err2 = s.readPoints(off, int(pg.Count), s.offBuf, nil)
+	s.offBuf, err2 = s.readPoints(rec.off, int(rec.pg.Count), s.offBuf, nil)
 	return s.offBuf, err2
 }
 
@@ -550,11 +721,11 @@ func (s *Store) GroupOffsets(g network.GroupID) ([]float64, error) {
 // dst (offsets) and tags (may be nil).
 func (s *Store) readPoints(off int64, count int, dst []float64, tags []int32) ([]float64, error) {
 	need := pointEntry * count
-	if cap(s.payload) < need {
-		s.payload = make([]byte, need)
+	if cap(s.ptsPayload) < need {
+		s.ptsPayload = make([]byte, need)
 	}
-	s.payload = s.payload[:need]
-	if err := s.sh.ptsF.ReadAt(s.payload, off+groupHeader); err != nil {
+	s.ptsPayload = s.ptsPayload[:need]
+	if err := s.sh.ptsF.ReadAt(s.ptsPayload, off+groupHeader); err != nil {
 		return nil, err
 	}
 	if cap(dst) < count {
@@ -563,9 +734,9 @@ func (s *Store) readPoints(off int64, count int, dst []float64, tags []int32) ([
 	dst = dst[:count]
 	for i := 0; i < count; i++ {
 		at := pointEntry * i
-		dst[i] = bitsFloat(binary.LittleEndian.Uint64(s.payload[at:]))
+		dst[i] = bitsFloat(binary.LittleEndian.Uint64(s.ptsPayload[at:]))
 		if tags != nil {
-			tags[i] = int32(binary.LittleEndian.Uint32(s.payload[at+8:]))
+			tags[i] = int32(binary.LittleEndian.Uint32(s.ptsPayload[at+8:]))
 		}
 	}
 	return dst, nil
@@ -579,7 +750,7 @@ func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
 	if p < 0 || int(p) >= s.sh.points {
 		return network.PointInfo{}, fmt.Errorf("%w: %d", network.ErrPointRange, p)
 	}
-	first, off, ok, err := s.sh.ptsIdx.Floor(uint64(p))
+	first, off, ok, err := s.idxFloor(s.sh.ptsIdx, &s.ptsHint, uint64(p))
 	if err != nil {
 		return network.PointInfo{}, err
 	}
@@ -594,8 +765,8 @@ func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
 	if idx < 0 || idx >= int(pg.Count) {
 		return network.PointInfo{}, fmt.Errorf("storage: point %d outside its group [%d,%d)", p, first, int(first)+int(pg.Count))
 	}
-	entry := make([]byte, pointEntry)
-	if err := s.sh.ptsF.ReadAt(entry, int64(off)+groupHeader+int64(pointEntry*idx)); err != nil {
+	var entry [pointEntry]byte
+	if err := s.sh.ptsF.ReadAt(entry[:], int64(off)+groupHeader+int64(pointEntry*idx)); err != nil {
 		return network.PointInfo{}, err
 	}
 	// Group IDs are dense in pts.dat order, but the record does not carry

@@ -308,16 +308,29 @@ func SuppressSmallClusters(labels []int32, minSup int) []int32 {
 	return core.SuppressSmallClusters(labels, minSup)
 }
 
-// Disk storage (see internal/storage).
+// Disk storage (see internal/storage). StoreOptions covers the paper's
+// physical parameters (PageSize, BufferBytes, Layout) plus the performance
+// knobs of the parallel read path: PoolShards (buffer-pool latch shards),
+// AdjCacheEntries / GroupCacheEntries (decoded-record cache bounds) and
+// DisableRecordCaches (restore the paper's uncached access path).
 type StoreOptions = storage.Options
 
 // Store is the disk-backed Graph (§4.1 storage architecture).
 type Store = storage.Store
 
 // BufferStats reports the buffer pool's cumulative page traffic — hits,
-// misses, reads, writes and the derived hit ratio. Store.BufferStats
-// returns a consistent snapshot at any time, also while queries run.
+// misses, reads, writes and the derived hit ratio, aggregated over the
+// pool's latch shards. Store.BufferStats returns a consistent snapshot at
+// any time, also while queries run.
 type BufferStats = pagebuf.Stats
+
+// CacheStats reports the decoded-record cache traffic of a Store: hits,
+// misses and evictions of the adjacency and group caches plus the B+-tree
+// leaf-hint counters. A cache hit answers a read without any page access, so
+// BufferStats.LogicalReads counts only the misses; add CacheStats hits back
+// in to recover the paper's logical page-access metric for the uncached
+// layout. Store.CacheStats returns a consistent snapshot at any time.
+type CacheStats = storage.CacheStats
 
 // BuildStore materializes n into a store directory.
 func BuildStore(dir string, n *Network, opts StoreOptions) error {
