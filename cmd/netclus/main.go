@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,6 +31,36 @@ import (
 
 	"netclus"
 )
+
+// buildPruneBounds preprocesses lower-bound pruning tables for the
+// production query paths: landmark tables plus the Euclidean filter when the
+// network carries a usable embedding (disk stores and non-Euclidean weights
+// fall back to landmarks only). landmarks <= 0 disables pruning.
+func buildPruneBounds(g netclus.Graph, landmarks int) (*netclus.Bounds, error) {
+	if landmarks <= 0 {
+		return nil, nil
+	}
+	opts := netclus.BoundsOptions{Landmarks: landmarks, EuclideanLB: true}
+	b, err := netclus.BuildBounds(g, opts)
+	if errors.Is(err, netclus.ErrBoundsNoCoords) || errors.Is(err, netclus.ErrBoundsNotEuclidean) {
+		opts.EuclideanLB = false
+		b, err = netclus.BuildBounds(g, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := b.Stats()
+	fmt.Printf("bounds: %d landmarks (euclidean %v) built in %s, %d KB tables\n",
+		st.Landmarks, st.Euclidean, st.BuildTime.Round(time.Millisecond), st.TableBytes/1024)
+	return b, nil
+}
+
+// printPruneStats reports the filter work of a pruned run.
+func printPruneStats(ps netclus.PruneStats) {
+	fmt.Printf("pruning: %d candidates (%d accepted / %d rejected by bounds, %d refined), %d zero-traversal queries, %d early stops, %d pruned pushes\n",
+		ps.Candidates, ps.FilterAccepted, ps.FilterRejected, ps.FilterUncertain,
+		ps.ZeroTraversalQueries, ps.EarlyStops, ps.PrunedPushes)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -266,6 +297,8 @@ func cluster(args []string) error {
 	delta := fs.Float64("delta", 0, "single-link scalability threshold δ")
 	restarts := fs.Int("restarts", 1, "k-medoids restarts")
 	seed := fs.Int64("seed", 1, "random seed")
+	landmarks := fs.Int("landmarks", netclus.DefaultLandmarks,
+		"lower-bound pruning landmarks for dbscan/k-medoids (0 disables)")
 	out := fs.String("out", "", "write 'pointID<TAB>label' lines to this file")
 	fs.Parse(args)
 
@@ -312,23 +345,47 @@ func cluster(args []string) error {
 		if *eps <= 0 {
 			return fmt.Errorf("dbscan needs -eps > 0")
 		}
-		res, err := netclus.DBSCAN(g, netclus.DBSCANOptions{Eps: *eps, MinPts: *minPts})
+		bounds, err := buildPruneBounds(g, *landmarks)
+		if err != nil {
+			return err
+		}
+		start = time.Now() // clustering time, preprocessing reported separately
+		opts := netclus.DBSCANOptions{Eps: *eps, MinPts: *minPts}
+		if bounds != nil {
+			opts.Prune = bounds
+		}
+		res, err := netclus.DBSCAN(g, opts)
 		if err != nil {
 			return err
 		}
 		labels = res.Labels
 		fmt.Printf("dbscan: %d clusters, %d core points, %d range queries in %s\n",
 			res.NumClusters, res.CorePoints, res.Stats.RangeQueries, time.Since(start).Round(time.Millisecond))
+		if bounds != nil {
+			printPruneStats(res.Stats.Prune)
+		}
 	case "k-medoids":
-		res, err := netclus.KMedoids(g, netclus.KMedoidsOptions{
+		bounds, err := buildPruneBounds(g, *landmarks)
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		opts := netclus.KMedoidsOptions{
 			K: *k, Restarts: *restarts, Rand: rand.New(rand.NewSource(*seed)),
-		})
+		}
+		if bounds != nil {
+			opts.Prune = bounds
+		}
+		res, err := netclus.KMedoids(g, opts)
 		if err != nil {
 			return err
 		}
 		labels = res.Labels
 		fmt.Printf("k-medoids: k=%d, R=%.4g, %d iterations (%d swaps tried) in %s\n",
 			*k, res.R, res.Iterations, res.AttemptedSwaps, time.Since(start).Round(time.Millisecond))
+		if bounds != nil {
+			printPruneStats(res.Stats.Prune)
+		}
 	case "optics":
 		if *eps <= 0 {
 			return fmt.Errorf("optics needs -eps > 0 (the maximum radius)")
@@ -457,6 +514,8 @@ func knn(args []string) error {
 	in := fs.String("in", "", "input network prefix (required)")
 	p := fs.Int("p", 0, "query point ID")
 	k := fs.Int("k", 5, "number of neighbours")
+	landmarks := fs.Int("landmarks", netclus.DefaultLandmarks,
+		"lower-bound pruning landmarks (0 disables)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -465,8 +524,19 @@ func knn(args []string) error {
 	if err != nil {
 		return err
 	}
-	nn, err := netclus.KNearestNeighbors(g, netclus.PointID(*p), *k)
-	if err != nil {
+	var (
+		nn    []netclus.PointDist
+		prune netclus.PruneStats
+	)
+	if bounds, err := buildPruneBounds(g, *landmarks); err != nil {
+		return err
+	} else if bounds != nil {
+		nn, err = netclus.KNearestNeighborsPruned(g, bounds, netclus.PointID(*p), *k, &prune)
+		if err != nil {
+			return err
+		}
+		printPruneStats(prune)
+	} else if nn, err = netclus.KNearestNeighbors(g, netclus.PointID(*p), *k); err != nil {
 		return err
 	}
 	pi, err := g.PointInfo(netclus.PointID(*p))

@@ -24,6 +24,10 @@ type DBSCANOptions struct {
 	// its own graph read view and scratch; labels are identical to the
 	// sequential run.
 	Workers int
+	// Prune, when non-nil, runs every ε-range query through the
+	// filter-and-refine path (see network.RangeScratch.SetBounder). Labels
+	// are identical either way; Stats.Prune reports the saved work.
+	Prune network.Bounder
 }
 
 // DBSCANResult is the outcome of one DBSCAN run.
@@ -77,6 +81,8 @@ func DBSCANCtx(ctx context.Context, g network.Graph, opts DBSCANOptions) (*DBSCA
 		labels[i] = unvisited
 	}
 	scratch := network.NewRangeScratch(g)
+	scratch.SetBounder(opts.Prune)
+	defer func() { res.Stats.Prune.Add(scratch.PruneStats()) }()
 	var queue []network.PointID
 	next := int32(0)
 	for p := 0; p < n; p++ {
@@ -147,11 +153,16 @@ func dbscanParallel(ctx context.Context, g network.Graph, opts DBSCANOptions, wo
 	res := &DBSCANResult{Labels: make([]int32, n), Core: make([]bool, n)}
 	core := res.Core
 	statsArr := make([]Stats, workers)
+	// Per-worker scratches of both passes, harvested for prune counters
+	// after the workers finish (each slot is touched by one goroutine).
+	scratches := make([]*network.RangeScratch, 2*workers)
 
 	// Pass 1: core flags. Each worker writes disjoint core[p] slots.
 	err := parallelPoints(workers, n, func(w int) func(lo, hi int) error {
 		view := network.ReadView(g)
 		scratch := network.NewRangeScratch(view)
+		scratch.SetBounder(opts.Prune)
+		scratches[w] = scratch
 		st := &statsArr[w]
 		return func(lo, hi int) error {
 			for p := lo; p < hi; p++ {
@@ -177,6 +188,8 @@ func dbscanParallel(ctx context.Context, g network.Graph, opts DBSCANOptions, wo
 	err = parallelPoints(workers, n, func(w int) func(lo, hi int) error {
 		view := network.ReadView(g)
 		scratch := network.NewRangeScratch(view)
+		scratch.SetBounder(opts.Prune)
+		scratches[workers+w] = scratch
 		uf := unionfind.New(n)
 		ufs[w] = uf
 		st := &statsArr[w]
@@ -224,6 +237,11 @@ func dbscanParallel(ctx context.Context, g network.Graph, opts DBSCANOptions, wo
 	res.NumClusters = int(next)
 	for _, st := range statsArr {
 		res.Stats.add(st)
+	}
+	for _, sc := range scratches {
+		if sc != nil {
+			res.Stats.Prune.Add(sc.PruneStats())
+		}
 	}
 	return res, nil
 }

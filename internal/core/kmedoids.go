@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -55,10 +56,10 @@ func lessMedEntry(a, b medEntry) bool { return a.dist < b.dist }
 // expansion from all medoids that tags every node with its nearest medoid
 // and distance. The state is fully recomputed.
 func MedoidDistFind(g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats) error {
-	return medoidDistFindCtx(context.Background(), g, medoids, st, stats)
+	return medoidDistFindCtx(context.Background(), g, medoids, st, stats, nil)
 }
 
-func medoidDistFindCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats) error {
+func medoidDistFindCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats, mp *medoidPruner) error {
 	st.Reset()
 	h := heapx.New(lessMedEntry)
 	for i, m := range medoids {
@@ -66,7 +67,7 @@ func medoidDistFindCtx(ctx context.Context, g network.Graph, medoids []network.P
 		h.Push(medEntry{node: m.N2, med: int32(i), dist: m.Weight - m.Pos})
 		stats.HeapPushes += 2
 	}
-	return concurrentExpansion(ctx, g, h, st, stats)
+	return concurrentExpansion(ctx, g, h, st, stats, mp)
 }
 
 // IncMedoidUpdate implements Fig. 5: after medoid slot replacedIdx has been
@@ -84,10 +85,10 @@ func medoidDistFindCtx(ctx context.Context, g network.Graph, medoids []network.P
 // sources alone under-estimate it. Re-pushing the (cheap, 2k) Fig. 4 seeds
 // restores exactness; they are skipped unless they improve a node.
 func IncMedoidUpdate(g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats) error {
-	return incMedoidUpdateCtx(context.Background(), g, medoids, replacedIdx, st, stats)
+	return incMedoidUpdateCtx(context.Background(), g, medoids, replacedIdx, st, stats, nil)
 }
 
-func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats) error {
+func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats, mp *medoidPruner) error {
 	h := heapx.New(lessMedEntry)
 
 	// Unassign the replaced medoid's cluster.
@@ -121,14 +122,59 @@ func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.
 		stats.HeapPushes += 2
 	}
 
-	return concurrentExpansion(ctx, g, h, st, stats)
+	return concurrentExpansion(ctx, g, h, st, stats, mp)
+}
+
+// medoidPruner suppresses expansion frontier pushes that can never win: a
+// push at distance nd to node v is dead weight when nd already exceeds an
+// upper bound on v's distance to its nearest medoid, because v's final
+// assignment is provably closer. Along the multi-source shortest-path tree
+// every push carries exactly the target node's final distance, which is
+// never above the upper bound, so pruned expansions settle every node at the
+// same distance as unpruned ones (see DESIGN.md, Lower-bound pruning).
+// Upper bounds are memoized per node with an epoch stamp; retarget
+// invalidates the memo when the medoid set changes.
+type medoidPruner struct {
+	b     network.Bounder
+	tb    network.TargetBounder
+	memo  []float64
+	stamp []int32
+	epoch int32
+}
+
+func newMedoidPruner(b network.Bounder, numNodes int) *medoidPruner {
+	return &medoidPruner{b: b, memo: make([]float64, numNodes), stamp: make([]int32, numNodes)}
+}
+
+// retarget rebinds the pruner to the current medoid set.
+func (mp *medoidPruner) retarget(medoids []network.PointInfo) {
+	if mp.epoch == math.MaxInt32 {
+		for i := range mp.stamp {
+			mp.stamp[i] = 0
+		}
+		mp.epoch = 0
+	}
+	mp.epoch++
+	mp.tb = mp.b.TargetBounds(medoids)
+}
+
+func (mp *medoidPruner) upper(v network.NodeID) float64 {
+	if mp.stamp[v] == mp.epoch {
+		return mp.memo[v]
+	}
+	u := mp.tb.Upper(v)
+	mp.stamp[v] = mp.epoch
+	mp.memo[v] = u
+	return u
 }
 
 // concurrentExpansion is the shared Concurrent_Expansion of Figs. 4-5. The
 // acceptance test B.dist < Dist[B.node] subsumes both variants: with a reset
 // state it is Fig. 4's "not assigned" check, and on a partially retained
-// state it is Fig. 5's "can this node get closer" check.
-func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[medEntry], st *MedoidState, stats *Stats) error {
+// state it is Fig. 5's "can this node get closer" check. A non-nil mp
+// prunes pushes whose distance exceeds the target node's upper bound to the
+// nearest medoid without changing any settled distance.
+func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[medEntry], st *MedoidState, stats *Stats, mp *medoidPruner) error {
 	ticks := 0
 	for !h.Empty() {
 		b := h.Pop()
@@ -147,10 +193,16 @@ func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[med
 		}
 		stats.EdgesVisited += len(adj)
 		for _, nb := range adj {
-			if nd := b.dist + nb.Weight; nd < st.Dist[nb.Node] {
-				h.Push(medEntry{node: nb.Node, med: b.med, dist: nd})
-				stats.HeapPushes++
+			nd := b.dist + nb.Weight
+			if nd >= st.Dist[nb.Node] {
+				continue
 			}
+			if mp != nil && nd > mp.upper(nb.Node) {
+				stats.Prune.PrunedPushes++
+				continue
+			}
+			h.Push(medEntry{node: nb.Node, med: b.med, dist: nd})
+			stats.HeapPushes++
 		}
 	}
 	return nil
@@ -237,6 +289,11 @@ type KMedoidsOptions struct {
 	// Rand is the randomness source; nil falls back to a fixed-seed
 	// generator so runs are reproducible by default.
 	Rand *rand.Rand
+	// Prune, when non-nil, suppresses medoid-expansion frontier pushes that
+	// a distance bound proves irrelevant to the final assignment. Labels,
+	// medoids and R are identical either way (up to exact distance ties);
+	// Stats.Prune.PrunedPushes reports the saved work.
+	Prune network.Bounder
 }
 
 func (o *KMedoidsOptions) defaults(g network.Graph) error {
@@ -412,8 +469,17 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 
 	st := NewMedoidState(g.NumNodes())
 	labels := make([]int32, g.NumPoints())
+	// One pruner per restart: the shared Bounds is read-only, the memo is
+	// this goroutine's own.
+	var mp *medoidPruner
+	if opts.Prune != nil {
+		mp = newMedoidPruner(opts.Prune, g.NumNodes())
+	}
 	start := time.Now()
-	if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats); err != nil {
+	if mp != nil {
+		mp.retarget(infos)
+	}
+	if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats, mp); err != nil {
 		return nil, err
 	}
 	r, err := AssignPoints(g, infos, st, labels, &res.Stats)
@@ -441,12 +507,15 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 		start := time.Now()
 		oldInfo, oldID := infos[mi], medoidIDs[mi]
 		infos[mi], medoidIDs[mi] = candInfo, cand
+		if mp != nil {
+			mp.retarget(infos)
+		}
 		if opts.Recompute {
-			if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats); err != nil {
+			if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats, mp); err != nil {
 				return nil, err
 			}
 		} else {
-			if err := incMedoidUpdateCtx(ctx, g, infos, mi, st, &res.Stats); err != nil {
+			if err := incMedoidUpdateCtx(ctx, g, infos, mi, st, &res.Stats, mp); err != nil {
 				return nil, err
 			}
 		}

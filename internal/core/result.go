@@ -29,6 +29,10 @@ type Stats struct {
 	EdgesVisited int // adjacency entries examined
 	GroupsRead   int // point-group fetches
 	RangeQueries int // ε-range queries issued (DBSCAN)
+
+	// Prune counts the work saved by lower-bound pruning; all-zero when no
+	// Bounder was configured.
+	Prune network.PruneStats
 }
 
 func (s *Stats) add(o Stats) {
@@ -37,6 +41,7 @@ func (s *Stats) add(o Stats) {
 	s.EdgesVisited += o.EdgesVisited
 	s.GroupsRead += o.GroupsRead
 	s.RangeQueries += o.RangeQueries
+	s.Prune.Add(o.Prune)
 }
 
 // CountClusters returns the number of distinct non-noise labels.

@@ -7,6 +7,7 @@ import (
 
 	"netclus/internal/core"
 	"netclus/internal/datagen"
+	"netclus/internal/lbound"
 	"netclus/internal/network"
 	"netclus/internal/pagebuf"
 	"netclus/internal/storage"
@@ -148,4 +149,137 @@ func DijkstraAblation(cfg Config) ([]DijkstraRow, error) {
 		cfg.printf("%8d %12s %12s\n", k, row.Lazy.Round(time.Microsecond), row.Indexed.Round(time.Microsecond))
 	}
 	return rows, nil
+}
+
+// PruneRow is one lower-bound pruning measurement: an operator run without
+// and with the landmark/Euclidean bounds, with the prune counters that
+// explain the gap. Identical confirms the pruned run returned exactly the
+// unpruned result.
+type PruneRow struct {
+	Op        string
+	Unpruned  time.Duration
+	Pruned    time.Duration
+	Prune     network.PruneStats
+	Identical bool
+}
+
+// PruneAblation measures the lower-bound pruned traversal engine (DESIGN.md,
+// "Lower-bound pruning") against the plain operators on the OL road dataset:
+// DBSCAN (one ε-range query per point), a k-NN batch over sampled query
+// points, and a full k-medoids run. Every pruned run is checked to return
+// byte-identical results. The paper-reproduction experiments in this package
+// deliberately never enable pruning — the paper's 2004 algorithms and their
+// page-access accounting assume plain expansions, and the figures must stay
+// faithful to them; the bounds are a production-path optimisation measured
+// here and in BENCH_prune.json only.
+func PruneAblation(cfg Config) ([]PruneRow, error) {
+	cfg = cfg.withDefaults()
+	g, gen, err := datagen.RoadDataset("OL", cfg.Scale, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	b, err := lbound.Build(g, lbound.Options{EuclideanLB: true})
+	if err != nil {
+		return nil, err
+	}
+	prep := time.Since(t0)
+	cfg.printf("Prune ablation — OL dataset (|V|=%d, N=%d), %d landmarks built in %s\n",
+		g.NumNodes(), g.NumPoints(), b.Stats().Landmarks, prep.Round(time.Microsecond))
+	cfg.printf("%-10s %12s %12s %10s %10s %10s %10s %6s\n",
+		"op", "unpruned", "pruned", "zerotrav", "rejected", "prpushes", "earlystop", "same")
+	var rows []PruneRow
+	emit := func(row PruneRow) {
+		rows = append(rows, row)
+		cfg.printf("%-10s %12s %12s %10d %10d %10d %10d %6v\n",
+			row.Op, row.Unpruned.Round(time.Microsecond), row.Pruned.Round(time.Microsecond),
+			row.Prune.ZeroTraversalQueries, row.Prune.FilterRejected,
+			row.Prune.PrunedPushes, row.Prune.EarlyStops, row.Identical)
+	}
+
+	// DBSCAN: the range-query filter-and-refine path.
+	eps := gen.Eps()
+	t0 = time.Now()
+	plain, err := core.DBSCAN(g, core.DBSCANOptions{Eps: eps, MinPts: 3})
+	if err != nil {
+		return nil, err
+	}
+	unpruned := time.Since(t0)
+	t0 = time.Now()
+	pruned, err := core.DBSCAN(g, core.DBSCANOptions{Eps: eps, MinPts: 3, Prune: b})
+	if err != nil {
+		return nil, err
+	}
+	emit(PruneRow{
+		Op: "dbscan", Unpruned: unpruned, Pruned: time.Since(t0),
+		Prune: pruned.Stats.Prune, Identical: labelsEqual(plain.Labels, pruned.Labels),
+	})
+
+	// k-NN batch: the goal-directed refinement path.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queries := make([]network.PointID, 64)
+	for i := range queries {
+		queries[i] = network.PointID(rng.Intn(g.NumPoints()))
+	}
+	knnPlain := make([][]network.PointDist, len(queries))
+	t0 = time.Now()
+	for i, q := range queries {
+		if knnPlain[i], err = network.KNearestNeighbors(g, q, cfg.K); err != nil {
+			return nil, err
+		}
+	}
+	unpruned = time.Since(t0)
+	var kst network.PruneStats
+	same := true
+	t0 = time.Now()
+	for i, q := range queries {
+		nn, err := network.KNearestNeighborsPruned(g, b, q, cfg.K, &kst)
+		if err != nil {
+			return nil, err
+		}
+		same = same && knnEqual(knnPlain[i], nn)
+	}
+	emit(PruneRow{Op: "knn", Unpruned: unpruned, Pruned: time.Since(t0), Prune: kst, Identical: same})
+
+	// k-medoids: the assignment-expansion push pruning.
+	t0 = time.Now()
+	kmPlain, err := core.KMedoids(g, core.KMedoidsOptions{K: cfg.K, Rand: rand.New(rand.NewSource(cfg.Seed))})
+	if err != nil {
+		return nil, err
+	}
+	unpruned = time.Since(t0)
+	t0 = time.Now()
+	kmPruned, err := core.KMedoids(g, core.KMedoidsOptions{K: cfg.K, Rand: rand.New(rand.NewSource(cfg.Seed)), Prune: b})
+	if err != nil {
+		return nil, err
+	}
+	emit(PruneRow{
+		Op: "k-medoids", Unpruned: unpruned, Pruned: time.Since(t0),
+		Prune: kmPruned.Stats.Prune, Identical: labelsEqual(kmPlain.Labels, kmPruned.Labels),
+	})
+	return rows, nil
+}
+
+func labelsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func knnEqual(a, b []network.PointDist) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -234,3 +234,24 @@ func TestDijkstraAblation(t *testing.T) {
 		}
 	}
 }
+
+func TestPruneAblation(t *testing.T) {
+	rows, err := exp.PruneAblation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s: pruned result differs from unpruned", r.Op)
+		}
+		if r.Unpruned <= 0 || r.Pruned <= 0 {
+			t.Fatalf("%s: bad durations: %+v", r.Op, r)
+		}
+	}
+	if !rows[0].Prune.Fired() {
+		t.Fatalf("dbscan prune counters never fired: %+v", rows[0].Prune)
+	}
+}

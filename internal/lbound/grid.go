@@ -1,0 +1,267 @@
+package lbound
+
+import (
+	"math"
+
+	"netclus/internal/heapx"
+	"netclus/internal/network"
+)
+
+// pointGrid is a uniform planar grid over the interpolated positions of all
+// points, used to enumerate Euclidean candidates: range supersets for the
+// pruned range query and an ascending-distance stream for the pruned kNN.
+// It is immutable after construction.
+type pointGrid struct {
+	minX, minY float64
+	cw, ch     float64 // cell width / height
+	gx, gy     int     // grid dimensions in cells
+	cellStart  []int32 // CSR offsets, len gx*gy+1
+	cellPts    []network.PointID
+	px, py     []float64 // interpolated position per PointID
+}
+
+// buildPointGrid interpolates every point's planar position and buckets the
+// points into a grid sized for roughly one point per cell.
+func buildPointGrid(g network.Graph, nx, ny []float64) (*pointGrid, error) {
+	np := g.NumPoints()
+	pg := &pointGrid{
+		px: make([]float64, np),
+		py: make([]float64, np),
+	}
+	if np == 0 {
+		pg.gx, pg.gy = 1, 1
+		pg.cw, pg.ch = 1, 1
+		pg.cellStart = make([]int32, 2)
+		return pg, nil
+	}
+	minX, minY := network.Inf, network.Inf
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	err := g.ScanGroups(func(_ network.GroupID, grp network.PointGroup, offsets []float64) error {
+		x1, y1 := nx[grp.N1], ny[grp.N1]
+		dx, dy := nx[grp.N2]-x1, ny[grp.N2]-y1
+		for i, off := range offsets {
+			t := off / grp.Weight // builder guarantees Weight > 0
+			p := int(grp.First) + i
+			x, y := x1+dx*t, y1+dy*t
+			pg.px[p], pg.py[p] = x, y
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aim for about one point per cell with an n×n layout; degenerate
+	// extents (all points on one vertical/horizontal line) collapse that
+	// axis to a single cell.
+	side := int(math.Ceil(math.Sqrt(float64(np))))
+	if side < 1 {
+		side = 1
+	}
+	pg.minX, pg.minY = minX, minY
+	pg.gx, pg.gy = side, side
+	pg.cw = (maxX - minX) / float64(side)
+	pg.ch = (maxY - minY) / float64(side)
+	if pg.cw <= 0 {
+		pg.gx, pg.cw = 1, 1
+	}
+	if pg.ch <= 0 {
+		pg.gy, pg.ch = 1, 1
+	}
+
+	// Counting-sort points into CSR cells.
+	cells := pg.gx * pg.gy
+	counts := make([]int32, cells+1)
+	for p := 0; p < np; p++ {
+		counts[pg.cellOf(pg.px[p], pg.py[p])+1]++
+	}
+	for c := 0; c < cells; c++ {
+		counts[c+1] += counts[c]
+	}
+	pg.cellStart = counts
+	pg.cellPts = make([]network.PointID, np)
+	fill := make([]int32, cells)
+	copy(fill, pg.cellStart[:cells])
+	for p := 0; p < np; p++ {
+		c := pg.cellOf(pg.px[p], pg.py[p])
+		pg.cellPts[fill[c]] = network.PointID(p)
+		fill[c]++
+	}
+	return pg, nil
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+func (pg *pointGrid) cellOf(x, y float64) int {
+	cx := clampCell(int((x-pg.minX)/pg.cw), pg.gx)
+	cy := clampCell(int((y-pg.minY)/pg.ch), pg.gy)
+	return cy*pg.gx + cx
+}
+
+// within yields every point at Euclidean distance <= r from (x, y), with its
+// distance, stopping early when yield returns false. Order is arbitrary.
+func (pg *pointGrid) within(x, y, r float64, yield func(q network.PointID, d float64) bool) {
+	cx0 := clampCell(int((x-r-pg.minX)/pg.cw), pg.gx)
+	cx1 := clampCell(int((x+r-pg.minX)/pg.cw), pg.gx)
+	cy0 := clampCell(int((y-r-pg.minY)/pg.ch), pg.gy)
+	cy1 := clampCell(int((y+r-pg.minY)/pg.ch), pg.gy)
+	// Cheap squared-distance prescreen, slightly inflated so no true member
+	// can fail it to rounding; survivors get the exact Hypot test, keeping
+	// the yielded set and distances identical to the naive scan.
+	rsq := r * r * (1 + 1e-12)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			c := cy*pg.gx + cx
+			if pg.cellStart[c] == pg.cellStart[c+1] || pg.cellMinDist2(c, x, y) > rsq {
+				continue
+			}
+			for _, q := range pg.cellPts[pg.cellStart[c]:pg.cellStart[c+1]] {
+				dx, dy := pg.px[q]-x, pg.py[q]-y
+				if dx*dx+dy*dy > rsq {
+					continue
+				}
+				if d := math.Hypot(dx, dy); d <= r {
+					if !yield(q, d) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// gridEntry is a heap element of the nearest-candidate stream: either an
+// unexpanded cell (cell >= 0) or a point (cell == -1), keyed by SQUARED
+// distance — cell-rectangle minimum or exact point distance. Squared keys
+// order identically to linear ones, so the expensive Hypot runs only for the
+// points actually yielded. Cells expand lazily when they reach the top of
+// the heap, so dense cells the consumer never gets near cost one entry
+// instead of one entry per point.
+type gridEntry struct {
+	d2   float64
+	id   network.PointID
+	cell int32
+}
+
+func lessGridEntry(a, b gridEntry) bool {
+	if a.d2 != b.d2 {
+		return a.d2 < b.d2
+	}
+	ac, bc := a.cell >= 0, b.cell >= 0
+	if ac != bc {
+		return ac // a cell expands before points at the same distance pop
+	}
+	if ac {
+		return a.cell < b.cell
+	}
+	return a.id < b.id
+}
+
+// cellMinDist2 returns the squared minimum distance from (x, y) to cell c's
+// rectangle (zero when the query lies inside it).
+func (pg *pointGrid) cellMinDist2(c int, x, y float64) float64 {
+	lox := pg.minX + float64(c%pg.gx)*pg.cw
+	loy := pg.minY + float64(c/pg.gx)*pg.ch
+	var dx, dy float64
+	if x < lox {
+		dx = lox - x
+	} else if hi := lox + pg.cw; x > hi {
+		dx = x - hi
+	}
+	if y < loy {
+		dy = loy - y
+	} else if hi := loy + pg.ch; y > hi {
+		dy = y - hi
+	}
+	return dx*dx + dy*dy
+}
+
+// nearest yields all points in ascending Euclidean distance from (x, y),
+// stopping early when yield returns false. It scans cells in growing
+// Chebyshev rings around the query cell, holding cell stubs and expanded
+// points in a best-first heap until the ring boundary guarantees no closer
+// unscanned cell exists.
+func (pg *pointGrid) nearest(x, y float64, yield func(q network.PointID, d float64) bool) {
+	cx := clampCell(int((x-pg.minX)/pg.cw), pg.gx)
+	cy := clampCell(int((y-pg.minY)/pg.ch), pg.gy)
+	h := heapx.New(lessGridEntry)
+	scanCell := func(icx, icy int) {
+		c := icy*pg.gx + icx
+		if pg.cellStart[c] == pg.cellStart[c+1] {
+			return
+		}
+		h.Push(gridEntry{d2: pg.cellMinDist2(c, x, y), cell: int32(c)})
+	}
+	for ring := 0; ; ring++ {
+		lx, hx := cx-ring, cx+ring
+		ly, hy := cy-ring, cy+ring
+		if ring == 0 {
+			scanCell(cx, cy)
+		} else {
+			// The four sides of the ring, clipped to the grid; corners are
+			// covered by the horizontal rows.
+			for icx := clampCell(lx, pg.gx); icx <= clampCell(hx, pg.gx); icx++ {
+				if ly >= 0 {
+					scanCell(icx, ly)
+				}
+				if hy < pg.gy {
+					scanCell(icx, hy)
+				}
+			}
+			for icy := clampCell(ly+1, pg.gy); icy <= clampCell(hy-1, pg.gy); icy++ {
+				if lx >= 0 {
+					scanCell(lx, icy)
+				}
+				if hx < pg.gx {
+					scanCell(hx, icy)
+				}
+			}
+		}
+		// Everything outside the scanned block is beyond its boundary.
+		// Sides already clipped off the grid hold no points at all.
+		covered := lx <= 0 && ly <= 0 && hx >= pg.gx-1 && hy >= pg.gy-1
+		guarantee2 := network.Inf
+		if !covered {
+			guarantee := network.Inf
+			if lx > 0 {
+				guarantee = math.Min(guarantee, x-(pg.minX+float64(lx)*pg.cw))
+			}
+			if hx < pg.gx-1 {
+				guarantee = math.Min(guarantee, pg.minX+float64(hx+1)*pg.cw-x)
+			}
+			if ly > 0 {
+				guarantee = math.Min(guarantee, y-(pg.minY+float64(ly)*pg.ch))
+			}
+			if hy < pg.gy-1 {
+				guarantee = math.Min(guarantee, pg.minY+float64(hy+1)*pg.ch-y)
+			}
+			guarantee2 = guarantee * guarantee
+		}
+		for !h.Empty() && h.Peek().d2 <= guarantee2 {
+			e := h.Pop()
+			if e.cell >= 0 {
+				for _, q := range pg.cellPts[pg.cellStart[e.cell]:pg.cellStart[e.cell+1]] {
+					dx, dy := pg.px[q]-x, pg.py[q]-y
+					h.Push(gridEntry{d2: dx*dx + dy*dy, id: q, cell: -1})
+				}
+				continue
+			}
+			if !yield(e.id, math.Hypot(pg.px[e.id]-x, pg.py[e.id]-y)) {
+				return
+			}
+		}
+		if covered {
+			return
+		}
+	}
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"netclus/internal/heapx"
@@ -30,54 +31,20 @@ func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
 // checks ctx periodically and returns an error wrapping ctx.Err() when it is
 // done.
 func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]PointDist, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
+	}
 	ticks := 0
 	if err := cancelCheck(ctx, &ticks); err != nil {
 		return nil, err
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
 	}
 	pi, err := g.PointInfo(p)
 	if err != nil {
 		return nil, err
 	}
 
-	// seen holds the live (best) offer per candidate point; best is a
-	// max-heap over offers with lazy deletion — superseded offers stay on
-	// the heap but are recognized as stale because they no longer match
-	// seen. Stale offers are always >= the live one, so skimming them off
-	// the top is safe.
-	best := heapx.New(func(a, b PointDist) bool { return a.Dist > b.Dist })
-	seen := make(map[PointID]float64)
-	bound := func() float64 {
-		if len(seen) < k {
-			return Inf
-		}
-		for !best.Empty() {
-			top := best.Peek()
-			if d, ok := seen[top.Point]; ok && d == top.Dist {
-				return top.Dist
-			}
-			best.Pop() // stale offer
-		}
-		return Inf
-	}
-	offer := func(q PointID, d float64) {
-		if q == p || d > bound() {
-			return
-		}
-		if old, ok := seen[q]; ok && d >= old {
-			return
-		}
-		seen[q] = d
-		best.Push(PointDist{Point: q, Dist: d})
-		for len(seen) > k {
-			top := best.Pop()
-			if od, ok := seen[top.Point]; ok && od == top.Dist {
-				delete(seen, top.Point)
-			}
-		}
-	}
+	offers := newOfferSet(p, k)
+	bound, offer := offers.bound, offers.offer
 
 	// Same-edge candidates (direct distance).
 	pg, err := g.Group(pi.Group)
@@ -145,26 +112,257 @@ func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]Poi
 		}
 	}
 
-	// Collect the valid entries.
-	out := make([]PointDist, 0, k)
-	for q, d := range seen {
-		out = append(out, PointDist{Point: q, Dist: d})
+	return offers.results(), nil
+}
+
+// offerSet keeps the k best (distance, point) offers seen so far, with
+// deterministic ties: when two offers share a distance, the smaller PointID
+// wins. A candidate may be offered several distances (direct edge, each
+// entry endpoint); only its best survives. The set is a small sorted slice —
+// k is user-facing and small, so O(k) insertion beats heap-and-map machinery
+// and allocates nothing after the first insert reaches capacity. Both kNN
+// paths (plain expansion and Euclidean-restricted) share this structure, so
+// their results agree even at k-th-place distance ties.
+type offerSet struct {
+	p PointID
+	k int
+	s []PointDist // ascending (Dist, Point), len <= k
+}
+
+func newOfferSet(p PointID, k int) *offerSet {
+	cap := k
+	if cap > 64 {
+		cap = 64 // degenerate huge k: let append grow it
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+	return &offerSet{p: p, k: k, s: make([]PointDist, 0, cap)}
+}
+
+// bound returns the current k-th best offer distance (+Inf while fewer than
+// k candidates are known). No k-th-or-worse offer can change the result set.
+func (o *offerSet) bound() float64 {
+	if len(o.s) < o.k {
+		return Inf
+	}
+	return o.s[len(o.s)-1].Dist
+}
+
+// offer records distance d for candidate q, evicting the (Dist, Point)-largest
+// entry when the set exceeds k.
+func (o *offerSet) offer(q PointID, d float64) {
+	if q == o.p || d > o.bound() {
+		return
+	}
+	for i := range o.s {
+		if o.s[i].Point == q {
+			if d >= o.s[i].Dist {
+				return
+			}
+			o.s = append(o.s[:i], o.s[i+1:]...)
+			break
 		}
-		return out[i].Point < out[j].Point
-	})
-	if len(out) > k {
-		out = out[:k]
 	}
-	return out, nil
+	at := sort.Search(len(o.s), func(i int) bool {
+		if o.s[i].Dist != d {
+			return o.s[i].Dist > d
+		}
+		return o.s[i].Point > q
+	})
+	o.s = append(o.s, PointDist{})
+	copy(o.s[at+1:], o.s[at:])
+	o.s[at] = PointDist{Point: q, Dist: d}
+	if len(o.s) > o.k {
+		o.s = o.s[:o.k]
+	}
+}
+
+// results returns the surviving offers in ascending (Dist, Point) order.
+func (o *offerSet) results() []PointDist {
+	out := make([]PointDist, len(o.s))
+	copy(out, o.s)
+	return out
 }
 
 // NearestNeighbor returns the single closest point to p.
 func NearestNeighbor(g Graph, p PointID) (PointDist, error) {
 	nn, err := KNearestNeighbors(g, p, 1)
+	if err != nil {
+		return PointDist{}, err
+	}
+	if len(nn) == 0 {
+		return PointDist{Point: -1, Dist: Inf}, nil
+	}
+	return nn[0], nil
+}
+
+// pendingOffer defers a candidate's distance evaluation until one of its edge
+// endpoints is settled by the node expansion: the candidate then costs
+// settled-node distance plus off, its interpolated offset from that endpoint.
+type pendingOffer struct {
+	q   PointID
+	off float64
+}
+
+// KNearestNeighborsPruned answers the kNN query by Euclidean restriction (the
+// paper's filter-and-refine discipline applied to kNN). Candidates stream in
+// ascending Euclidean distance — a lower bound on network distance on a
+// validated embedding — and a single node-only Dijkstra from p resolves their
+// exact distances: each candidate waits on its two edge endpoints, and
+// settling an endpoint completes the offer. The running k-th best offer bounds
+// both sides: the candidate stream stops once the next Euclidean distance
+// exceeds it, and the expansion never pushes past it. Results are identical to
+// KNearestNeighbors. The saving is structural: the plain expansion reads the
+// point records (group offsets) of every edge inside the k-th-distance ball,
+// while this path reads none — candidate locations come from the Bounder's
+// in-memory tables — which is where the disk-resident access cost lives.
+// Falls back to the plain expansion when b is nil or cannot enumerate
+// candidates. stats may be nil.
+func KNearestNeighborsPruned(g Graph, b Bounder, p PointID, k int, stats *PruneStats) ([]PointDist, error) {
+	return KNearestNeighborsPrunedCtx(context.Background(), g, b, p, k, stats)
+}
+
+// KNearestNeighborsPrunedCtx is KNearestNeighborsPruned with cancellation.
+func KNearestNeighborsPrunedCtx(ctx context.Context, g Graph, b Bounder, p PointID, k int, stats *PruneStats) ([]PointDist, error) {
+	if b == nil {
+		return KNearestNeighborsCtx(ctx, g, p, k)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
+	}
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = &PruneStats{}
+	}
+	pi, err := bounderPointInfo(g, b, p)
+	if err != nil {
+		return nil, err
+	}
+
+	offers := newOfferSet(p, k)
+	bound := offers.bound
+
+	// Node-only Dijkstra state. pending maps an unsettled node to the
+	// candidates waiting for it.
+	dist := make(map[NodeID]float64)
+	pending := make(map[NodeID][]pendingOffer)
+	frontier := heapx.New(lessEntry)
+	for _, s := range PointSeeds(pi) {
+		frontier.Push(queueEntry{node: s.Node, dist: s.Dist})
+	}
+	// advance settles nodes with distance up to limit (and never past the
+	// k-th best offer), completing pending candidate offers as it goes.
+	advance := func(limit float64) error {
+		for !frontier.Empty() {
+			e := frontier.Peek()
+			if d, ok := dist[e.node]; ok && e.dist >= d {
+				frontier.Pop()
+				continue
+			}
+			bd := bound()
+			if bd < limit {
+				limit = bd
+			}
+			if e.dist > limit {
+				return nil
+			}
+			frontier.Pop()
+			if err := cancelCheck(ctx, &ticks); err != nil {
+				return err
+			}
+			dist[e.node] = e.dist
+			stats.Refinements++
+			for _, po := range pending[e.node] {
+				// Entry cost first, matching the plain expansion's offers
+				// bit for bit.
+				offers.offer(po.q, e.dist+po.off)
+			}
+			delete(pending, e.node)
+			adj, err := g.Neighbors(e.node)
+			if err != nil {
+				return err
+			}
+			for _, nb := range adj {
+				nd := e.dist + nb.Weight
+				if nd > bound() {
+					stats.PrunedPushes++
+					continue
+				}
+				if d, ok := dist[nb.Node]; !ok || nd < d {
+					frontier.Push(queueEntry{node: nb.Node, dist: nd})
+				}
+			}
+		}
+		return nil
+	}
+
+	var yieldErr error
+	earlyStop := false
+	supported := b.NearestCandidates(pi, func(q PointID, qi PointInfo, de float64) bool {
+		if q == p {
+			return true
+		}
+		// Every unseen candidate has Euclidean distance >= de, which lower
+		// bounds its network distance: once de passes the running k-th best,
+		// nothing further can enter the top k. (A candidate at exactly the
+		// k-th distance cannot displace a held offer either: ties go to the
+		// offer already within Euclidean reach.)
+		if de > bound() {
+			earlyStop = true
+			return false
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			yieldErr = err
+			return false
+		}
+		stats.Candidates++
+		if d := DirectPointDist(pi, qi); !math.IsInf(d, 1) {
+			offers.offer(q, d)
+			stats.FilterAccepted++ // same-edge candidates resolve from the filter alone
+		}
+		side1 := pendingOffer{q: q, off: qi.Pos}
+		if d, ok := dist[qi.N1]; ok {
+			offers.offer(q, d+side1.off)
+		} else {
+			pending[qi.N1] = append(pending[qi.N1], side1)
+		}
+		side2 := pendingOffer{q: q, off: qi.Weight - qi.Pos}
+		if d, ok := dist[qi.N2]; ok {
+			offers.offer(q, d+side2.off)
+		} else {
+			pending[qi.N2] = append(pending[qi.N2], side2)
+		}
+		// Let the expansion trail the Euclidean radius: nodes closer than the
+		// current candidate ring are needed to resolve the ring's offers.
+		if err := advance(de); err != nil {
+			yieldErr = err
+			return false
+		}
+		return true
+	})
+	if yieldErr != nil {
+		return nil, yieldErr
+	}
+	if !supported {
+		return KNearestNeighborsCtx(ctx, g, p, k)
+	}
+	if earlyStop {
+		stats.EarlyStops++
+	}
+	// Finish the expansion out to the k-th best offer so every offer that can
+	// still improve does: a candidate whose true distance beats a held offer
+	// reaches p through a node closer than that offer, and that node gets
+	// settled here.
+	if err := advance(Inf); err != nil {
+		return nil, err
+	}
+	return offers.results(), nil
+}
+
+// NearestNeighborPruned is NearestNeighbor over the filter-and-refine path.
+func NearestNeighborPruned(g Graph, b Bounder, p PointID, stats *PruneStats) (PointDist, error) {
+	nn, err := KNearestNeighborsPruned(g, b, p, 1, stats)
 	if err != nil {
 		return PointDist{}, err
 	}

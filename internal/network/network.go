@@ -142,11 +142,12 @@ type builderPoint struct {
 // Methods record the first error encountered and Build returns it, so call
 // sites may chain Add* calls without per-call checks.
 type Builder struct {
-	coords    []Coord
-	hasCoords bool
-	edges     map[uint64]float64
-	points    []builderPoint
-	err       error
+	coords     []Coord
+	coordNodes int // nodes registered with coordinates
+	plainNodes int // nodes registered without (AddNode() or AddNodes)
+	edges      map[uint64]float64
+	points     []builderPoint
+	err        error
 }
 
 // NewBuilder returns an empty Builder.
@@ -155,16 +156,15 @@ func NewBuilder() *Builder {
 }
 
 // AddNode registers a new node and returns its ID. Pass coordinates to give
-// the network a planar embedding; a network either embeds all nodes or none
-// (the first AddNode decides).
+// the network a planar embedding; a network either embeds all nodes or none,
+// and Build rejects a mix of coordinate and coordinate-free registrations.
 func (b *Builder) AddNode(c ...Coord) NodeID {
 	id := NodeID(len(b.coords))
 	if len(c) > 0 {
-		if id == 0 {
-			b.hasCoords = true
-		}
+		b.coordNodes++
 		b.coords = append(b.coords, c[0])
 	} else {
+		b.plainNodes++
 		b.coords = append(b.coords, Coord{})
 	}
 	return id
@@ -173,6 +173,7 @@ func (b *Builder) AddNode(c ...Coord) NodeID {
 // AddNodes registers n embedding-free nodes and returns the first new ID.
 func (b *Builder) AddNodes(n int) NodeID {
 	id := NodeID(len(b.coords))
+	b.plainNodes += n
 	for i := 0; i < n; i++ {
 		b.coords = append(b.coords, Coord{})
 	}
@@ -233,6 +234,10 @@ func (b *Builder) Build() (*Network, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
+	if b.coordNodes > 0 && b.plainNodes > 0 {
+		return nil, fmt.Errorf("network: mixed embedding: %d nodes have coordinates, %d have none (embed all nodes or none)",
+			b.coordNodes, b.plainNodes)
+	}
 	nNodes := len(b.coords)
 
 	// Sort points by canonical edge, then offset; ties keep input order so
@@ -252,7 +257,7 @@ func (b *Builder) Build() (*Network, error) {
 		tags:     make([]int32, len(pts)),
 		numEdges: len(b.edges),
 	}
-	if b.hasCoords {
+	if b.coordNodes > 0 {
 		net.coords = b.coords
 	}
 

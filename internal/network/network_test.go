@@ -2,6 +2,7 @@ package network_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"netclus/internal/network"
@@ -238,5 +239,48 @@ func TestPointCoordInterpolation(t *testing.T) {
 	}
 	if !n.HasCoords() {
 		t.Fatal("network should carry coords")
+	}
+}
+
+func TestBuilderRejectsMixedEmbedding(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *network.Builder)
+	}{
+		{"coords then plain", func(b *network.Builder) {
+			b.AddNode(network.Coord{X: 1, Y: 2})
+			b.AddNode()
+		}},
+		{"plain then coords", func(b *network.Builder) {
+			b.AddNode()
+			b.AddNode(network.Coord{X: 1, Y: 2})
+		}},
+		{"AddNodes then coords", func(b *network.Builder) {
+			b.AddNodes(3)
+			b.AddNode(network.Coord{X: 1, Y: 2})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := network.NewBuilder()
+			tc.build(b)
+			if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "mixed embedding") {
+				t.Fatalf("Build() err = %v, want mixed-embedding error", err)
+			}
+		})
+	}
+	// Uniform registrations of either kind still build.
+	b := network.NewBuilder()
+	b.AddNode(network.Coord{X: 0})
+	b.AddNode(network.Coord{X: 1})
+	b.AddEdge(0, 1, 1)
+	if g, err := b.Build(); err != nil || !g.HasCoords() {
+		t.Fatalf("all-coords build: g=%v err=%v", g, err)
+	}
+	b = network.NewBuilder()
+	b.AddNodes(2)
+	b.AddEdge(0, 1, 1)
+	if g, err := b.Build(); err != nil || g.HasCoords() {
+		t.Fatalf("all-plain build: g=%v err=%v", g, err)
 	}
 }

@@ -1,0 +1,133 @@
+package network
+
+// This file defines the lower-bound pruning contract between the traversal
+// operators and the landmark/Euclidean bound provider (internal/lbound).
+// The operators stay in this package; the bound tables live in lbound, which
+// imports network — so the coupling is expressed as the two small interfaces
+// below rather than a concrete dependency.
+
+// Bounder supplies cheap lower and upper bounds on network distances.
+// All methods must be safe for concurrent use: one Bounder is typically
+// shared by every worker of a parallel clustering run.
+//
+// Admissibility contract: for all inputs,
+//
+//	NodeLower(a, b)  <= d(a, b)  <= NodeUpper(a, b)
+//	PointLower(p, q) <= d(p, q)  <= PointUpper(p, q)
+//
+// where d is the exact network distance. A Bounder that cannot say anything
+// about a pair returns 0 (lower) or +Inf (upper); both are always valid.
+type Bounder interface {
+	// NodeLower returns a lower bound on the node-to-node distance d(a, b).
+	NodeLower(a, b NodeID) float64
+	// NodeUpper returns an upper bound on the node-to-node distance d(a, b).
+	NodeUpper(a, b NodeID) float64
+	// PointLower returns a lower bound on the point-to-point distance d(p, q).
+	PointLower(p, q PointInfo) float64
+	// PointUpper returns an upper bound on the point-to-point distance d(p, q).
+	PointUpper(p, q PointInfo) float64
+	// Candidates yields every point whose network distance from p can be at
+	// most r — a superset of the true r-neighbourhood — together with its
+	// location qi and (lower, upper) bounds on its network distance from p,
+	// all computed from the provider's own flat tables. Supplying qi spares
+	// the caller a per-candidate PointInfo record read, which on a
+	// disk-backed graph is the very access the filter exists to avoid
+	// (qi's Tag field may be zero; traversal never reads it). It returns
+	// false when candidate enumeration is unsupported (no validated planar
+	// embedding), in which case the caller must fall back to plain network
+	// expansion. Enumeration stops early when yield returns false.
+	Candidates(p PointInfo, r float64, yield func(q PointID, qi PointInfo, lower, upper float64) bool) bool
+	// NearestCandidates yields all points in ascending order of their
+	// Euclidean distance from p (p's own ID may be included), each with its
+	// location qi and that Euclidean distance — the stream's sort key and a
+	// lower bound on the network distance. It returns false when
+	// unsupported; enumeration stops early when yield returns false.
+	NearestCandidates(p PointInfo, yield func(q PointID, qi PointInfo, euclid float64) bool) bool
+	// TargetBounds precomputes distance bounds from arbitrary nodes to the
+	// nearest of the given target points. The returned TargetBounder is
+	// valid until the targets move and is not required to be goroutine-safe.
+	TargetBounds(targets []PointInfo) TargetBounder
+}
+
+// PointInfoSource is an optional Bounder extension: a bounder whose tables
+// hold every point's location can hand the traversal the QUERY point's own
+// PointInfo, sparing the per-query record read that even a zero-traversal
+// filtered query would otherwise pay on a disk-backed graph. The returned
+// info must match the graph's except for Tag, which may be zero (the
+// traversal operators never read it). ok is false when p is out of range.
+type PointInfoSource interface {
+	PointInfoAt(p PointID) (pi PointInfo, ok bool)
+}
+
+// bounderPointInfo resolves p's PointInfo from b's own tables when b
+// implements PointInfoSource, falling back to a graph record read (which
+// also preserves the graph's not-found error for invalid IDs).
+func bounderPointInfo(g Graph, b Bounder, p PointID) (PointInfo, error) {
+	if src, ok := b.(PointInfoSource); ok {
+		if pi, ok := src.PointInfoAt(p); ok {
+			return pi, nil
+		}
+	}
+	return g.PointInfo(p)
+}
+
+// TargetBounder bounds the distance from a node to the nearest member of a
+// fixed target point set (see Bounder.TargetBounds).
+type TargetBounder interface {
+	// Lower returns a lower bound on min over targets t of d(v, t).
+	Lower(v NodeID) float64
+	// Upper returns an upper bound on min over targets t of d(v, t).
+	Upper(v NodeID) float64
+}
+
+// PruneStats counts the work saved (and the filter work spent) by
+// lower-bound pruned traversal. Zero-valued counters on a pruned run mean
+// the filter never fired; benchmarks assert the opposite.
+type PruneStats struct {
+	// Candidates is the number of filter candidates examined.
+	Candidates int
+	// FilterAccepted counts candidates accepted without a full traversal:
+	// range candidates within eps by upper bound alone, and kNN candidates
+	// whose refinement entered the running top k.
+	FilterAccepted int
+	// FilterRejected counts candidates rejected without a full traversal:
+	// range candidates beyond eps by lower bound alone, and kNN candidates
+	// whose bounded refinement proved they lose to the running k-th best.
+	FilterRejected int
+	// FilterUncertain counts candidates in the uncertain band
+	// (lower <= bound < upper) that required traversal to resolve.
+	FilterUncertain int
+	// ZeroTraversalQueries counts range queries fully answered by the
+	// filter, with no network expansion at all.
+	ZeroTraversalQueries int
+	// EarlyStops counts searches cut short by a bound: range expansions
+	// stopped once every uncertain candidate was resolved, and kNN candidate
+	// streams stopped once the next Euclidean distance exceeded the running
+	// k-th best network distance.
+	EarlyStops int
+	// PrunedPushes counts frontier insertions suppressed because a bound
+	// proved the entry could never contribute to the result.
+	PrunedPushes int
+	// Refinements counts nodes settled by the pruned kNN expansion while
+	// resolving candidate offers (compare against the node count of the
+	// unpruned expansion's ball to see the traversal saved).
+	Refinements int
+}
+
+// Add accumulates o into s (used to merge per-worker counters).
+func (s *PruneStats) Add(o PruneStats) {
+	s.Candidates += o.Candidates
+	s.FilterAccepted += o.FilterAccepted
+	s.FilterRejected += o.FilterRejected
+	s.FilterUncertain += o.FilterUncertain
+	s.ZeroTraversalQueries += o.ZeroTraversalQueries
+	s.EarlyStops += o.EarlyStops
+	s.PrunedPushes += o.PrunedPushes
+	s.Refinements += o.Refinements
+}
+
+// Fired reports whether any pruning counter is non-zero.
+func (s *PruneStats) Fired() bool {
+	return s.FilterAccepted > 0 || s.FilterRejected > 0 ||
+		s.ZeroTraversalQueries > 0 || s.EarlyStops > 0 || s.PrunedPushes > 0
+}

@@ -1,0 +1,148 @@
+package network_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"netclus/internal/lbound"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+// stripCoords rebuilds g without its planar embedding, producing the
+// coordinate-free twin of the same network (identical IDs, edges, points).
+func stripCoords(t *testing.T, g *network.Network) *network.Network {
+	t.Helper()
+	b := network.NewBuilder()
+	b.AddNodes(g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		nbs, err := g.Neighbors(network.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range nbs {
+			if nb.Node > network.NodeID(u) {
+				b.AddEdge(network.NodeID(u), nb.Node, nb.Weight)
+			}
+		}
+	}
+	err := g.ScanGroups(func(_ network.GroupID, pg network.PointGroup, offsets []float64) error {
+		for i, off := range offsets {
+			b.AddPoint(pg.N1, pg.N2, off, g.Tag(pg.First+network.PointID(i)))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumPoints() != g.NumPoints() || out.NumEdges() != g.NumEdges() || out.HasCoords() {
+		t.Fatalf("stripCoords changed the network: %d/%d points, %d/%d edges, coords %v",
+			out.NumPoints(), g.NumPoints(), out.NumEdges(), g.NumEdges(), out.HasCoords())
+	}
+	return out
+}
+
+// buildBounds returns the two Bounds variants under test: the full
+// Euclidean+landmark bounds on the embedded network and the landmark-only
+// bounds on its coordless twin (where range/kNN filtering must fall back).
+func equivInstances(t *testing.T, seed int64, nodes, points int) []struct {
+	name string
+	g    *network.Network
+	b    *lbound.Bounds
+} {
+	t.Helper()
+	g, err := testnet.Random(seed, nodes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := lbound.Build(g, lbound.Options{Landmarks: 4, EuclideanLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := stripCoords(t, g)
+	marksOnly, err := lbound.Build(plain, lbound.Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		g    *network.Network
+		b    *lbound.Bounds
+	}{
+		{"euclidean", g, full},
+		{"coordless", plain, marksOnly},
+	}
+}
+
+func TestPrunedRangeQueryEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, inst := range equivInstances(t, seed, 40, 70) {
+			plain := network.NewRangeScratch(inst.g)
+			pruned := network.NewRangeScratch(inst.g)
+			pruned.SetBounder(inst.b)
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 30; trial++ {
+				p := network.PointID(rng.Intn(inst.g.NumPoints()))
+				eps := 0.2 + 2.8*rng.Float64()
+				want, err := plain.RangeQuery(inst.g, p, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pruned.RangeQuery(inst.g, p, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ws := append([]network.PointID(nil), want...)
+				gs := append([]network.PointID(nil), got...)
+				sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+				sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+				if len(ws) != len(gs) {
+					t.Fatalf("seed %d %s p=%d eps=%v: pruned %d results, unpruned %d",
+						seed, inst.name, p, eps, len(gs), len(ws))
+				}
+				for i := range ws {
+					if ws[i] != gs[i] {
+						t.Fatalf("seed %d %s p=%d eps=%v: result sets differ at %d (%d vs %d)",
+							seed, inst.name, p, eps, i, gs[i], ws[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrunedKNNEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, inst := range equivInstances(t, seed+50, 40, 70) {
+			rng := rand.New(rand.NewSource(seed))
+			var stats network.PruneStats
+			for trial := 0; trial < 25; trial++ {
+				p := network.PointID(rng.Intn(inst.g.NumPoints()))
+				k := 1 + rng.Intn(8)
+				want, err := network.KNearestNeighbors(inst.g, p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := network.KNearestNeighborsPruned(inst.g, inst.b, p, k, &stats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("seed %d %s p=%d k=%d: pruned %d results, unpruned %d",
+						seed, inst.name, p, k, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("seed %d %s p=%d k=%d: result %d = %+v, want %+v",
+							seed, inst.name, p, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

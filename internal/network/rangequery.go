@@ -21,6 +21,16 @@ type RangeScratch struct {
 	heap      *heapx.Heap[queueEntry]
 	result    []PointID
 	resultD   []PointDist
+
+	// Lower-bound pruning state (active only when bounder is set).
+	bounder   Bounder
+	prune     PruneStats
+	lbDist    []float64 // memoized target-set lower bound per node
+	lbEpoch   []int32
+	pendEpoch []int32 // per-point pending-candidate stamp
+	pending   int
+	targets   []PointInfo
+	tb        TargetBounder
 }
 
 // NewRangeScratch allocates scratch space sized for g.
@@ -30,9 +40,23 @@ func NewRangeScratch(g Graph) *RangeScratch {
 		nodeEpoch: make([]int32, g.NumNodes()),
 		ptEpoch:   make([]int32, g.NumPoints()),
 		ptDist:    make([]float64, g.NumPoints()),
+		lbDist:    make([]float64, g.NumNodes()),
+		lbEpoch:   make([]int32, g.NumNodes()),
+		pendEpoch: make([]int32, g.NumPoints()),
 		heap:      heapx.New(lessEntry),
 	}
 }
+
+// SetBounder installs a lower-bound provider: subsequent RangeQuery /
+// RangeQueryCtx calls run the filter-and-refine path (identical result set,
+// in candidate rather than discovery order). RangeQueryDist always runs the
+// plain expansion — its callers need exact distances for every result, which
+// upper-bound acceptance does not produce. Pass nil to disable pruning.
+func (s *RangeScratch) SetBounder(b Bounder) { s.bounder = b }
+
+// PruneStats returns the pruning counters accumulated by queries on this
+// scratch since its creation.
+func (s *RangeScratch) PruneStats() PruneStats { return s.prune }
 
 func (s *RangeScratch) nextEpoch() {
 	if s.epoch == math.MaxInt32 {
@@ -42,6 +66,12 @@ func (s *RangeScratch) nextEpoch() {
 		}
 		for i := range s.ptEpoch {
 			s.ptEpoch[i] = 0
+		}
+		for i := range s.lbEpoch {
+			s.lbEpoch[i] = 0
+		}
+		for i := range s.pendEpoch {
+			s.pendEpoch[i] = 0
 		}
 		s.epoch = 0
 	}
@@ -66,6 +96,12 @@ func (s *RangeScratch) setDist(n NodeID, d float64) {
 // all discovery routes (direct along the query's edge, or via either settled
 // endpoint of q's edge).
 func (s *RangeScratch) addPoint(q PointID, d float64) {
+	if s.pendEpoch[q] == s.epoch {
+		// A pending filter candidate just resolved within range. The epoch
+		// counter never takes the zero value, so 0 is a safe "unmarked".
+		s.pendEpoch[q] = 0
+		s.pending--
+	}
 	if s.ptEpoch[q] != s.epoch {
 		s.ptEpoch[q] = s.epoch
 		s.ptDist[q] = d
@@ -88,6 +124,17 @@ func (s *RangeScratch) RangeQuery(g Graph, p PointID, eps float64) ([]PointID, e
 // RangeQueryCtx is RangeQuery with cancellation: the expansion checks ctx
 // periodically and returns an error wrapping ctx.Err() when it is done.
 func (s *RangeScratch) RangeQueryCtx(ctx context.Context, g Graph, p PointID, eps float64) ([]PointID, error) {
+	if s.bounder != nil {
+		handled, err := s.runPruned(ctx, g, p, eps)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return s.result, nil
+		}
+		// The bounder cannot enumerate candidates (no validated planar
+		// embedding); fall back to the plain expansion.
+	}
 	if err := s.run(ctx, g, p, eps); err != nil {
 		return nil, err
 	}
@@ -128,21 +175,8 @@ func (s *RangeScratch) run(ctx context.Context, g Graph, p PointID, eps float64)
 	}
 
 	// Same-edge points reachable directly along the edge.
-	if off, err := g.GroupOffsets(pi.Group); err != nil {
+	if err := s.scanOwnEdge(g, pi, eps); err != nil {
 		return err
-	} else {
-		pg, err := g.Group(pi.Group)
-		if err != nil {
-			return err
-		}
-		lo := sort.SearchFloat64s(off, pi.Pos-eps)
-		for i := lo; i < len(off) && off[i] <= pi.Pos+eps; i++ {
-			d := off[i] - pi.Pos
-			if d < 0 {
-				d = -d
-			}
-			s.addPoint(pg.First+PointID(i), d)
-		}
 	}
 
 	// Bounded multi-source Dijkstra from p's edge exits.
@@ -176,6 +210,147 @@ func (s *RangeScratch) run(ctx context.Context, g Graph, p PointID, eps float64)
 		}
 	}
 	return nil
+}
+
+// scanOwnEdge adds the points reachable from the query point directly along
+// its own edge (the d_L route of Definition 2).
+func (s *RangeScratch) scanOwnEdge(g Graph, pi PointInfo, eps float64) error {
+	off, err := g.GroupOffsets(pi.Group)
+	if err != nil {
+		return err
+	}
+	pg, err := g.Group(pi.Group)
+	if err != nil {
+		return err
+	}
+	lo := sort.SearchFloat64s(off, pi.Pos-eps)
+	for i := lo; i < len(off) && off[i] <= pi.Pos+eps; i++ {
+		d := off[i] - pi.Pos
+		if d < 0 {
+			d = -d
+		}
+		s.addPoint(pg.First+PointID(i), d)
+	}
+	return nil
+}
+
+// targetLB memoizes s.tb.Lower per node for the duration of one query.
+func (s *RangeScratch) targetLB(v NodeID) float64 {
+	if s.lbEpoch[v] == s.epoch {
+		return s.lbDist[v]
+	}
+	d := s.tb.Lower(v)
+	s.lbEpoch[v] = s.epoch
+	s.lbDist[v] = d
+	return d
+}
+
+// runPruned is the filter-and-refine range query: enumerate a Euclidean
+// candidate superset, accept by upper bound and reject by lower bound
+// without traversal, then resolve only the uncertain band with an expansion
+// that (a) prunes frontier pushes whose target-set lower bound proves they
+// cannot reach any pending candidate within eps and (b) stops as soon as
+// every pending candidate is resolved. It produces exactly the result SET of
+// run() — accepted points carry their upper bound, not their exact distance,
+// which is why RangeQueryDist never uses this path. Returns handled=false
+// (scratch reusable, nothing recorded) when the bounder cannot enumerate
+// candidates.
+func (s *RangeScratch) runPruned(ctx context.Context, g Graph, p PointID, eps float64) (bool, error) {
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return true, err
+	}
+	pi, err := bounderPointInfo(g, s.bounder, p)
+	if err != nil {
+		return true, err
+	}
+	s.nextEpoch()
+	s.pending = 0
+	s.targets = s.targets[:0]
+
+	handled := s.bounder.Candidates(pi, eps, func(q PointID, qi PointInfo, lb, ub float64) bool {
+		s.prune.Candidates++
+		if ub <= eps {
+			s.prune.FilterAccepted++
+			s.addPoint(q, ub)
+			return true
+		}
+		if lb > eps {
+			s.prune.FilterRejected++
+			return true
+		}
+		s.prune.FilterUncertain++
+		s.pendEpoch[q] = s.epoch
+		s.pending++
+		s.targets = append(s.targets, qi)
+		return true
+	})
+	if !handled {
+		return false, nil
+	}
+	// No own-edge scan here, unlike run(): the candidate bounds already
+	// carry the direct same-edge route (a same-edge candidate with direct
+	// distance <= eps is accepted by its upper bound), so a still-pending
+	// same-edge candidate can only qualify through an endpoint route, which
+	// the expansion below resolves. A query whose candidates all resolved
+	// from the tables therefore touches the graph zero times.
+	if s.pending == 0 {
+		s.prune.ZeroTraversalQueries++
+		return true, nil
+	}
+
+	// Bounded expansion focused on the pending candidates.
+	s.tb = s.bounder.TargetBounds(s.targets)
+	for _, sd := range PointSeeds(pi) {
+		if sd.Dist > eps {
+			continue
+		}
+		if sd.Dist+s.targetLB(sd.Node) > eps {
+			s.prune.PrunedPushes++
+			continue
+		}
+		s.heap.Push(queueEntry{node: sd.Node, dist: sd.Dist})
+	}
+	for !s.heap.Empty() {
+		e := s.heap.Pop()
+		if e.dist >= s.dist(e.node) {
+			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return true, err
+		}
+		s.setDist(e.node, e.dist)
+		adj, err := g.Neighbors(e.node)
+		if err != nil {
+			return true, err
+		}
+		for _, nb := range adj {
+			if nb.Group != NoGroup {
+				if err := s.collectFrom(g, e.node, nb, e.dist, eps); err != nil {
+					return true, err
+				}
+			}
+			nd := e.dist + nb.Weight
+			if nd > eps || nd >= s.dist(nb.Node) {
+				continue
+			}
+			if nd+s.targetLB(nb.Node) > eps {
+				// nb cannot reach any still-pending candidate within eps.
+				// Along a true shortest path to a pending in-range
+				// candidate, nd + lb never exceeds eps, so such paths are
+				// never cut (see DESIGN.md, Lower-bound pruning).
+				s.prune.PrunedPushes++
+				continue
+			}
+			s.heap.Push(queueEntry{node: nb.Node, dist: nd})
+		}
+		if s.pending == 0 {
+			s.prune.EarlyStops++
+			break
+		}
+	}
+	s.tb = nil
+	return true, nil
 }
 
 // collectFrom adds the points of nb's group whose along-edge distance from

@@ -1,0 +1,146 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// wrapGrid builds a small embedded grid with Euclidean edge weights and a few
+// points per edge. It lives here (not testnet) because an in-package test
+// cannot import packages that import network.
+func wrapGrid(t *testing.T, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const side = 6
+	b := NewBuilder()
+	coords := make([]Coord, side*side)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			coords[r*side+c] = Coord{
+				X: float64(c) + 0.3*(rng.Float64()-0.5),
+				Y: float64(r) + 0.3*(rng.Float64()-0.5),
+			}
+			b.AddNode(coords[r*side+c])
+		}
+	}
+	addEdge := func(u, v int) {
+		w := math.Hypot(coords[u].X-coords[v].X, coords[u].Y-coords[v].Y)
+		b.AddEdge(NodeID(u), NodeID(v), w)
+		if rng.Float64() < 0.6 {
+			b.AddPoint(NodeID(u), NodeID(v), w*rng.Float64(), 0)
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				addEdge(r*side+c, r*side+c+1)
+			}
+			if r+1 < side {
+				addEdge(r*side+c, (r+1)*side+c)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// trivialBounder is the weakest admissible Bounder: every bound is vacuous,
+// every point is a filter candidate. It routes queries through runPruned so
+// the wrap test covers the pruned path's epoch-stamped arrays (lbEpoch,
+// pendEpoch) as well as the plain ones.
+type trivialBounder struct{ g Graph }
+
+func (tb *trivialBounder) NodeLower(a, c NodeID) float64     { return 0 }
+func (tb *trivialBounder) NodeUpper(a, c NodeID) float64     { return math.Inf(1) }
+func (tb *trivialBounder) PointLower(p, q PointInfo) float64 { return 0 }
+func (tb *trivialBounder) PointUpper(p, q PointInfo) float64 { return math.Inf(1) }
+func (tb *trivialBounder) NearestCandidates(p PointInfo, yield func(PointID, PointInfo, float64) bool) bool {
+	return false
+}
+func (tb *trivialBounder) Candidates(p PointInfo, r float64, yield func(PointID, PointInfo, float64, float64) bool) bool {
+	for q := 0; q < tb.g.NumPoints(); q++ {
+		qi, err := tb.g.PointInfo(PointID(q))
+		if err != nil {
+			panic(err)
+		}
+		if !yield(PointID(q), qi, 0, math.Inf(1)) {
+			return true
+		}
+	}
+	return true
+}
+func (tb *trivialBounder) TargetBounds(targets []PointInfo) TargetBounder { return vacuousTB{} }
+
+type vacuousTB struct{}
+
+func (vacuousTB) Lower(v NodeID) float64 { return 0 }
+func (vacuousTB) Upper(v NodeID) float64 { return math.Inf(1) }
+
+func sortedCopy(ids []PointID) []PointID {
+	out := append([]PointID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestRangeScratchEpochWrap drives a scratch across the int32 epoch
+// wrap-around and checks every query still matches a fresh scratch. The wrap
+// clears all four stamp arrays; a missed one would leak stale marks from
+// pre-wrap epochs into post-wrap queries.
+func TestRangeScratchEpochWrap(t *testing.T) {
+	g := wrapGrid(t, 1)
+	for _, withBounder := range []bool{false, true} {
+		name := "plain"
+		if withBounder {
+			name = "pruned"
+		}
+		t.Run(name, func(t *testing.T) {
+			wrapping := NewRangeScratch(g)
+			if withBounder {
+				wrapping.SetBounder(&trivialBounder{g: g})
+			}
+			// Park the epoch a few queries short of the wrap. The next
+			// queries run at MaxInt32-1, MaxInt32, then wrap to 1.
+			wrapping.epoch = math.MaxInt32 - 2
+			for _, arr := range [][]int32{wrapping.nodeEpoch, wrapping.ptEpoch, wrapping.lbEpoch, wrapping.pendEpoch} {
+				for i := range arr {
+					// Poison the stamps with values a wrapped epoch counter
+					// will revisit; the wrap-time clear must erase them.
+					arr[i] = int32(1 + i%3)
+				}
+			}
+			for q := 0; q < 8; q++ {
+				p := PointID(q % g.NumPoints())
+				eps := 0.5 + 0.7*float64(q)
+				got, err := wrapping.RangeQuery(g, p, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh := NewRangeScratch(g)
+				if withBounder {
+					fresh.SetBounder(&trivialBounder{g: g})
+				}
+				want, err := fresh.RangeQuery(g, p, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gs, ws := sortedCopy(got), sortedCopy(want)
+				if len(gs) != len(ws) {
+					t.Fatalf("query %d (epoch %d): %d results, fresh scratch %d", q, wrapping.epoch, len(gs), len(ws))
+				}
+				for i := range gs {
+					if gs[i] != ws[i] {
+						t.Fatalf("query %d (epoch %d): result %d = %d, fresh scratch %d", q, wrapping.epoch, i, gs[i], ws[i])
+					}
+				}
+			}
+			if wrapping.epoch >= math.MaxInt32-2 || wrapping.epoch < 1 {
+				t.Fatalf("epoch did not wrap: %d", wrapping.epoch)
+			}
+		})
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"io"
 
 	"netclus/internal/core"
+	"netclus/internal/lbound"
 	"netclus/internal/network"
 	"netclus/internal/pagebuf"
 	"netclus/internal/storage"
@@ -142,6 +143,64 @@ func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]Poi
 // NearestNeighbor returns p's single closest point by network distance.
 func NearestNeighbor(g Graph, p PointID) (PointDist, error) {
 	return network.NearestNeighbor(g, p)
+}
+
+// Lower-bound pruning (see internal/lbound): landmark (ALT) distance tables
+// plus, on validated planar embeddings, the Euclidean filter-and-refine
+// discipline. Build bounds once per network with BuildBounds, then pass them
+// through DBSCANOptions.Prune / KMedoidsOptions.Prune, RangeScratch's
+// SetBounder, or the *Pruned query entry points. Results are identical to
+// the unpruned paths; ClusterStats.Prune reports the saved work.
+type (
+	// Bounds is an immutable bound provider, safe for concurrent use.
+	Bounds = lbound.Bounds
+	// BoundsOptions configures BuildBounds (landmark count, Euclidean
+	// validation, build parallelism).
+	BoundsOptions = lbound.Options
+	// BoundsStats describes a finished preprocessing pass (landmarks,
+	// build time, table memory).
+	BoundsStats = lbound.BuildStats
+	// Bounder is the pruning interface the traversal operators consume;
+	// *Bounds implements it.
+	Bounder = network.Bounder
+	// PruneStats counts the work saved by lower-bound pruning.
+	PruneStats = network.PruneStats
+)
+
+// DefaultLandmarks is the landmark count used when BoundsOptions.Landmarks
+// is 0.
+const DefaultLandmarks = lbound.DefaultLandmarks
+
+// BuildBounds failure modes callers may want to fall back from (e.g. retry
+// without EuclideanLB when the graph carries no embedding).
+var (
+	ErrBoundsNoCoords     = lbound.ErrNoCoords
+	ErrBoundsNotEuclidean = lbound.ErrNotEuclidean
+)
+
+// BuildBounds precomputes distance bounds for g: landmark tables selected by
+// the farthest-point heuristic and, when opts.EuclideanLB is set on a graph
+// with a planar embedding whose edge weights are at least the straight-line
+// endpoint distances, the Euclidean candidate filter.
+func BuildBounds(g Graph, opts BoundsOptions) (*Bounds, error) {
+	return lbound.Build(g, opts)
+}
+
+// KNearestNeighborsPruned is KNearestNeighbors over the filter-and-refine
+// path: identical results, with Euclidean candidate streaming, lower-bound
+// rejection and goal-directed refinement. stats may be nil.
+func KNearestNeighborsPruned(g Graph, b Bounder, p PointID, k int, stats *PruneStats) ([]PointDist, error) {
+	return network.KNearestNeighborsPruned(g, b, p, k, stats)
+}
+
+// KNearestNeighborsPrunedCtx is KNearestNeighborsPruned with cancellation.
+func KNearestNeighborsPrunedCtx(ctx context.Context, g Graph, b Bounder, p PointID, k int, stats *PruneStats) ([]PointDist, error) {
+	return network.KNearestNeighborsPrunedCtx(ctx, g, b, p, k, stats)
+}
+
+// NearestNeighborPruned is NearestNeighbor over the filter-and-refine path.
+func NearestNeighborPruned(g Graph, b Bounder, p PointID, stats *PruneStats) (PointDist, error) {
+	return network.NearestNeighborPruned(g, b, p, stats)
 }
 
 // Reweight derives a network with every edge weight mapped through f —
