@@ -32,15 +32,30 @@ import (
 	"netclus"
 )
 
-// buildPruneBounds preprocesses lower-bound pruning tables for the
-// production query paths: landmark tables plus the Euclidean filter when the
-// network carries a usable embedding (disk stores and non-Euclidean weights
-// fall back to landmarks only). landmarks <= 0 disables pruning.
-func buildPruneBounds(g netclus.Graph, landmarks int) (*netclus.Bounds, error) {
-	if landmarks <= 0 {
+// pruner bundles the lower-bound pruning wiring shared by the cluster and
+// knn subcommands: the -landmarks flag, the bounds preprocessing (landmark
+// tables plus the Euclidean filter when the network carries a usable
+// embedding; disk stores and non-Euclidean weights fall back to landmarks
+// only), and the post-run prune-stats report. -landmarks 0 disables pruning.
+type pruner struct {
+	landmarks *int
+	bounds    *netclus.Bounds
+}
+
+// newPruner registers the -landmarks flag on fs; what names the queries it
+// accelerates in the flag help.
+func newPruner(fs *flag.FlagSet, what string) *pruner {
+	return &pruner{landmarks: fs.Int("landmarks", netclus.DefaultLandmarks,
+		"lower-bound pruning landmarks for "+what+" (0 disables)")}
+}
+
+// build preprocesses the pruning tables for g per the parsed flag, printing
+// the build cost. It returns nil (no error) when pruning is disabled.
+func (p *pruner) build(g netclus.Graph) (*netclus.Bounds, error) {
+	if *p.landmarks <= 0 {
 		return nil, nil
 	}
-	opts := netclus.BoundsOptions{Landmarks: landmarks, EuclideanLB: true}
+	opts := netclus.BoundsOptions{Landmarks: *p.landmarks, EuclideanLB: true}
 	b, err := netclus.BuildBounds(g, opts)
 	if errors.Is(err, netclus.ErrBoundsNoCoords) || errors.Is(err, netclus.ErrBoundsNotEuclidean) {
 		opts.EuclideanLB = false
@@ -52,11 +67,16 @@ func buildPruneBounds(g netclus.Graph, landmarks int) (*netclus.Bounds, error) {
 	st := b.Stats()
 	fmt.Printf("bounds: %d landmarks (euclidean %v) built in %s, %d KB tables\n",
 		st.Landmarks, st.Euclidean, st.BuildTime.Round(time.Millisecond), st.TableBytes/1024)
+	p.bounds = b
 	return b, nil
 }
 
-// printPruneStats reports the filter work of a pruned run.
-func printPruneStats(ps netclus.PruneStats) {
+// report prints the filter work of a pruned run; a no-op when pruning was
+// disabled or build was never called.
+func (p *pruner) report(ps netclus.PruneStats) {
+	if p.bounds == nil {
+		return
+	}
 	fmt.Printf("pruning: %d candidates (%d accepted / %d rejected by bounds, %d refined), %d zero-traversal queries, %d early stops, %d pruned pushes\n",
 		ps.Candidates, ps.FilterAccepted, ps.FilterRejected, ps.FilterUncertain,
 		ps.ZeroTraversalQueries, ps.EarlyStops, ps.PrunedPushes)
@@ -112,28 +132,7 @@ commands:
 
 // loadNetwork reads <prefix>.node/.edge and optionally .pnt.
 func loadNetwork(prefix string, withPoints bool) (*netclus.Network, error) {
-	nodes, err := os.Open(prefix + ".node")
-	if err != nil {
-		return nil, err
-	}
-	defer nodes.Close()
-	edges, err := os.Open(prefix + ".edge")
-	if err != nil {
-		return nil, err
-	}
-	defer edges.Close()
-	var pts *os.File
-	if withPoints {
-		pts, err = os.Open(prefix + ".pnt")
-		if err != nil {
-			return nil, err
-		}
-		defer pts.Close()
-	}
-	if pts != nil {
-		return netclus.ReadNetwork(nodes, edges, pts)
-	}
-	return netclus.ReadNetwork(nodes, edges, nil)
+	return netclus.LoadNetworkFiles(prefix, withPoints)
 }
 
 func saveNetwork(n *netclus.Network, prefix string, withPoints bool) error {
@@ -297,8 +296,7 @@ func cluster(args []string) error {
 	delta := fs.Float64("delta", 0, "single-link scalability threshold δ")
 	restarts := fs.Int("restarts", 1, "k-medoids restarts")
 	seed := fs.Int64("seed", 1, "random seed")
-	landmarks := fs.Int("landmarks", netclus.DefaultLandmarks,
-		"lower-bound pruning landmarks for dbscan/k-medoids (0 disables)")
+	pr := newPruner(fs, "dbscan/k-medoids")
 	out := fs.String("out", "", "write 'pointID<TAB>label' lines to this file")
 	fs.Parse(args)
 
@@ -345,7 +343,7 @@ func cluster(args []string) error {
 		if *eps <= 0 {
 			return fmt.Errorf("dbscan needs -eps > 0")
 		}
-		bounds, err := buildPruneBounds(g, *landmarks)
+		bounds, err := pr.build(g)
 		if err != nil {
 			return err
 		}
@@ -361,11 +359,9 @@ func cluster(args []string) error {
 		labels = res.Labels
 		fmt.Printf("dbscan: %d clusters, %d core points, %d range queries in %s\n",
 			res.NumClusters, res.CorePoints, res.Stats.RangeQueries, time.Since(start).Round(time.Millisecond))
-		if bounds != nil {
-			printPruneStats(res.Stats.Prune)
-		}
+		pr.report(res.Stats.Prune)
 	case "k-medoids":
-		bounds, err := buildPruneBounds(g, *landmarks)
+		bounds, err := pr.build(g)
 		if err != nil {
 			return err
 		}
@@ -383,9 +379,7 @@ func cluster(args []string) error {
 		labels = res.Labels
 		fmt.Printf("k-medoids: k=%d, R=%.4g, %d iterations (%d swaps tried) in %s\n",
 			*k, res.R, res.Iterations, res.AttemptedSwaps, time.Since(start).Round(time.Millisecond))
-		if bounds != nil {
-			printPruneStats(res.Stats.Prune)
-		}
+		pr.report(res.Stats.Prune)
 	case "optics":
 		if *eps <= 0 {
 			return fmt.Errorf("optics needs -eps > 0 (the maximum radius)")
@@ -514,8 +508,7 @@ func knn(args []string) error {
 	in := fs.String("in", "", "input network prefix (required)")
 	p := fs.Int("p", 0, "query point ID")
 	k := fs.Int("k", 5, "number of neighbours")
-	landmarks := fs.Int("landmarks", netclus.DefaultLandmarks,
-		"lower-bound pruning landmarks (0 disables)")
+	pr := newPruner(fs, "the kNN query")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -528,14 +521,14 @@ func knn(args []string) error {
 		nn    []netclus.PointDist
 		prune netclus.PruneStats
 	)
-	if bounds, err := buildPruneBounds(g, *landmarks); err != nil {
+	if bounds, err := pr.build(g); err != nil {
 		return err
 	} else if bounds != nil {
 		nn, err = netclus.KNearestNeighborsPruned(g, bounds, netclus.PointID(*p), *k, &prune)
 		if err != nil {
 			return err
 		}
-		printPruneStats(prune)
+		pr.report(prune)
 	} else if nn, err = netclus.KNearestNeighbors(g, netclus.PointID(*p), *k); err != nil {
 		return err
 	}

@@ -1,0 +1,314 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ltSample is one finished loadtest request.
+type ltSample struct {
+	endpoint string
+	code     int
+	latency  time.Duration
+	failed   bool // transport error, no status code
+}
+
+// endpointSummary aggregates one endpoint's samples.
+type endpointSummary struct {
+	Requests  int            `json:"requests"`
+	Errors    int            `json:"errors"`
+	Status    map[string]int `json:"status"`
+	MeanMS    float64        `json:"mean_ms"`
+	P50MS     float64        `json:"p50_ms"`
+	P95MS     float64        `json:"p95_ms"`
+	P99MS     float64        `json:"p99_ms"`
+	MaxMS     float64        `json:"max_ms"`
+	PerSecond float64        `json:"per_second"`
+}
+
+// ltSummary is the loadtest report written to -out.
+type ltSummary struct {
+	Target    string                     `json:"target"`
+	Dataset   string                     `json:"dataset"`
+	Workers   int                        `json:"workers"`
+	DurationS float64                    `json:"duration_s"`
+	Requests  int                        `json:"requests"`
+	Errors    int                        `json:"errors"`
+	PerSecond float64                    `json:"per_second"`
+	Endpoints map[string]endpointSummary `json:"endpoints"`
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// summarize folds the samples into the report.
+func summarize(target, dataset string, workers int, elapsed time.Duration, samples []ltSample) ltSummary {
+	sum := ltSummary{
+		Target: target, Dataset: dataset, Workers: workers,
+		DurationS: elapsed.Seconds(),
+		Endpoints: make(map[string]endpointSummary),
+	}
+	byEP := make(map[string][]ltSample)
+	for _, s := range samples {
+		byEP[s.endpoint] = append(byEP[s.endpoint], s)
+	}
+	for ep, ss := range byEP {
+		es := endpointSummary{Status: make(map[string]int)}
+		var lats []time.Duration
+		var total time.Duration
+		for _, s := range ss {
+			es.Requests++
+			if s.failed {
+				es.Errors++
+				continue
+			}
+			es.Status[fmt.Sprintf("%d", s.code)]++
+			lats = append(lats, s.latency)
+			total += s.latency
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		if len(lats) > 0 {
+			es.MeanMS = ms(total / time.Duration(len(lats)))
+			es.P50MS = ms(percentile(lats, 50))
+			es.P95MS = ms(percentile(lats, 95))
+			es.P99MS = ms(percentile(lats, 99))
+			es.MaxMS = ms(lats[len(lats)-1])
+		}
+		if sum.DurationS > 0 {
+			es.PerSecond = float64(es.Requests) / sum.DurationS
+		}
+		sum.Requests += es.Requests
+		sum.Errors += es.Errors
+		sum.Endpoints[ep] = es
+	}
+	if sum.DurationS > 0 {
+		sum.PerSecond = float64(sum.Requests) / sum.DurationS
+	}
+	return sum
+}
+
+// mixEntry is one weighted endpoint of the traffic mix.
+type mixEntry struct {
+	endpoint string
+	weight   int
+}
+
+// parseMix reads "knn:8,range:4,cluster:1".
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want endpoint:weight)", part)
+		}
+		var weight int
+		if _, err := fmt.Sscanf(w, "%d", &weight); err != nil || weight < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", w)
+		}
+		switch name {
+		case "knn", "range", "cluster":
+		default:
+			return nil, fmt.Errorf("unknown mix endpoint %q (want knn, range or cluster)", name)
+		}
+		if weight > 0 {
+			mix = append(mix, mixEntry{endpoint: name, weight: weight})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty traffic mix")
+	}
+	return mix, nil
+}
+
+// pickEndpoint draws from the mix by weight.
+func pickEndpoint(mix []mixEntry, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.endpoint
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].endpoint
+}
+
+// datasetPoints asks the target how many points the dataset has, so query
+// point IDs can be drawn uniformly.
+func datasetPoints(client *http.Client, target, dataset string) (int, error) {
+	resp, err := client.Get(target + "/v1/datasets")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/datasets: %s", resp.Status)
+	}
+	var body struct {
+		Datasets []struct {
+			Name   string `json:"name"`
+			Points int    `json:"points"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	for _, d := range body.Datasets {
+		if d.Name == dataset {
+			if d.Points == 0 {
+				return 0, fmt.Errorf("dataset %q has no points", dataset)
+			}
+			return d.Points, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset %q not served (have %d datasets)", dataset, len(body.Datasets))
+}
+
+// runLoadtest drives the mixed workload and returns the summary. It is the
+// testable core of the loadtest subcommand.
+func runLoadtest(client *http.Client, target, dataset string, points, workers int,
+	duration time.Duration, mix []mixEntry, eps float64, k int, seed int64) ltSummary {
+	var (
+		mu      sync.Mutex
+		samples []ltSample
+	)
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var local []ltSample
+			for time.Now().Before(deadline) {
+				ep := pickEndpoint(mix, rng)
+				p := rng.Intn(points)
+				var url string
+				switch ep {
+				case "knn":
+					url = fmt.Sprintf("%s/v1/%s/knn?p=%d&k=%d", target, dataset, p, k)
+				case "range":
+					url = fmt.Sprintf("%s/v1/%s/range?p=%d&eps=%g", target, dataset, p, eps)
+				case "cluster":
+					url = fmt.Sprintf("%s/v1/%s/cluster?algo=dbscan&eps=%g&minpts=3", target, dataset, eps)
+				}
+				start := time.Now()
+				resp, err := client.Get(url)
+				s := ltSample{endpoint: ep, latency: time.Since(start)}
+				if err != nil {
+					s.failed = true
+				} else {
+					s.code = resp.StatusCode
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				local = append(local, s)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return summarize(target, dataset, workers, time.Since(start), samples)
+}
+
+func loadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the netclusd to load")
+	dataset := fs.String("dataset", "", "dataset name to query (required)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive traffic")
+	workers := fs.Int("workers", 8, "concurrent client connections")
+	mixFlag := fs.String("mix", "knn:8,range:4,cluster:1", "traffic mix as endpoint:weight[,...]")
+	eps := fs.Float64("eps", 1, "eps for range and clustering requests")
+	k := fs.Int("k", 8, "k for kNN requests")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write the JSON summary to this file")
+	fs.Parse(args)
+	if *dataset == "" {
+		return fmt.Errorf("-dataset is required")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*target, "/")
+	client := &http.Client{Timeout: 2 * time.Minute}
+	points, err := datasetPoints(client, base, *dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadtest: %s dataset %s (%d points), %d workers, mix %s, %s\n",
+		base, *dataset, points, *workers, *mixFlag, *duration)
+	sum := runLoadtest(client, base, *dataset, points, *workers, *duration, mix, *eps, *k, *seed)
+	printSummary(sum)
+	if *out != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if sum.Errors > 0 {
+		return fmt.Errorf("%d transport errors", sum.Errors)
+	}
+	return nil
+}
+
+func printSummary(sum ltSummary) {
+	fmt.Printf("total: %d requests in %.1fs (%.0f req/s), %d transport errors\n",
+		sum.Requests, sum.DurationS, sum.PerSecond, sum.Errors)
+	eps := make([]string, 0, len(sum.Endpoints))
+	for ep := range sum.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		es := sum.Endpoints[ep]
+		fmt.Printf("  %-8s %6d req (%.0f/s)  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  status %v\n",
+			ep, es.Requests, es.PerSecond, es.P50MS, es.P95MS, es.P99MS, es.MaxMS, statusList(es.Status))
+	}
+}
+
+func statusList(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, m[k])
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

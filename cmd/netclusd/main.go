@@ -1,0 +1,50 @@
+// Command netclusd serves netclus datasets over HTTP/JSON: ε-range, kNN and
+// clustering queries against disk stores or in-memory networks, with
+// admission control, per-request deadlines, Prometheus metrics and a
+// graceful drain on SIGTERM. See DESIGN.md §8.
+//
+//	netclusd serve    -data ol=data/ol -data sf=data/sf.store -addr :8080
+//	netclusd loadtest -target http://localhost:8080 -dataset ol -duration 10s
+//
+// A -data path naming a directory that contains meta.bin is opened as a disk
+// store; anything else is read as the <prefix>.node/.edge/.pnt text files.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = serve(args)
+	case "loadtest":
+		err = loadtest(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "netclusd: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netclusd %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `netclusd <command> [flags]
+
+commands:
+  serve     serve datasets over HTTP (run with -h for flags)
+  loadtest  drive mixed query traffic at a running netclusd and
+            report latency/throughput`)
+}

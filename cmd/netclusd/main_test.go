@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netclus"
+	"netclus/internal/server"
+)
+
+// writeTestData writes a small grid network with points both as text files
+// (prefix) and as a disk store (dir), and returns the two paths.
+func writeTestData(t *testing.T) (prefix, dir string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	base, err := netclus.GridNetwork(10, 10, 10, 2, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netclus.GenerateUniform(base, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	prefix = filepath.Join(tmp, "net")
+	nodes, err := os.Create(prefix + ".node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodes.Close()
+	edges, err := os.Create(prefix + ".edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edges.Close()
+	pts, err := os.Create(prefix + ".pnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pts.Close()
+	if err := netclus.WriteNetwork(n, nodes, edges, pts); err != nil {
+		t.Fatal(err)
+	}
+	dir = filepath.Join(tmp, "store")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Default page size: buildRegistry opens stores with default options.
+	if err := netclus.BuildStore(dir, n, netclus.StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return prefix, dir
+}
+
+func TestDataFlagsAndStoreDetection(t *testing.T) {
+	var d dataFlags
+	if err := d.Set("ol=data/ol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("sf=data/sf.store"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "ol=data/ol,sf=data/sf.store" {
+		t.Fatalf("String = %q", got)
+	}
+	for _, bad := range []string{"nope", "=path", "name="} {
+		if err := d.Set(bad); err == nil {
+			t.Fatalf("Set(%q) succeeded", bad)
+		}
+	}
+	prefix, dir := writeTestData(t)
+	if isStoreDir(prefix) {
+		t.Error("text prefix detected as store")
+	}
+	if !isStoreDir(dir) {
+		t.Error("store dir not detected")
+	}
+}
+
+func TestBuildRegistryBothKinds(t *testing.T) {
+	prefix, dir := writeTestData(t)
+	logger := log.New(os.Stderr, "", 0)
+	reg, err := buildRegistry([]dataSpec{
+		{name: "mem", path: prefix},
+		{name: "disk", path: dir},
+	}, 256, 4, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	list := reg.List()
+	if len(list) != 2 {
+		t.Fatalf("datasets = %d", len(list))
+	}
+	for _, d := range list {
+		if d.Bounds() == nil {
+			t.Errorf("dataset %s has no bounds", d.Name)
+		}
+		if d.NumPoints() != 300 {
+			t.Errorf("dataset %s points = %d", d.Name, d.NumPoints())
+		}
+	}
+	if _, err := buildRegistry([]dataSpec{{name: "x", path: filepath.Join(t.TempDir(), "missing")}},
+		256, 0, logger); err == nil {
+		t.Fatal("missing dataset path did not error")
+	}
+}
+
+func TestParseMixAndPercentiles(t *testing.T) {
+	mix, err := parseMix("knn:8,range:4,cluster:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("mix = %v", mix)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 13000; i++ {
+		counts[pickEndpoint(mix, rng)]++
+	}
+	if counts["knn"] < counts["range"] || counts["range"] < counts["cluster"] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	for _, bad := range []string{"", "knn", "knn:x", "warp:1", "knn:0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) succeeded", bad)
+		}
+	}
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lats, 50); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(lats, 99); p != 10 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("p50 of empty = %v", p)
+	}
+}
+
+// TestLoadtestAgainstServer boots the serving stack in-process, drives the
+// loadtest core at it, and then drains mid-traffic: the summary must show
+// zero transport errors and only 200s before the drain begins.
+func TestLoadtestAgainstServer(t *testing.T) {
+	prefix, dir := writeTestData(t)
+	logger := log.New(os.Stderr, "", 0)
+	reg, err := buildRegistry([]dataSpec{
+		{name: "mem", path: prefix},
+		{name: "disk", path: dir},
+	}, 256, 4, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	points, err := datasetPoints(client, ts.URL, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != 300 {
+		t.Fatalf("points = %d", points)
+	}
+	if _, err := datasetPoints(client, ts.URL, "nope"); err == nil {
+		t.Fatal("unknown dataset did not error")
+	}
+
+	mix, err := parseMix("knn:6,range:3,cluster:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := runLoadtest(client, ts.URL, "disk", points, 4, 400*time.Millisecond, mix, 20, 5, 1)
+	if sum.Errors != 0 {
+		t.Fatalf("%d transport errors", sum.Errors)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests ran")
+	}
+	for ep, es := range sum.Endpoints {
+		for code, n := range es.Status {
+			if code != "200" {
+				t.Errorf("%s: %d requests got status %s", ep, n, code)
+			}
+		}
+		if es.P50MS <= 0 || es.MaxMS < es.P99MS || es.P99MS < es.P50MS {
+			t.Errorf("%s: implausible latencies %+v", ep, es)
+		}
+	}
+
+	// Drain while a second loadtest is in flight: nothing may fail with a
+	// transport error or a non-(200|503) status.
+	done := make(chan ltSummary, 1)
+	go func() {
+		done <- runLoadtest(client, ts.URL, "disk", points, 4, 2*time.Second, mix, 20, 5, 2)
+	}()
+	time.Sleep(150 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	sum = <-done
+	if sum.Errors != 0 {
+		t.Fatalf("drain dropped %d requests with transport errors", sum.Errors)
+	}
+	okSeen := false
+	for ep, es := range sum.Endpoints {
+		for code, n := range es.Status {
+			switch code {
+			case "200":
+				okSeen = true
+			case "503": // refused after the drain began
+			default:
+				t.Errorf("%s: %d requests got status %s during drain", ep, n, code)
+			}
+		}
+	}
+	if !okSeen {
+		t.Fatal("no request completed before the drain")
+	}
+	if got := summarize("t", "d", 1, 0, nil); got.Requests != 0 || got.PerSecond != 0 {
+		t.Fatalf("empty summarize = %+v", got)
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	if err := serve([]string{"-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("serve without -data did not error")
+	}
+	if err := loadtest([]string{"-duration", "1ms"}); err == nil {
+		t.Fatal("loadtest without -dataset did not error")
+	}
+}
+
+// TestServeSignalDrain runs the real serve() entry point and delivers a
+// SIGTERM: it must come back nil (clean drain) while requests succeed
+// beforehand.
+func TestServeSignalDrain(t *testing.T) {
+	prefix, _ := writeTestData(t)
+	const addr = "127.0.0.1:39181"
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- serve([]string{
+			"-addr", addr,
+			"-data", "mem=" + prefix,
+			"-landmarks", "4",
+			"-drain-timeout", "5s",
+		})
+	}()
+	// Wait for the listener, then check a query round-trips.
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case serveErr := <-errCh:
+			t.Fatalf("serve exited early: %v", serveErr)
+		default:
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("healthz never came up: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get("http://" + addr + "/v1/mem/knn?p=1&k=3")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("serve after signal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain after signal")
+	}
+}

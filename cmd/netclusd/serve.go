@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"netclus"
+	"netclus/internal/server"
+)
+
+// dataSpec is one -data name=path flag.
+type dataSpec struct {
+	name, path string
+}
+
+// dataFlags collects repeated -data flags.
+type dataFlags []dataSpec
+
+func (d *dataFlags) String() string {
+	parts := make([]string, len(*d))
+	for i, s := range *d {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *dataFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*d = append(*d, dataSpec{name: name, path: path})
+	return nil
+}
+
+// isStoreDir reports whether path is a netclus disk store (a directory
+// holding meta.bin) rather than a text-file prefix.
+func isStoreDir(path string) bool {
+	st, err := os.Stat(filepath.Join(path, "meta.bin"))
+	return err == nil && st.Mode().IsRegular()
+}
+
+// buildRegistry loads every -data spec into a registry, closing already
+// loaded datasets on failure.
+func buildRegistry(specs []dataSpec, bufKB, landmarks int, logger *log.Logger) (*server.Registry, error) {
+	reg := server.NewRegistry()
+	for _, spec := range specs {
+		var (
+			d   *server.Dataset
+			err error
+		)
+		start := time.Now()
+		if isStoreDir(spec.path) {
+			opts := netclus.StoreOptions{BufferBytes: bufKB * 1024}
+			d, err = server.NewStoreDataset(spec.name, spec.path, opts, landmarks)
+		} else {
+			var n *netclus.Network
+			if n, err = netclus.LoadNetworkFiles(spec.path, true); err == nil {
+				d, err = server.NewNetworkDataset(spec.name, spec.path, n, landmarks)
+			}
+		}
+		if err != nil {
+			reg.Close()
+			return nil, fmt.Errorf("dataset %s: %w", spec.name, err)
+		}
+		if err := reg.Add(d); err != nil {
+			d.Close()
+			reg.Close()
+			return nil, err
+		}
+		logger.Printf("dataset %s: %s %s loaded in %s (bounds %v)",
+			spec.name, d.Kind, spec.path, time.Since(start).Round(time.Millisecond), d.Bounds() != nil)
+	}
+	return reg, nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var data dataFlags
+	fs.Var(&data, "data", "dataset to serve as name=path (repeatable; required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	bufKB := fs.Int("buffer", 1024, "buffer pool size in KB for disk stores")
+	landmarks := fs.Int("landmarks", netclus.DefaultLandmarks,
+		"lower-bound pruning landmarks per dataset (0 disables)")
+	capacity := fs.Int64("capacity", 0, "admission capacity in cost units (0 = 2x GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission wait-queue depth (0 = 64)")
+	clusterCost := fs.Int64("cluster-cost", 0, "admission cost of a clustering request (0 = 8)")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeout_ms")
+	workers := fs.Int("cluster-workers", 8, "cap on the workers parameter of clustering requests")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
+	fs.Parse(args)
+	if len(data) == 0 {
+		return fmt.Errorf("at least one -data name=path is required")
+	}
+
+	logger := log.New(os.Stderr, "netclusd ", log.LstdFlags)
+	reg, err := buildRegistry(data, *bufKB, *landmarks, logger)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Addr:              *addr,
+		Registry:          reg,
+		Capacity:          *capacity,
+		MaxQueue:          *queue,
+		Costs:             server.EndpointCosts{Cluster: *clusterCost},
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxClusterWorkers: *workers,
+		Log:               logger,
+	})
+	if err != nil {
+		reg.Close()
+		return err
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Printf("serving %d dataset(s) on %s", len(reg.List()), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		// Listener died before any signal: the drain never ran, so close
+		// the stores here.
+		reg.Close()
+		return err
+	case s := <-sig:
+		logger.Printf("signal %s: draining (budget %s)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		logger.Printf("drained cleanly")
+		return nil
+	}
+}

@@ -2,18 +2,19 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"netclus/internal/network"
 	"netclus/internal/unionfind"
 )
 
 // ErrInvalidOptions is wrapped by every option-validation failure of the
-// clustering algorithms, so callers can recognize all of them with a single
-// errors.Is check.
-var ErrInvalidOptions = errors.New("netclus: invalid options")
+// clustering algorithms and the query layer (aliasing the network package's
+// sentinel), so callers can recognize all of them with a single errors.Is
+// check.
+var ErrInvalidOptions = network.ErrInvalidOptions
 
 // ctxCheckMask paces context polls in core-level loops: the context is
 // polled once every ctxCheckMask+1 bumps, mirroring the pacing inside the

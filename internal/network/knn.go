@@ -32,7 +32,7 @@ func KNearestNeighbors(g Graph, p PointID, k int) ([]PointDist, error) {
 // done.
 func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]PointDist, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
+		return nil, fmt.Errorf("%w: k-NN needs k >= 1, got %d", ErrInvalidOptions, k)
 	}
 	ticks := 0
 	if err := cancelCheck(ctx, &ticks); err != nil {
@@ -226,7 +226,7 @@ func KNearestNeighborsPrunedCtx(ctx context.Context, g Graph, b Bounder, p Point
 		return KNearestNeighborsCtx(ctx, g, p, k)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("network: k-NN needs k >= 1, got %d", k)
+		return nil, fmt.Errorf("%w: k-NN needs k >= 1, got %d", ErrInvalidOptions, k)
 	}
 	ticks := 0
 	if err := cancelCheck(ctx, &ticks); err != nil {

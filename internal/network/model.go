@@ -109,6 +109,11 @@ var (
 	ErrNoEdge     = errors.New("network: no such edge")
 )
 
+// ErrInvalidOptions is wrapped by every option-validation failure across the
+// query and clustering layers (core aliases it), so callers can recognize
+// all of them with a single errors.Is check.
+var ErrInvalidOptions = errors.New("netclus: invalid options")
+
 // CanonEdge returns the canonical (smaller, larger) ordering of an edge's
 // endpoints; positions are always expressed from the smaller endpoint
 // (Definition 1 requires n_i < n_j).

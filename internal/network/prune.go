@@ -83,35 +83,39 @@ type TargetBounder interface {
 // PruneStats counts the work saved (and the filter work spent) by
 // lower-bound pruned traversal. Zero-valued counters on a pruned run mean
 // the filter never fired; benchmarks assert the opposite.
+//
+// The JSON field names are a stable contract: the netclusd /metrics and
+// /v1/datasets payloads serialize these snapshots, so renaming a Go field
+// must keep its tag (see TestStatsJSONRoundTrip at the repository root).
 type PruneStats struct {
 	// Candidates is the number of filter candidates examined.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// FilterAccepted counts candidates accepted without a full traversal:
 	// range candidates within eps by upper bound alone, and kNN candidates
 	// whose refinement entered the running top k.
-	FilterAccepted int
+	FilterAccepted int `json:"filter_accepted"`
 	// FilterRejected counts candidates rejected without a full traversal:
 	// range candidates beyond eps by lower bound alone, and kNN candidates
 	// whose bounded refinement proved they lose to the running k-th best.
-	FilterRejected int
+	FilterRejected int `json:"filter_rejected"`
 	// FilterUncertain counts candidates in the uncertain band
 	// (lower <= bound < upper) that required traversal to resolve.
-	FilterUncertain int
+	FilterUncertain int `json:"filter_uncertain"`
 	// ZeroTraversalQueries counts range queries fully answered by the
 	// filter, with no network expansion at all.
-	ZeroTraversalQueries int
+	ZeroTraversalQueries int `json:"zero_traversal_queries"`
 	// EarlyStops counts searches cut short by a bound: range expansions
 	// stopped once every uncertain candidate was resolved, and kNN candidate
 	// streams stopped once the next Euclidean distance exceeded the running
 	// k-th best network distance.
-	EarlyStops int
+	EarlyStops int `json:"early_stops"`
 	// PrunedPushes counts frontier insertions suppressed because a bound
 	// proved the entry could never contribute to the result.
-	PrunedPushes int
+	PrunedPushes int `json:"pruned_pushes"`
 	// Refinements counts nodes settled by the pruned kNN expansion while
 	// resolving candidate offers (compare against the node count of the
 	// unpruned expansion's ball to see the traversal saved).
-	Refinements int
+	Refinements int `json:"refinements"`
 }
 
 // Add accumulates o into s (used to merge per-worker counters).
@@ -124,6 +128,20 @@ func (s *PruneStats) Add(o PruneStats) {
 	s.EarlyStops += o.EarlyStops
 	s.PrunedPushes += o.PrunedPushes
 	s.Refinements += o.Refinements
+}
+
+// Sub returns s - o, for measuring a span of work between two snapshots.
+func (s PruneStats) Sub(o PruneStats) PruneStats {
+	return PruneStats{
+		Candidates:           s.Candidates - o.Candidates,
+		FilterAccepted:       s.FilterAccepted - o.FilterAccepted,
+		FilterRejected:       s.FilterRejected - o.FilterRejected,
+		FilterUncertain:      s.FilterUncertain - o.FilterUncertain,
+		ZeroTraversalQueries: s.ZeroTraversalQueries - o.ZeroTraversalQueries,
+		EarlyStops:           s.EarlyStops - o.EarlyStops,
+		PrunedPushes:         s.PrunedPushes - o.PrunedPushes,
+		Refinements:          s.Refinements - o.Refinements,
+	}
 }
 
 // Fired reports whether any pruning counter is non-zero.

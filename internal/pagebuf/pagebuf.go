@@ -39,11 +39,15 @@ var ErrClosed = errors.New("pagebuf: file closed")
 
 // Stats counts buffer-pool traffic. LogicalReads is the number of page
 // requests; PhysicalReads the subset that missed the pool and hit the disk.
+//
+// The JSON field names are a stable contract: the netclusd /metrics and
+// /v1/datasets payloads serialize these snapshots, so renaming a Go field
+// must keep its tag (see TestStatsJSONRoundTrip at the repository root).
 type Stats struct {
-	LogicalReads  int64
-	PhysicalReads int64
-	PageWrites    int64
-	Evictions     int64
+	LogicalReads  int64 `json:"logical_reads"`
+	PhysicalReads int64 `json:"physical_reads"`
+	PageWrites    int64 `json:"page_writes"`
+	Evictions     int64 `json:"evictions"`
 }
 
 // HitRatio is the fraction of page requests served from the pool.

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the wait queue is full:
+// the server is past its concurrency budget AND its backlog allowance, so the
+// only load-shedding answer left is 429 + Retry-After.
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// Admission is a weighted-semaphore admission controller with a bounded FIFO
+// wait queue. Each request acquires a cost in abstract units before touching
+// a dataset — cheap point queries cost little, clustering jobs a lot — so a
+// burst of heavy work queues or sheds instead of starving the light traffic
+// behind unbounded goroutine pile-up.
+//
+// Grants are strictly FIFO: while any request waits, newcomers queue behind
+// it even if their smaller cost would fit, so a clustering job cannot be
+// starved by a stream of cheap queries slipping past it.
+type Admission struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	waiters  list.List // of *waiter, front = oldest
+	maxQueue int
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	timedOut atomic.Int64
+}
+
+type waiter struct {
+	cost  int64
+	ready chan struct{} // closed by the releaser that granted the units
+}
+
+// Default admission parameters. The capacity default assumes each unit is
+// roughly "one goroutine busy on a traversal": twice GOMAXPROCS keeps the
+// CPUs saturated while some requests wait on page I/O.
+const (
+	DefaultQueueDepth = 64
+)
+
+// DefaultCapacity returns the default admission capacity for this machine.
+func DefaultCapacity() int64 { return int64(2 * runtime.GOMAXPROCS(0)) }
+
+// NewAdmission returns a controller with the given total cost capacity and
+// wait-queue bound; zero or negative arguments select the defaults.
+func NewAdmission(capacity int64, maxQueue int) *Admission {
+	if capacity <= 0 {
+		capacity = DefaultCapacity()
+	}
+	if maxQueue <= 0 {
+		maxQueue = DefaultQueueDepth
+	}
+	return &Admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// clamp bounds a request cost to [1, capacity]: a cost above the whole
+// capacity would never be grantable, so it is taken to mean "the entire
+// server" rather than "reject forever".
+func (a *Admission) clamp(cost int64) int64 {
+	if cost < 1 {
+		return 1
+	}
+	if cost > a.capacity {
+		return a.capacity
+	}
+	return cost
+}
+
+// Acquire blocks until cost units are granted, the queue overflows
+// (ErrOverloaded) or ctx is done (ctx.Err()). Every successful Acquire must
+// be paired with a Release of the same cost.
+func (a *Admission) Acquire(ctx context.Context, cost int64) error {
+	cost = a.clamp(cost)
+	a.mu.Lock()
+	if a.waiters.Len() == 0 && a.inUse+cost <= a.capacity {
+		a.inUse += cost
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return nil
+	}
+	if a.waiters.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return ErrOverloaded
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	el := a.waiters.PushBack(w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation; hand the units back and
+			// wake whoever queued behind us.
+			a.inUse -= w.cost
+			a.grantLocked()
+		default:
+			a.waiters.Remove(el)
+			// A departing heavy waiter may unblock lighter ones behind it.
+			a.grantLocked()
+		}
+		a.mu.Unlock()
+		a.timedOut.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns cost units and hands them to queued waiters in FIFO order.
+func (a *Admission) Release(cost int64) {
+	cost = a.clamp(cost)
+	a.mu.Lock()
+	a.inUse -= cost
+	if a.inUse < 0 {
+		a.mu.Unlock()
+		panic("server: Admission.Release without matching Acquire")
+	}
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked wakes queue-front waiters while their cost fits. Caller holds mu.
+func (a *Admission) grantLocked() {
+	for {
+		el := a.waiters.Front()
+		if el == nil {
+			return
+		}
+		w := el.Value.(*waiter)
+		if a.inUse+w.cost > a.capacity {
+			return
+		}
+		a.inUse += w.cost
+		a.waiters.Remove(el)
+		close(w.ready)
+	}
+}
+
+// AdmissionStats is a point-in-time view of the controller, exported on
+// /metrics and /v1/datasets.
+type AdmissionStats struct {
+	Capacity int64 `json:"capacity"`
+	InUse    int64 `json:"in_use"`
+	Waiting  int   `json:"waiting"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	TimedOut int64 `json:"timed_out"`
+}
+
+// Stats snapshots the controller.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	inUse, waiting := a.inUse, a.waiters.Len()
+	a.mu.Unlock()
+	return AdmissionStats{
+		Capacity: a.capacity,
+		InUse:    inUse,
+		Waiting:  waiting,
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+		TimedOut: a.timedOut.Load(),
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionGrantAndRelease(t *testing.T) {
+	a := NewAdmission(4, 2)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := a.Acquire(ctx, 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if s := a.Stats(); s.InUse != 4 || s.Admitted != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	a.Release(1)
+	if err := a.Acquire(ctx, 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestAdmissionQueueOverflow(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- a.Acquire(context.Background(), 1)
+	}()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 })
+	// ...the next overflows immediately.
+	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow err = %v, want ErrOverloaded", err)
+	}
+	if s := a.Stats(); s.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Rejected)
+	}
+	a.Release(1)
+	if err := <-errCh; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionFIFONoStarvation(t *testing.T) {
+	// A heavy waiter at the head of the queue must not be bypassed by light
+	// requests that would fit in the leftover capacity.
+	a := NewAdmission(4, 8)
+	ctx := context.Background()
+	if err := a.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	heavy := make(chan error, 1)
+	go func() { heavy <- a.Acquire(ctx, 4) }()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 })
+	// Capacity 4, in use 3: a cost-1 acquire would fit, but must queue
+	// behind the heavy waiter.
+	light := make(chan error, 1)
+	go func() { light <- a.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return a.Stats().Waiting == 2 })
+	select {
+	case <-light:
+		t.Fatal("light acquire jumped the queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release(3)
+	if err := <-heavy; err != nil {
+		t.Fatalf("heavy: %v", err)
+	}
+	a.Release(4)
+	if err := <-light; err != nil {
+		t.Fatalf("light: %v", err)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return a.Stats().Waiting == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := a.Stats(); s.Waiting != 0 || s.TimedOut != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The departed waiter must not leak units.
+	a.Release(1)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionCostClamp(t *testing.T) {
+	a := NewAdmission(2, 4)
+	// A cost above capacity means "the whole server", not "unadmittable".
+	if err := a.Acquire(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Stats(); s.InUse != 2 {
+		t.Fatalf("in use = %d, want clamp to capacity 2", s.InUse)
+	}
+	a.Release(100)
+	if s := a.Stats(); s.InUse != 0 {
+		t.Fatalf("in use after release = %d", s.InUse)
+	}
+}
+
+func TestAdmissionConcurrentStress(t *testing.T) {
+	a := NewAdmission(4, 1024)
+	var wg sync.WaitGroup
+	var held sync.Mutex // not contended for correctness, just to vary timing
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(cost int64) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := a.Acquire(context.Background(), cost); err != nil {
+					t.Error(err)
+					return
+				}
+				held.Lock()
+				//nolint:staticcheck // intentional empty critical section
+				held.Unlock()
+				a.Release(cost)
+			}
+		}(int64(i%3 + 1))
+	}
+	wg.Wait()
+	if s := a.Stats(); s.InUse != 0 || s.Waiting != 0 {
+		t.Fatalf("leaked units: %+v", s)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"netclus"
+)
+
+// parseIntParam reads an integer query parameter with a default.
+func parseIntParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+// parseFloatParam reads a float query parameter with a default.
+func parseFloatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+// boolParam reads a 0/1 query parameter.
+func boolParam(r *http.Request, name string, def bool) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true":
+		return true
+	case "0", "false":
+		return false
+	default:
+		return def
+	}
+}
+
+type pointDistJSON struct {
+	Point netclus.PointID `json:"point"`
+	Dist  float64         `json:"dist"`
+}
+
+type rangeResponse struct {
+	Dataset   string            `json:"dataset"`
+	Point     netclus.PointID   `json:"point"`
+	Eps       float64           `json:"eps"`
+	Count     int               `json:"count"`
+	Points    []netclus.PointID `json:"points,omitempty"`
+	Results   []pointDistJSON   `json:"results,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+// handleRange serves GET /v1/{dataset}/range?p=&eps=[&dists=1][&prune=0].
+// The ID-only flavour runs the filter-and-refine path when the dataset has
+// bounds; dists=1 needs exact distances, which only the plain expansion
+// produces.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	p, err := parseIntParam(r, "p", -1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	eps, err := parseFloatParam(r, "eps", 0)
+	if err != nil || eps <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "eps must be > 0"})
+		return
+	}
+	view := d.View()
+	box := d.getScratch()
+	defer d.putScratch(box)
+	start := time.Now()
+	resp := rangeResponse{Dataset: d.Name, Point: netclus.PointID(p), Eps: eps}
+	if boolParam(r, "dists", false) {
+		res, err := box.sc.RangeQueryDistCtx(r.Context(), view, netclus.PointID(p), eps)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		resp.Count = len(res)
+		resp.Results = make([]pointDistJSON, len(res))
+		for i, pd := range res {
+			resp.Results[i] = pointDistJSON{Point: pd.Point, Dist: pd.Dist}
+		}
+	} else {
+		if boolParam(r, "prune", true) {
+			box.sc.SetBounder(d.bounds) // nil bounds = plain expansion
+		}
+		res, err := box.sc.RangeQueryCtx(r.Context(), view, netclus.PointID(p), eps)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		resp.Count = len(res)
+		resp.Points = append([]netclus.PointID(nil), res...)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type knnResponse struct {
+	Dataset   string          `json:"dataset"`
+	Point     netclus.PointID `json:"point"`
+	K         int             `json:"k"`
+	Results   []pointDistJSON `json:"results"`
+	Pruned    bool            `json:"pruned"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// handleKNN serves GET /v1/{dataset}/knn?p=&k=[&prune=0].
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	p, err := parseIntParam(r, "p", -1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	k, err := parseIntParam(r, "k", 5)
+	if err != nil || k < 1 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "k must be >= 1"})
+		return
+	}
+	view := d.View()
+	start := time.Now()
+	var (
+		res    []netclus.PointDist
+		pruned bool
+	)
+	if d.bounds != nil && boolParam(r, "prune", true) {
+		var ps netclus.PruneStats
+		res, err = netclus.KNearestNeighborsPrunedCtx(r.Context(), view, d.bounds, netclus.PointID(p), k, &ps)
+		d.addPrune(ps)
+		pruned = true
+	} else {
+		res, err = netclus.KNearestNeighborsCtx(r.Context(), view, netclus.PointID(p), k)
+	}
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	resp := knnResponse{
+		Dataset: d.Name, Point: netclus.PointID(p), K: k, Pruned: pruned,
+		Results:   make([]pointDistJSON, len(res)),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, pd := range res {
+		resp.Results[i] = pointDistJSON{Point: pd.Point, Dist: pd.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterRequest is the body of POST /v1/{dataset}/cluster; every field can
+// also arrive as a query parameter on GET.
+type clusterRequest struct {
+	Algo     string  `json:"algo"`
+	Eps      float64 `json:"eps"`
+	MinPts   int     `json:"minpts"`
+	MinSup   int     `json:"minsup"`
+	K        int     `json:"k"`
+	Workers  int     `json:"workers"`
+	Restarts int     `json:"restarts"`
+	Seed     int64   `json:"seed"`
+	Labels   bool    `json:"labels"`
+	Prune    *bool   `json:"prune,omitempty"`
+}
+
+type clusterResponse struct {
+	Dataset    string              `json:"dataset"`
+	Algo       string              `json:"algo"`
+	Clusters   int                 `json:"clusters"`
+	Noise      int                 `json:"noise"`
+	CorePoints int                 `json:"core_points,omitempty"`
+	R          float64             `json:"r,omitempty"`
+	Labels     []int32             `json:"labels,omitempty"`
+	Stats      clusterStatsJSON    `json:"stats"`
+	Prune      *netclus.PruneStats `json:"prune,omitempty"`
+	ElapsedMS  float64             `json:"elapsed_ms"`
+}
+
+type clusterStatsJSON struct {
+	NodesSettled int `json:"nodes_settled"`
+	HeapPushes   int `json:"heap_pushes"`
+	EdgesVisited int `json:"edges_visited"`
+	GroupsRead   int `json:"groups_read"`
+	RangeQueries int `json:"range_queries"`
+}
+
+func (s *Server) parseClusterRequest(r *http.Request) (clusterRequest, error) {
+	req := clusterRequest{Algo: "dbscan", MinPts: 3, K: 8, Restarts: 1, Seed: 1}
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad request body: %v", err)
+		}
+		return req, nil
+	}
+	q := r.URL.Query()
+	if v := q.Get("algo"); v != "" {
+		req.Algo = v
+	}
+	var err error
+	if req.Eps, err = parseFloatParam(r, "eps", 0); err != nil {
+		return req, err
+	}
+	if req.MinPts, err = parseIntParam(r, "minpts", req.MinPts); err != nil {
+		return req, err
+	}
+	if req.MinSup, err = parseIntParam(r, "minsup", 0); err != nil {
+		return req, err
+	}
+	if req.K, err = parseIntParam(r, "k", req.K); err != nil {
+		return req, err
+	}
+	if req.Workers, err = parseIntParam(r, "workers", 0); err != nil {
+		return req, err
+	}
+	if req.Restarts, err = parseIntParam(r, "restarts", req.Restarts); err != nil {
+		return req, err
+	}
+	seed, err := parseIntParam(r, "seed", 1)
+	if err != nil {
+		return req, err
+	}
+	req.Seed = int64(seed)
+	req.Labels = boolParam(r, "labels", false)
+	if q.Get("prune") != "" {
+		p := boolParam(r, "prune", true)
+		req.Prune = &p
+	}
+	return req, nil
+}
+
+// handleCluster serves /v1/{dataset}/cluster for dbscan, epslink and
+// kmedoids. Clustering rides the same *Ctx engine entry points as the CLI,
+// with the request deadline flowing into every traversal.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	req, err := s.parseClusterRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	workers := req.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	if workers > s.cfg.MaxClusterWorkers {
+		workers = s.cfg.MaxClusterWorkers
+	}
+	var bounds netclus.Bounder
+	if d.bounds != nil && (req.Prune == nil || *req.Prune) {
+		bounds = d.bounds
+	}
+	view := d.View()
+	ctx := r.Context()
+	start := time.Now()
+	resp := clusterResponse{Dataset: d.Name, Algo: req.Algo}
+	var labels []int32
+	switch req.Algo {
+	case "dbscan":
+		opts := netclus.DBSCANOptions{Eps: req.Eps, MinPts: req.MinPts, Workers: workers, Prune: bounds}
+		res, err := netclus.DBSCANCtx(ctx, view, opts)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		labels = res.Labels
+		resp.CorePoints = res.CorePoints
+		resp.Stats = statsJSON(res.Stats)
+		d.addPrune(res.Stats.Prune)
+		if bounds != nil {
+			ps := res.Stats.Prune
+			resp.Prune = &ps
+		}
+	case "epslink", "eps-link":
+		opts := netclus.EpsLinkOptions{Eps: req.Eps, MinSup: req.MinSup, Workers: workers}
+		res, err := netclus.EpsLinkCtx(ctx, view, opts)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		labels = res.Labels
+		resp.Stats = statsJSON(res.Stats)
+	case "kmedoids", "k-medoids":
+		opts := netclus.KMedoidsOptions{
+			K: req.K, Restarts: req.Restarts, Workers: workers, Prune: bounds,
+			Rand: rand.New(rand.NewSource(req.Seed)),
+		}
+		res, err := netclus.KMedoidsCtx(ctx, view, opts)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		labels = res.Labels
+		resp.R = res.R
+		resp.Stats = statsJSON(res.Stats)
+		d.addPrune(res.Stats.Prune)
+		if bounds != nil {
+			ps := res.Stats.Prune
+			resp.Prune = &ps
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown algo %q (want dbscan, epslink or kmedoids)", req.Algo)})
+		return
+	}
+	if req.MinSup > 1 {
+		netclus.SuppressSmallClusters(labels, req.MinSup)
+	}
+	resp.Clusters = netclus.CountClusters(labels)
+	for _, l := range labels {
+		if l == netclus.Noise {
+			resp.Noise++
+		}
+	}
+	if req.Labels {
+		resp.Labels = labels
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func statsJSON(st netclus.ClusterStats) clusterStatsJSON {
+	return clusterStatsJSON{
+		NodesSettled: st.NodesSettled,
+		HeapPushes:   st.HeapPushes,
+		EdgesVisited: st.EdgesVisited,
+		GroupsRead:   st.GroupsRead,
+		RangeQueries: st.RangeQueries,
+	}
+}
+
+// datasetInfo is one /v1/datasets entry.
+type datasetInfo struct {
+	Name    string              `json:"name"`
+	Kind    string              `json:"kind"`
+	Source  string              `json:"source"`
+	Nodes   int                 `json:"nodes"`
+	Edges   int                 `json:"edges"`
+	Points  int                 `json:"points"`
+	Bounds  bool                `json:"bounds"`
+	Queries int64               `json:"queries"`
+	Store   *netclus.StoreStats `json:"store,omitempty"`
+	Prune   netclus.PruneStats  `json:"prune"`
+}
+
+// handleDatasets serves GET /v1/datasets: the registry with live counters.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	list := s.reg.List()
+	out := make([]datasetInfo, 0, len(list))
+	for _, d := range list {
+		info := datasetInfo{
+			Name: d.Name, Kind: d.Kind, Source: d.Source,
+			Nodes: d.nodes, Edges: d.edges, Points: d.points,
+			Bounds: d.bounds != nil, Queries: d.Queries(),
+			Prune: d.PruneStats(),
+		}
+		if ss, ok := d.StoreStats(); ok {
+			info.Store = &ss
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}{Datasets: out})
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status   string  `json:"status"`
+	Datasets int     `json:"datasets"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+// handleHealthz reports ready until the drain begins.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
+			Status: "draining", Datasets: len(s.reg.List()),
+			UptimeS: time.Since(s.started).Seconds(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok", Datasets: len(s.reg.List()),
+		UptimeS: time.Since(s.started).Seconds(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, s.adm, s.reg)
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the process-wide request instrumentation: per-endpoint request
+// counters (by status code) and latency histograms, plus panic and in-flight
+// gauges. It renders itself in the Prometheus text exposition format without
+// any client-library dependency — the counter families are few and fixed, so
+// a map under a small mutex plus atomics on the hot path is all it takes.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]*atomic.Int64
+	hists    map[string]*histogram
+
+	panics   atomic.Int64
+	inflight atomic.Int64
+}
+
+type reqKey struct {
+	endpoint string
+	dataset  string
+	code     int
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds, log-spaced
+// from 100µs (a cached point query) to 30s (a heavy clustering job).
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters. counts
+// has one slot per bound plus the +Inf overflow.
+type histogram struct {
+	counts    []atomic.Int64
+	sumMicros atomic.Int64
+	total     atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds, secs)
+	h.counts[i].Add(1)
+	h.sumMicros.Add(d.Microseconds())
+	h.total.Add(1)
+}
+
+// NewMetrics returns empty instrumentation.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[reqKey]*atomic.Int64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint, dataset string, code int, d time.Duration) {
+	k := reqKey{endpoint: endpoint, dataset: dataset, code: code}
+	m.mu.Lock()
+	c := m.requests[k]
+	if c == nil {
+		c = new(atomic.Int64)
+		m.requests[k] = c
+	}
+	h := m.hists[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.hists[endpoint] = h
+	}
+	m.mu.Unlock()
+	c.Add(1)
+	h.observe(d)
+}
+
+// Panicked records a request handler panic.
+func (m *Metrics) Panicked() { m.panics.Add(1) }
+
+// Panics returns the panic count.
+func (m *Metrics) Panics() int64 { return m.panics.Load() }
+
+// RequestCount sums the request counters matching endpoint and code
+// (empty endpoint / zero code match everything), for tests and health.
+func (m *Metrics) RequestCount(endpoint string, code int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for k, c := range m.requests {
+		if (endpoint == "" || k.endpoint == endpoint) && (code == 0 || k.code == code) {
+			n += c.Load()
+		}
+	}
+	return n
+}
+
+// WritePrometheus renders every metric family in the text exposition format:
+// the request counters and histograms, the admission controller, and per
+// dataset the engine's buffer/cache/shard counter deltas plus the aggregated
+// prune counters. Output is deterministically ordered so scrapes diff cleanly.
+func (m *Metrics) WritePrometheus(w io.Writer, adm *Admission, reg *Registry) {
+	m.writeRequests(w)
+	m.writeHistograms(w)
+
+	fmt.Fprintf(w, "# HELP netclusd_inflight_requests Requests currently being handled.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "netclusd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP netclusd_panics_total Request handlers recovered from a panic.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_panics_total counter\n")
+	fmt.Fprintf(w, "netclusd_panics_total %d\n", m.panics.Load())
+
+	if adm != nil {
+		s := adm.Stats()
+		fmt.Fprintf(w, "# HELP netclusd_admission_capacity Total admission cost units.\n")
+		fmt.Fprintf(w, "# TYPE netclusd_admission_capacity gauge\n")
+		fmt.Fprintf(w, "netclusd_admission_capacity %d\n", s.Capacity)
+		fmt.Fprintf(w, "# HELP netclusd_admission_in_use Admission cost units in use.\n")
+		fmt.Fprintf(w, "# TYPE netclusd_admission_in_use gauge\n")
+		fmt.Fprintf(w, "netclusd_admission_in_use %d\n", s.InUse)
+		fmt.Fprintf(w, "# HELP netclusd_admission_waiting Requests queued for admission.\n")
+		fmt.Fprintf(w, "# TYPE netclusd_admission_waiting gauge\n")
+		fmt.Fprintf(w, "netclusd_admission_waiting %d\n", s.Waiting)
+		fmt.Fprintf(w, "# HELP netclusd_admission_admitted_total Requests admitted.\n")
+		fmt.Fprintf(w, "# TYPE netclusd_admission_admitted_total counter\n")
+		fmt.Fprintf(w, "netclusd_admission_admitted_total %d\n", s.Admitted)
+		fmt.Fprintf(w, "# HELP netclusd_admission_rejected_total Requests shed with 429.\n")
+		fmt.Fprintf(w, "# TYPE netclusd_admission_rejected_total counter\n")
+		fmt.Fprintf(w, "netclusd_admission_rejected_total %d\n", s.Rejected)
+		fmt.Fprintf(w, "# HELP netclusd_admission_timeout_total Requests that gave up waiting for admission.\n")
+		fmt.Fprintf(w, "# TYPE netclusd_admission_timeout_total counter\n")
+		fmt.Fprintf(w, "netclusd_admission_timeout_total %d\n", s.TimedOut)
+	}
+	if reg != nil {
+		writeDatasetMetrics(w, reg)
+	}
+}
+
+func (m *Metrics) writeRequests(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.endpoint != b.endpoint {
+			return a.endpoint < b.endpoint
+		}
+		if a.dataset != b.dataset {
+			return a.dataset < b.dataset
+		}
+		return a.code < b.code
+	})
+	fmt.Fprintf(w, "# HELP netclusd_requests_total Requests served, by endpoint, dataset and status code.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_requests_total counter\n")
+	for _, k := range keys {
+		m.mu.Lock()
+		c := m.requests[k]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "netclusd_requests_total{endpoint=%q,dataset=%q,code=\"%d\"} %d\n",
+			k.endpoint, k.dataset, k.code, c.Load())
+	}
+}
+
+func (m *Metrics) writeHistograms(w io.Writer) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.hists))
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP netclusd_request_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_request_seconds histogram\n")
+	for _, n := range names {
+		m.mu.Lock()
+		h := m.hists[n]
+		m.mu.Unlock()
+		cum := int64(0)
+		for i, bound := range latencyBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "netclusd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", n, bound, cum)
+		}
+		cum += h.counts[len(latencyBounds)].Load()
+		fmt.Fprintf(w, "netclusd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "netclusd_request_seconds_sum{endpoint=%q} %g\n", n, float64(h.sumMicros.Load())/1e6)
+		fmt.Fprintf(w, "netclusd_request_seconds_count{endpoint=%q} %d\n", n, h.total.Load())
+	}
+}
+
+// writeDatasetMetrics exports, per dataset, the serving-attributable deltas
+// of the engine's counter families: buffer-pool traffic (aggregate and per
+// latch shard), decoded-record caches, and the aggregated prune counters —
+// the paper's page-access accounting, live.
+func writeDatasetMetrics(w io.Writer, reg *Registry) {
+	type counterRow struct {
+		name, labels string
+		v            int64
+	}
+	var rows []counterRow
+	add := func(name, labels string, v int64) {
+		rows = append(rows, counterRow{name, labels, v})
+	}
+	for _, d := range reg.List() {
+		ds := fmt.Sprintf("dataset=%q", d.Name)
+		add("netclusd_dataset_queries_total", ds, d.Queries())
+		if ss, ok := d.StoreStats(); ok {
+			add("netclusd_store_logical_reads_total", ds, ss.Buffer.LogicalReads)
+			add("netclusd_store_physical_reads_total", ds, ss.Buffer.PhysicalReads)
+			add("netclusd_store_page_writes_total", ds, ss.Buffer.PageWrites)
+			add("netclusd_store_evictions_total", ds, ss.Buffer.Evictions)
+			add("netclusd_store_cache_hits_total", ds+`,cache="adj"`, ss.Cache.AdjHits)
+			add("netclusd_store_cache_misses_total", ds+`,cache="adj"`, ss.Cache.AdjMisses)
+			add("netclusd_store_cache_evictions_total", ds+`,cache="adj"`, ss.Cache.AdjEvictions)
+			add("netclusd_store_cache_hits_total", ds+`,cache="group"`, ss.Cache.GroupHits)
+			add("netclusd_store_cache_misses_total", ds+`,cache="group"`, ss.Cache.GroupMisses)
+			add("netclusd_store_cache_evictions_total", ds+`,cache="group"`, ss.Cache.GroupEvictions)
+			add("netclusd_store_cache_hits_total", ds+`,cache="leaf"`, ss.Cache.LeafHits)
+			add("netclusd_store_cache_misses_total", ds+`,cache="leaf"`, ss.Cache.LeafMisses)
+			for i, sh := range ss.Shards {
+				add("netclusd_store_shard_logical_reads_total",
+					fmt.Sprintf("%s,shard=\"%d\"", ds, i), sh.LogicalReads)
+			}
+		}
+		ps := d.PruneStats()
+		add("netclusd_prune_candidates_total", ds, int64(ps.Candidates))
+		add("netclusd_prune_filter_accepted_total", ds, int64(ps.FilterAccepted))
+		add("netclusd_prune_filter_rejected_total", ds, int64(ps.FilterRejected))
+		add("netclusd_prune_filter_uncertain_total", ds, int64(ps.FilterUncertain))
+		add("netclusd_prune_zero_traversal_queries_total", ds, int64(ps.ZeroTraversalQueries))
+		add("netclusd_prune_early_stops_total", ds, int64(ps.EarlyStops))
+		add("netclusd_prune_pruned_pushes_total", ds, int64(ps.PrunedPushes))
+		add("netclusd_prune_refinements_total", ds, int64(ps.Refinements))
+	}
+	// Group rows by family so every # TYPE header precedes all its samples.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		return rows[i].labels < rows[j].labels
+	})
+	last := ""
+	for _, r := range rows {
+		if r.name != last {
+			fmt.Fprintf(w, "# TYPE %s counter\n", r.name)
+			last = r.name
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", r.name, r.labels, r.v)
+	}
+}

@@ -1,0 +1,248 @@
+// Package server is the netclusd serving layer: a dataset registry over the
+// netclus engine, HTTP/JSON query handlers for the paper's operators
+// (ε-range, kNN, density and partitioning clustering), a weighted-semaphore
+// admission controller, and hand-rolled Prometheus metrics wired to the
+// engine's buffer/cache/shard/prune counters. See DESIGN.md §8.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"netclus"
+)
+
+// Dataset is one served graph: a disk store or an in-memory network,
+// optionally with prebuilt lower-bound pruning tables, plus the pooled
+// per-request query scratch and the counters the serving layer accumulates
+// on top of the engine's own.
+type Dataset struct {
+	// Name is the registry key, the {dataset} segment of the URL space.
+	Name string
+	// Kind is "store" for disk-backed datasets, "memory" otherwise.
+	Kind string
+	// Source describes where the dataset came from (directory or file
+	// prefix), for /v1/datasets.
+	Source string
+
+	graph  netclus.Graph
+	store  *netclus.Store // nil for in-memory datasets
+	bounds *netclus.Bounds
+
+	// base is the store counter snapshot taken at registration, so /metrics
+	// reports deltas attributable to serving rather than to dataset load.
+	base netclus.StoreStats
+
+	nodes, edges, points int
+
+	scratch sync.Pool // of *scratchBox
+
+	mu      sync.Mutex
+	prune   netclus.PruneStats
+	queries int64
+}
+
+// scratchBox pairs pooled range-query scratch with the prune counters already
+// harvested from it, so each release folds only the new work into the
+// dataset's aggregate.
+type scratchBox struct {
+	sc        *netclus.RangeScratch
+	harvested netclus.PruneStats
+}
+
+// NewStoreDataset opens the store under dir as a served dataset. landmarks
+// > 0 additionally builds lower-bound pruning tables over it (Euclidean
+// filtering when the embedding allows, landmark tables otherwise).
+func NewStoreDataset(name, dir string, opts netclus.StoreOptions, landmarks int) (*Dataset, error) {
+	st, err := netclus.OpenStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Name: name, Kind: "store", Source: dir,
+		graph: st, store: st,
+		nodes: st.NumNodes(), edges: st.NumEdges(), points: st.NumPoints(),
+	}
+	if err := d.buildBounds(landmarks); err != nil {
+		st.Close()
+		return nil, err
+	}
+	// Counters spent loading + preprocessing belong to startup, not serving.
+	d.base = netclus.SnapshotStore(st)
+	return d, nil
+}
+
+// NewNetworkDataset serves the in-memory network n. landmarks as above.
+func NewNetworkDataset(name, source string, n *netclus.Network, landmarks int) (*Dataset, error) {
+	d := &Dataset{
+		Name: name, Kind: "memory", Source: source,
+		graph: n,
+		nodes: n.NumNodes(), edges: n.NumEdges(), points: n.NumPoints(),
+	}
+	if err := d.buildBounds(landmarks); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dataset) buildBounds(landmarks int) error {
+	if landmarks <= 0 {
+		return nil
+	}
+	opts := netclus.BoundsOptions{Landmarks: landmarks, EuclideanLB: true}
+	b, err := netclus.BuildBounds(d.graph, opts)
+	if errors.Is(err, netclus.ErrBoundsNoCoords) || errors.Is(err, netclus.ErrBoundsNotEuclidean) {
+		opts.EuclideanLB = false
+		b, err = netclus.BuildBounds(d.graph, opts)
+	}
+	if err != nil {
+		return fmt.Errorf("dataset %s: building bounds: %w", d.Name, err)
+	}
+	d.bounds = b
+	return nil
+}
+
+// View returns a graph read view for one request goroutine: a fresh Store
+// reader for disk datasets, the shared immutable network otherwise.
+func (d *Dataset) View() netclus.Graph {
+	if d.store != nil {
+		return d.store.Reader()
+	}
+	return d.graph
+}
+
+// Bounds returns the dataset's pruning tables (nil when not built).
+func (d *Dataset) Bounds() *netclus.Bounds { return d.bounds }
+
+// NumPoints returns the dataset's point count without touching the graph.
+func (d *Dataset) NumPoints() int { return d.points }
+
+// getScratch takes pooled range-query scratch; steady-state queries therefore
+// allocate no traversal state. The box must go back via putScratch.
+func (d *Dataset) getScratch() *scratchBox {
+	if b, ok := d.scratch.Get().(*scratchBox); ok {
+		return b
+	}
+	return &scratchBox{sc: netclus.NewRangeScratch(d.graph)}
+}
+
+// putScratch returns scratch to the pool, folding the prune work it did since
+// the last harvest into the dataset aggregate.
+func (d *Dataset) putScratch(b *scratchBox) {
+	b.sc.SetBounder(nil)
+	now := b.sc.PruneStats()
+	delta := now.Sub(b.harvested)
+	b.harvested = now
+	d.mu.Lock()
+	d.prune.Add(delta)
+	d.mu.Unlock()
+	d.scratch.Put(b)
+}
+
+// addPrune folds prune counters from non-scratch query paths (pruned kNN,
+// clustering runs) into the dataset aggregate.
+func (d *Dataset) addPrune(ps netclus.PruneStats) {
+	d.mu.Lock()
+	d.prune.Add(ps)
+	d.mu.Unlock()
+}
+
+// countQuery bumps the dataset's served-query counter.
+func (d *Dataset) countQuery() {
+	d.mu.Lock()
+	d.queries++
+	d.mu.Unlock()
+}
+
+// PruneStats returns the prune work aggregated across all served queries.
+func (d *Dataset) PruneStats() netclus.PruneStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.prune
+}
+
+// Queries returns the number of queries served against this dataset.
+func (d *Dataset) Queries() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queries
+}
+
+// StoreStats returns the delta of the store's counters since registration,
+// false for in-memory datasets.
+func (d *Dataset) StoreStats() (netclus.StoreStats, bool) {
+	if d.store == nil {
+		return netclus.StoreStats{}, false
+	}
+	return netclus.SnapshotStore(d.store).Sub(d.base), true
+}
+
+// Close releases the dataset's disk resources (a no-op for in-memory ones).
+func (d *Dataset) Close() error {
+	if d.store == nil {
+		return nil
+	}
+	return d.store.Close()
+}
+
+// Registry is the set of served datasets, fixed after startup: handlers only
+// read it, so lookups take no lock beyond the map read.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Dataset
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Dataset)}
+}
+
+// Add registers d under d.Name; duplicate names are an error.
+func (r *Registry) Add(d *Dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[d.Name]; dup {
+		return fmt.Errorf("server: duplicate dataset %q", d.Name)
+	}
+	r.byName[d.Name] = d
+	r.names = append(r.names, d.Name)
+	return nil
+}
+
+// Get looks a dataset up by name.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[name]
+	return d, ok
+}
+
+// List returns the datasets in name order.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	out := make([]*Dataset, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// Close closes every dataset, keeping the first error. It is the last step
+// of the drain sequence — callers must have waited for in-flight queries.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, d := range r.byName {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"netclus"
+)
+
+// EndpointCosts sets the admission cost of each query endpoint in abstract
+// units. A clustering job touches every point of the dataset and fans out
+// workers, so its default cost is many times a point query's — the semaphore
+// then guarantees heavy jobs can't occupy the whole server and starve kNN
+// traffic, and vice versa.
+type EndpointCosts struct {
+	Range   int64 `json:"range"`
+	KNN     int64 `json:"knn"`
+	Cluster int64 `json:"cluster"`
+}
+
+func (c EndpointCosts) withDefaults() EndpointCosts {
+	if c.Range <= 0 {
+		c.Range = 1
+	}
+	if c.KNN <= 0 {
+		c.KNN = 1
+	}
+	if c.Cluster <= 0 {
+		c.Cluster = 8
+	}
+	return c
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// Registry holds the served datasets (required).
+	Registry *Registry
+	// Capacity is the admission controller's total cost units
+	// (0 = 2×GOMAXPROCS).
+	Capacity int64
+	// MaxQueue bounds the admission wait queue (0 = 64).
+	MaxQueue int
+	// Costs are the per-endpoint admission costs.
+	Costs EndpointCosts
+	// DefaultTimeout bounds a request that names none (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested timeout_ms (default 2m).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxClusterWorkers caps the workers parameter of clustering requests
+	// (default 8).
+	MaxClusterWorkers int
+	// Log receives serving errors and panics; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the netclusd HTTP server: routing, middleware (panic isolation,
+// instrumentation, deadline propagation, admission) and the graceful drain
+// sequence over a dataset registry.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	adm      *Admission
+	metrics  *Metrics
+	mux      *http.ServeMux
+	http     *http.Server
+	draining atomic.Bool
+	started  time.Time
+}
+
+// New wires a Server from cfg. cfg.Registry must be non-nil.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("server: Config.Registry is required")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxClusterWorkers <= 0 {
+		cfg.MaxClusterWorkers = 8
+	}
+	cfg.Costs = cfg.Costs.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		adm:     NewAdmission(cfg.Capacity, cfg.MaxQueue),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrumented("healthz", "", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrumented("metrics", "", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/datasets", s.instrumented("datasets", "", s.handleDatasets))
+	s.mux.HandleFunc("GET /v1/{dataset}/range", s.query("range", s.cfg.Costs.Range, s.handleRange))
+	s.mux.HandleFunc("GET /v1/{dataset}/knn", s.query("knn", s.cfg.Costs.KNN, s.handleKNN))
+	s.mux.HandleFunc("GET /v1/{dataset}/cluster", s.query("cluster", s.cfg.Costs.Cluster, s.handleCluster))
+	s.mux.HandleFunc("POST /v1/{dataset}/cluster", s.query("cluster", s.cfg.Costs.Cluster, s.handleCluster))
+	s.http = &http.Server{Addr: cfg.Addr, Handler: s.mux}
+	return s, nil
+}
+
+// Handler exposes the routed, middleware-wrapped handler (tests run it under
+// httptest without a listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's instrumentation.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Admission exposes the admission controller.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// ListenAndServe serves on cfg.Addr until Shutdown; like http.Server, it
+// returns http.ErrServerClosed after a clean drain.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Serve serves on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown runs the graceful drain sequence: mark draining (health turns
+// unready), stop accepting connections and wait for every in-flight request
+// to finish (bounded by ctx), then close the datasets' stores. In-flight
+// queries are never cut off by the store closing underneath them.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	if cerr := s.reg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// errorBody is the uniform JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrumented wraps h with the outermost middleware every endpoint gets:
+// panic isolation (one bad request must never kill the process) and
+// request-count/latency instrumentation.
+func (s *Server) instrumented(endpoint, dataset string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inflight.Add(1)
+		start := time.Now()
+		ds := dataset
+		if ds == "" {
+			ds = r.PathValue("dataset")
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.Panicked()
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if sw.code == 0 {
+					writeJSON(sw, http.StatusInternalServerError, errorBody{Error: "internal error"})
+				}
+			}
+			s.metrics.inflight.Add(-1)
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.metrics.Observe(endpoint, ds, code, time.Since(start))
+		}()
+		h(sw, r)
+	}
+}
+
+// query wraps a dataset query endpoint with the full middleware stack:
+// instrumentation + panic isolation, dataset resolution, per-request deadline
+// propagation, and weighted admission. The deadline covers the admission wait
+// too, so a queued request that would blow its budget gives its slot up.
+func (s *Server) query(endpoint string, cost int64, h func(http.ResponseWriter, *http.Request, *Dataset)) http.HandlerFunc {
+	return s.instrumented(endpoint, "", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+			return
+		}
+		d, ok := s.reg.Get(r.PathValue("dataset"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown dataset %q", r.PathValue("dataset"))})
+			return
+		}
+		timeout, err := requestTimeout(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		if err := s.adm.Acquire(ctx, cost); err != nil {
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+				writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			case errors.Is(err, context.DeadlineExceeded):
+				writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "timed out waiting for admission"})
+			default: // client went away
+				writeJSON(w, statusClientClosed, errorBody{Error: err.Error()})
+			}
+			return
+		}
+		defer s.adm.Release(cost)
+		d.countQuery()
+		h(w, r.WithContext(ctx), d)
+	})
+}
+
+// statusClientClosed mirrors nginx's non-standard 499 "client closed
+// request"; the client is gone, so the code is for the metrics only.
+const statusClientClosed = 499
+
+// requestTimeout resolves the effective deadline of a request from its
+// timeout_ms query parameter, clamped to maxTimeout.
+func requestTimeout(r *http.Request, def, max time.Duration) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return def, nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad timeout_ms %q", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// writeJSON writes v as the response with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// queryError maps an engine error onto a status code and JSON body.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	var code int
+	switch {
+	case errors.Is(err, netclus.ErrPointNotFound), errors.Is(err, netclus.ErrNodeNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, netclus.ErrInvalidOptions):
+		code = http.StatusBadRequest
+	case errors.Is(err, netclus.ErrStoreClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = statusClientClosed
+	default:
+		code = http.StatusInternalServerError
+		s.logf("internal error serving %s: %v", r.URL.Path, err)
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,459 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netclus"
+
+	"context"
+)
+
+// testNetwork builds a small connected grid with points for serving tests.
+func testNetwork(t *testing.T) *netclus.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	base, err := netclus.GridNetwork(12, 12, 10, 2, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netclus.GenerateUniform(base, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// newTestServer serves one in-memory and one store-backed copy of the same
+// network, both with pruning bounds.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	n := testNetwork(t)
+	reg := NewRegistry()
+	mem, err := NewNetworkDataset("mem", "test", n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(mem); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := netclus.StoreOptions{PageSize: 1024, BufferBytes: 32 * 1024}
+	if err := netclus.BuildStore(dir, n, opts); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewStoreDataset("disk", dir, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(disk); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func getJSON(t *testing.T, h http.Handler, url string, wantCode int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("GET %s: code = %d, want %d; body %s", url, rec.Code, wantCode, rec.Body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, rec.Body, err)
+		}
+	}
+}
+
+func TestServeQueries(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	for _, ds := range []string{"mem", "disk"} {
+		// Range, both flavours, pruned and plain, must agree on the count.
+		var pruned, plain, dists rangeResponse
+		getJSON(t, h, "/v1/"+ds+"/range?p=3&eps=25", http.StatusOK, &pruned)
+		getJSON(t, h, "/v1/"+ds+"/range?p=3&eps=25&prune=0", http.StatusOK, &plain)
+		getJSON(t, h, "/v1/"+ds+"/range?p=3&eps=25&dists=1", http.StatusOK, &dists)
+		if pruned.Count == 0 || pruned.Count != plain.Count || pruned.Count != dists.Count {
+			t.Fatalf("%s: range counts disagree: pruned=%d plain=%d dists=%d",
+				ds, pruned.Count, plain.Count, dists.Count)
+		}
+		for _, pd := range dists.Results {
+			if pd.Dist > 25 {
+				t.Fatalf("%s: range dist %v > eps", ds, pd.Dist)
+			}
+		}
+
+		// kNN pruned vs plain must return identical distances.
+		var kp, kf knnResponse
+		getJSON(t, h, "/v1/"+ds+"/knn?p=3&k=7", http.StatusOK, &kp)
+		getJSON(t, h, "/v1/"+ds+"/knn?p=3&k=7&prune=0", http.StatusOK, &kf)
+		if !kp.Pruned || kf.Pruned {
+			t.Fatalf("%s: pruned flags = %v/%v", ds, kp.Pruned, kf.Pruned)
+		}
+		if len(kp.Results) != 7 || len(kf.Results) != 7 {
+			t.Fatalf("%s: knn lengths %d/%d", ds, len(kp.Results), len(kf.Results))
+		}
+		for i := range kp.Results {
+			if kp.Results[i].Dist != kf.Results[i].Dist {
+				t.Fatalf("%s: knn dist mismatch at %d: %v vs %v",
+					ds, i, kp.Results[i].Dist, kf.Results[i].Dist)
+			}
+		}
+
+		// Clustering via GET and POST.
+		var cg clusterResponse
+		getJSON(t, h, "/v1/"+ds+"/cluster?algo=dbscan&eps=15&minpts=3", http.StatusOK, &cg)
+		if cg.Clusters < 1 {
+			t.Fatalf("%s: dbscan found no clusters", ds)
+		}
+		body := strings.NewReader(`{"algo":"kmedoids","k":4,"labels":true}`)
+		req := httptest.NewRequest(http.MethodPost, "/v1/"+ds+"/cluster", body)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: POST cluster: %d %s", ds, rec.Code, rec.Body)
+		}
+		var cp clusterResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &cp); err != nil {
+			t.Fatal(err)
+		}
+		if cp.Clusters != 4 || len(cp.Labels) == 0 {
+			t.Fatalf("%s: kmedoids clusters=%d labels=%d", ds, cp.Clusters, len(cp.Labels))
+		}
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/nope/knn?p=0&k=3", http.StatusNotFound},      // unknown dataset
+		{"/v1/mem/knn?p=99999&k=3", http.StatusNotFound},   // unknown point
+		{"/v1/mem/knn?p=0&k=0", http.StatusBadRequest},     // bad k
+		{"/v1/mem/range?p=0&eps=0", http.StatusBadRequest}, // bad eps
+		{"/v1/mem/range?p=x&eps=5", http.StatusBadRequest},
+		{"/v1/mem/cluster?algo=wat&eps=5", http.StatusBadRequest},
+		{"/v1/mem/knn?p=0&k=3&timeout_ms=bogus", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		getJSON(t, h, c.url, c.code, nil)
+	}
+	if n := s.Metrics().RequestCount("", http.StatusNotFound); n != 2 {
+		t.Fatalf("404 count = %d, want 2", n)
+	}
+}
+
+func TestServeDatasetsAndHealth(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	getJSON(t, h, "/v1/disk/knn?p=1&k=3", http.StatusOK, nil)
+	var dl struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	getJSON(t, h, "/v1/datasets", http.StatusOK, &dl)
+	if len(dl.Datasets) != 2 {
+		t.Fatalf("datasets = %d, want 2", len(dl.Datasets))
+	}
+	// Name-sorted: disk, mem.
+	if dl.Datasets[0].Name != "disk" || dl.Datasets[1].Name != "mem" {
+		t.Fatalf("order: %s, %s", dl.Datasets[0].Name, dl.Datasets[1].Name)
+	}
+	d := dl.Datasets[0]
+	if d.Kind != "store" || !d.Bounds || d.Queries != 1 || d.Store == nil {
+		t.Fatalf("disk info = %+v", d)
+	}
+	if d.Store.Buffer.LogicalReads == 0 {
+		t.Fatal("serving the kNN query moved no buffer counters")
+	}
+	if dl.Datasets[1].Kind != "memory" || dl.Datasets[1].Store != nil {
+		t.Fatalf("mem info = %+v", dl.Datasets[1])
+	}
+
+	var hr healthResponse
+	getJSON(t, h, "/healthz", http.StatusOK, &hr)
+	if hr.Status != "ok" || hr.Datasets != 2 {
+		t.Fatalf("health = %+v", hr)
+	}
+}
+
+func TestServeMetricsExposition(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	getJSON(t, h, "/v1/disk/knn?p=1&k=3", http.StatusOK, nil)
+	getJSON(t, h, "/v1/mem/range?p=1&eps=20", http.StatusOK, nil)
+	getJSON(t, h, "/v1/nope/knn?p=1&k=3", http.StatusNotFound, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`netclusd_requests_total{endpoint="knn",dataset="disk",code="200"} 1`,
+		`netclusd_requests_total{endpoint="knn",dataset="nope",code="404"} 1`,
+		`netclusd_request_seconds_bucket{endpoint="range",le="+Inf"} 1`,
+		`netclusd_request_seconds_count{endpoint="knn"} 2`,
+		"netclusd_admission_capacity",
+		// The /metrics request itself is the one in flight.
+		"netclusd_inflight_requests 1",
+		"netclusd_panics_total 0",
+		`netclusd_dataset_queries_total{dataset="disk"} 1`,
+		`netclusd_store_logical_reads_total{dataset="disk"}`,
+		`netclusd_store_cache_hits_total{dataset="disk",cache="adj"}`,
+		`netclusd_store_shard_logical_reads_total{dataset="disk",shard="0"}`,
+		`netclusd_prune_candidates_total{dataset="mem"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+
+	// Every # TYPE header must precede all samples of its family and appear
+	// exactly once.
+	seenType := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam := strings.Fields(rest)[0]
+			if seenType[fam] {
+				t.Errorf("duplicate # TYPE %s", fam)
+			}
+			seenType[fam] = true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fam := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			fam = line[:i]
+		}
+		base := fam
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(fam, suf); ok && seenType[cut] {
+				base = cut
+				break
+			}
+		}
+		if !seenType[base] {
+			t.Errorf("sample %q before its # TYPE header", line)
+		}
+	}
+}
+
+func TestServeAdmissionSheds(t *testing.T) {
+	// Capacity 1, queue 1: with the unit held and the queue slot taken, the
+	// next request must shed with 429 and a Retry-After hint.
+	s := newTestServer(t, Config{Capacity: 1, MaxQueue: 1, RetryAfter: 3 * time.Second})
+	h := s.Handler()
+
+	// Hold the only admission unit by hand, then park one waiter to fill
+	// the queue.
+	if err := s.Admission().Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.Admission().Acquire(context.Background(), 1); err != nil {
+			t.Error(err)
+			return
+		}
+		<-release
+		s.Admission().Release(1)
+	}()
+	waitFor(t, func() bool { return s.Admission().Stats().Waiting == 1 })
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/mem/knn?p=1&k=3", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429; body %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want 3", ra)
+	}
+	s.Admission().Release(1) // free the held unit; the parked waiter gets it
+	close(release)
+	wg.Wait()
+
+	if s.Admission().Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d", s.Admission().Stats().Rejected)
+	}
+	// Capacity free again: requests flow.
+	getJSON(t, h, "/v1/mem/knn?p=1&k=3", http.StatusOK, nil)
+}
+
+func TestServeDeadline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	// A 1ms budget cannot finish an unpruned whole-network clustering job
+	// (400 full range expansions); the deadline must flow into the engine
+	// and come back as 504.
+	req := httptest.NewRequest(http.MethodGet,
+		"/v1/mem/cluster?algo=dbscan&eps=1e9&minpts=3&prune=0&timeout_ms=1", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, want 504; body %s", rec.Code, rec.Body)
+	}
+}
+
+func TestServePanicIsolation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.mux.HandleFunc("GET /boom", s.instrumented("boom", "", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	h := s.Handler()
+	getJSON(t, h, "/boom", http.StatusInternalServerError, nil)
+	if s.Metrics().Panics() != 1 {
+		t.Fatalf("panics = %d", s.Metrics().Panics())
+	}
+	// The process — and the mux — must keep serving.
+	getJSON(t, h, "/v1/mem/knn?p=1&k=3", http.StatusOK, nil)
+}
+
+// TestServeDrainUnderLoad drives concurrent traffic through a real listener,
+// then shuts down mid-flight: every request accepted before the drain must
+// complete (200), later ones are refused at the TCP or handler level — never
+// dropped with a 5xx other than the draining 503.
+func TestServeDrainUnderLoad(t *testing.T) {
+	s := newTestServer(t, Config{Addr: "127.0.0.1:0"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ok, refused, other atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := fmt.Sprintf("%s/v1/mem/knn?p=%d&k=5", ts.URL, (w*31+i)%400)
+				resp, err := http.Get(url)
+				if err != nil {
+					refused.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable:
+					refused.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Fatal("no requests succeeded before the drain")
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d requests got an unexpected status", other.Load())
+	}
+	// After the drain the stores are closed; a straggler request through the
+	// in-process handler reports draining, not a panic or a raw store error.
+	req := httptest.NewRequest(http.MethodGet, "/v1/disk/knn?p=1&k=3", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain code = %d, want 503", rec.Code)
+	}
+	t.Logf("drain: ok=%d refused=%d", ok.Load(), refused.Load())
+}
+
+// TestServeConcurrentMixed hammers all endpoints concurrently; meant for
+// -race. Every response must be a known status and the scratch pool must not
+// cross wires (range counts stay consistent).
+func TestServeConcurrentMixed(t *testing.T) {
+	s := newTestServer(t, Config{Capacity: 4, MaxQueue: 256})
+	h := s.Handler()
+	var want rangeResponse
+	getJSON(t, h, "/v1/disk/range?p=9&eps=22", http.StatusOK, &want)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				var rec *httptest.ResponseRecorder
+				switch (w + i) % 4 {
+				case 0:
+					var got rangeResponse
+					getJSON(t, h, "/v1/disk/range?p=9&eps=22", http.StatusOK, &got)
+					if got.Count != want.Count {
+						t.Errorf("range count %d, want %d", got.Count, want.Count)
+					}
+				case 1:
+					getJSON(t, h, "/v1/mem/knn?p=2&k=4", http.StatusOK, nil)
+				case 2:
+					getJSON(t, h, "/v1/disk/knn?p=5&k=4&prune=0", http.StatusOK, nil)
+				case 3:
+					req := httptest.NewRequest(http.MethodGet, "/v1/mem/cluster?algo=epslink&eps=12", nil)
+					rec = httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						t.Errorf("cluster: %d %s", rec.Code, rec.Body)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Metrics().RequestCount("", 0); got < 12*15 {
+		t.Fatalf("request count %d < %d", got, 12*15)
+	}
+}

@@ -24,10 +24,18 @@ const maxCacheShards = 16
 // per-view B+-tree leaf hints. A hit is a read answered without touching the
 // page buffer, so PageBuffer.LogicalReads + these hits together recover the
 // paper's logical page-access metric for the uncached layout.
+// The JSON field names are a stable contract: the netclusd /metrics and
+// /v1/datasets payloads serialize these snapshots, so renaming a Go field
+// must keep its tag (see TestStatsJSONRoundTrip at the repository root).
 type CacheStats struct {
-	AdjHits, AdjMisses, AdjEvictions       int64
-	GroupHits, GroupMisses, GroupEvictions int64
-	LeafHits, LeafMisses                   int64
+	AdjHits        int64 `json:"adj_hits"`
+	AdjMisses      int64 `json:"adj_misses"`
+	AdjEvictions   int64 `json:"adj_evictions"`
+	GroupHits      int64 `json:"group_hits"`
+	GroupMisses    int64 `json:"group_misses"`
+	GroupEvictions int64 `json:"group_evictions"`
+	LeafHits       int64 `json:"leaf_hits"`
+	LeafMisses     int64 `json:"leaf_misses"`
 }
 
 // Sub returns s - o, for measuring a span of work.

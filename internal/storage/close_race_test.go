@@ -1,0 +1,103 @@
+package storage_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"netclus/internal/core"
+	"netclus/internal/network"
+	"netclus/internal/storage"
+	"netclus/internal/testnet"
+)
+
+// raceErrOK reports whether err is an acceptable outcome of a query racing
+// Store.Close: nil (the query finished first) or ErrClosed, possibly wrapped.
+// Anything else — and in particular a raw os.ErrClosed leaking from a page
+// file — fails the test.
+func raceErrOK(err error) bool {
+	return err == nil || errors.Is(err, storage.ErrClosed)
+}
+
+// TestCloseWhileQuerying races concurrent range, kNN and DBSCAN work against
+// Store.Close: every query must either complete or return ErrClosed, never
+// panic and never surface a closed-file error from the page layer. The
+// netclusd drain sequence (stop accepting, finish in-flight, close stores)
+// relies on exactly this contract holding even when drain is misused. Run
+// under -race in CI.
+func TestCloseWhileQuerying(t *testing.T) {
+	n, err := testnet.Random(11, 200, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny buffer so queries constantly fault pages and the close window is
+	// wide; several rounds so Close lands at different traversal depths.
+	opts := storage.Options{PageSize: 512, BufferBytes: 8 * 512}
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		if err := storage.Build(dir, n, opts); err != nil {
+			t.Fatal(err)
+		}
+		s, err := storage.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const workers = 6
+		var wg sync.WaitGroup
+		errs := make([]error, workers+1)
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				view := s.Reader()
+				<-start
+				switch w % 3 {
+				case 0:
+					scratch := network.NewRangeScratch(view)
+					for p := 0; p < n.NumPoints(); p += 7 {
+						if _, err := scratch.RangeQuery(view, network.PointID(p), 1.5); !raceErrOK(err) {
+							errs[w] = err
+							return
+						}
+					}
+				case 1:
+					for p := 0; p < n.NumPoints(); p += 11 {
+						if _, err := network.KNearestNeighbors(view, network.PointID(p), 5); !raceErrOK(err) {
+							errs[w] = err
+							return
+						}
+					}
+				case 2:
+					_, err := core.DBSCANCtx(context.Background(), view, core.DBSCANOptions{Eps: 1.0, MinPts: 3})
+					if !raceErrOK(err) {
+						errs[w] = err
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Let the queries get into their traversals before closing.
+			time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+			errs[workers] = s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				t.Errorf("round %d worker %d: %v", round, w, err)
+			}
+		}
+
+		// After the dust settles every view must report ErrClosed cleanly.
+		if _, err := s.Reader().Neighbors(0); !errors.Is(err, storage.ErrClosed) {
+			t.Errorf("round %d: post-close Neighbors err = %v, want ErrClosed", round, err)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync/atomic"
 
@@ -467,6 +468,20 @@ func (s *Store) checkOpen() error {
 	return nil
 }
 
+// closedErr rewrites I/O failures caused by a concurrent Close into
+// ErrClosed. A query that passed checkOpen can still lose the race against
+// Close and hit a closed page file mid-traversal; its callers are promised
+// ErrClosed, not a wrapped os.ErrClosed from whichever page it was touching.
+func (s *Store) closedErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if s.sh.closed.Load() || errors.Is(err, pagebuf.ErrClosed) || errors.Is(err, os.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
 // Close closes every file of the store. All views share the closed state;
 // queries on any view return ErrClosed afterwards. Close is idempotent.
 func (s *Store) Close() error {
@@ -484,6 +499,13 @@ func (s *Store) Close() error {
 
 // Stats returns the buffer pool's traffic counters.
 func (s *Store) Stats() pagebuf.Stats { return s.sh.pool.Stats() }
+
+// ShardStats returns the buffer pool's per-shard traffic counters, for
+// latch-balance inspection (netclusd exports them on /metrics).
+func (s *Store) ShardStats() []pagebuf.Stats { return s.sh.pool.ShardStats() }
+
+// PoolShards returns the buffer pool's latch shard count.
+func (s *Store) PoolShards() int { return s.sh.pool.Shards() }
 
 // CacheStats returns the decoded-record cache counters (adjacency cache,
 // group cache, leaf hints), aggregated over every view of the store. All
@@ -578,13 +600,13 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 	}
 	off, ok, err := s.idxSearch(s.sh.adjIdx, &s.adjHint, uint64(id))
 	if err != nil {
-		return nil, err
+		return nil, s.closedErr(err)
 	}
 	if !ok {
 		return nil, fmt.Errorf("storage: node %d missing from adj.idx", id)
 	}
 	if err := s.sh.adjF.ReadAt(s.scratch4[:], int64(off)); err != nil {
-		return nil, err
+		return nil, s.closedErr(err)
 	}
 	deg := int(binary.LittleEndian.Uint32(s.scratch4[:]))
 	need := adjEntry * deg
@@ -593,7 +615,7 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 	}
 	s.adjPayload = s.adjPayload[:need]
 	if err := s.sh.adjF.ReadAt(s.adjPayload, int64(off)+adjHeader); err != nil {
-		return nil, err
+		return nil, s.closedErr(err)
 	}
 	var nbrs []network.Neighbor
 	if cache != nil {
@@ -623,7 +645,7 @@ func (s *Store) Neighbors(id network.NodeID) ([]network.Neighbor, error) {
 // readGroupHeader reads the fixed group header at off.
 func (s *Store) readGroupHeader(off int64) (network.PointGroup, error) {
 	if err := s.sh.ptsF.ReadAt(s.hdr[:], off); err != nil {
-		return network.PointGroup{}, err
+		return network.PointGroup{}, s.closedErr(err)
 	}
 	return network.PointGroup{
 		N1:     network.NodeID(binary.LittleEndian.Uint32(s.hdr[0:])),
@@ -643,7 +665,7 @@ func (s *Store) groupOffset(g network.GroupID) (int64, error) {
 	}
 	off, ok, err := s.idxSearch(s.sh.grpIdx, &s.grpHint, uint64(g))
 	if err != nil {
-		return 0, err
+		return 0, s.closedErr(err)
 	}
 	if !ok {
 		return 0, fmt.Errorf("storage: group %d missing from grp.idx", g)
@@ -726,7 +748,7 @@ func (s *Store) readPoints(off int64, count int, dst []float64, tags []int32) ([
 	}
 	s.ptsPayload = s.ptsPayload[:need]
 	if err := s.sh.ptsF.ReadAt(s.ptsPayload, off+groupHeader); err != nil {
-		return nil, err
+		return nil, s.closedErr(err)
 	}
 	if cap(dst) < count {
 		dst = make([]float64, count)
@@ -752,7 +774,7 @@ func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
 	}
 	first, off, ok, err := s.idxFloor(s.sh.ptsIdx, &s.ptsHint, uint64(p))
 	if err != nil {
-		return network.PointInfo{}, err
+		return network.PointInfo{}, s.closedErr(err)
 	}
 	if !ok {
 		return network.PointInfo{}, fmt.Errorf("storage: no group at or below point %d", p)
@@ -767,7 +789,7 @@ func (s *Store) PointInfo(p network.PointID) (network.PointInfo, error) {
 	}
 	var entry [pointEntry]byte
 	if err := s.sh.ptsF.ReadAt(entry[:], int64(off)+groupHeader+int64(pointEntry*idx)); err != nil {
-		return network.PointInfo{}, err
+		return network.PointInfo{}, s.closedErr(err)
 	}
 	// Group IDs are dense in pts.dat order, but the record does not carry
 	// its own ID; recover it from the group index by the record offset.

@@ -44,6 +44,7 @@ package netclus
 import (
 	"context"
 	"io"
+	"os"
 
 	"netclus/internal/core"
 	"netclus/internal/lbound"
@@ -98,6 +99,32 @@ func ReadNetwork(nodes, edges, points io.Reader) (*Network, error) {
 // WriteNetwork writes a network in the text interchange formats.
 func WriteNetwork(n *Network, nodes, edges, points io.Writer) error {
 	return network.WriteNetwork(n, nodes, edges, points)
+}
+
+// LoadNetworkFiles reads the network stored as <prefix>.node, <prefix>.edge
+// and — when withPoints is set — <prefix>.pnt, the layout written by the
+// netclus CLI. It is the file-system front end of ReadNetwork shared by the
+// command-line tools and the netclusd dataset registry.
+func LoadNetworkFiles(prefix string, withPoints bool) (*Network, error) {
+	nodes, err := os.Open(prefix + ".node")
+	if err != nil {
+		return nil, err
+	}
+	defer nodes.Close()
+	edges, err := os.Open(prefix + ".edge")
+	if err != nil {
+		return nil, err
+	}
+	defer edges.Close()
+	if !withPoints {
+		return network.ReadNetwork(nodes, edges, nil)
+	}
+	pts, err := os.Open(prefix + ".pnt")
+	if err != nil {
+		return nil, err
+	}
+	defer pts.Close()
+	return network.ReadNetwork(nodes, edges, pts)
 }
 
 // PointDistance computes the network distance d(p, q) of Definition 4.
@@ -400,6 +427,43 @@ func BuildStore(dir string, n *Network, opts StoreOptions) error {
 // parameters (4 KB pages, 1 MB buffer).
 func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	return storage.Open(dir, opts)
+}
+
+// StoreStats is a combined snapshot of every counter family a Store exports:
+// buffer-pool traffic (aggregate and per latch shard) and the decoded-record
+// caches. The serving layer samples it per request batch and subtracts
+// snapshots to attribute I/O to spans of work; JSON field names are stable
+// (see the stats round-trip test).
+type StoreStats struct {
+	Buffer BufferStats   `json:"buffer"`
+	Cache  CacheStats    `json:"cache"`
+	Shards []BufferStats `json:"shards,omitempty"`
+}
+
+// SnapshotStore captures a consistent-enough view of st's counters: each
+// family is internally consistent; families are sampled one after another.
+func SnapshotStore(st *Store) StoreStats {
+	return StoreStats{
+		Buffer: st.BufferStats(),
+		Cache:  st.CacheStats(),
+		Shards: st.ShardStats(),
+	}
+}
+
+// Sub returns s - o field by field, the counter delta across a span of work.
+// Shard slices of different lengths (snapshots of different stores) yield a
+// nil Shards.
+func (s StoreStats) Sub(o StoreStats) StoreStats {
+	d := StoreStats{
+		Buffer: s.Buffer.Sub(o.Buffer),
+		Cache:  s.Cache.Sub(o.Cache),
+	}
+	if len(s.Shards) == len(o.Shards) {
+		for i := range s.Shards {
+			d.Shards = append(d.Shards, s.Shards[i].Sub(o.Shards[i]))
+		}
+	}
+	return d
 }
 
 // RenderSVG draws the network and a clustering to w as SVG.
