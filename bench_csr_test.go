@@ -1,0 +1,205 @@
+// BenchmarkCSRSuite records the compiled-kernel trajectory into
+// BENCH_csr.json: ε-range batches, kNN batches, DBSCAN and k-medoids on the
+// same workload over three backends — the compiled CSR snapshot, the pointer
+// Network it was compiled from, and the warm disk Store. Run it with
+//
+//	go test -run '^$' -bench CSRSuite -benchtime 1x .
+//
+// for a smoke pass (CI does) or with a larger -benchtime for stable numbers.
+// Every backend's labels are asserted byte-identical before timing, so the
+// perf harness doubles as an end-to-end kernel-equivalence check. The report
+// carries the snapshot's one-shot compile time and resident bytes next to
+// the min-of-N wall times, plus each workload's speedup over the pointer
+// Network.
+package netclus_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"netclus"
+)
+
+var (
+	benchCSRMu      sync.Mutex
+	benchCSRResults = map[string]benchCSREntry{}
+)
+
+type benchCSREntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+type benchCSRReport struct {
+	GoVersion  string                   `json:"go_version"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Scale      float64                  `json:"scale"`
+	Nodes      int                      `json:"nodes"`
+	Points     int                      `json:"points"`
+	CSR        netclus.CSRStats         `json:"csr"`
+	Results    map[string]benchCSREntry `json:"results"`
+	// SpeedupVsNetwork is min-of-N network time / min-of-N csr time per
+	// workload, precomputed so the report reads standalone.
+	SpeedupVsNetwork map[string]float64 `json:"speedup_vs_network"`
+}
+
+func recordBenchCSR(b *testing.B, name string, nsPerOp float64) {
+	b.Helper()
+	benchCSRMu.Lock()
+	benchCSRResults[name] = benchCSREntry{NsPerOp: nsPerOp, Iters: b.N}
+	benchCSRMu.Unlock()
+}
+
+func BenchmarkCSRSuite(b *testing.B) {
+	ctx := context.Background()
+	scale := benchScale()
+	g, gen, err := netclus.RoadDataset("OL", scale, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sn, err := netclus.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := netclus.BuildStore(dir, g, netclus.StoreOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	// Warm store: default record caches, buffer big enough to hold the
+	// working set, one full untimed sweep so timed runs never fault cold.
+	st, err := netclus.OpenStore(dir, netclus.StoreOptions{PoolShards: 8, BufferBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+
+	report := benchCSRReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Nodes:      g.NumNodes(),
+		Points:     g.NumPoints(),
+		CSR:        sn.Stats(),
+		Results:    benchCSRResults,
+	}
+	b.Cleanup(func() {
+		benchCSRMu.Lock()
+		defer benchCSRMu.Unlock()
+		if len(benchCSRResults) == 0 {
+			return
+		}
+		report.SpeedupVsNetwork = map[string]float64{}
+		for name, e := range benchCSRResults {
+			var workload string
+			if _, err := fmt.Sscanf(name, "csr/%s", &workload); err != nil {
+				continue
+			}
+			if net, ok := benchCSRResults["network/"+workload]; ok && e.NsPerOp > 0 {
+				report.SpeedupVsNetwork[workload] = net.NsPerOp / e.NsPerOp
+			}
+		}
+		writeBenchReport(b, "BENCH_csr.json", report)
+	})
+
+	backends := []struct {
+		name string
+		g    netclus.Graph
+	}{
+		{"csr", sn},
+		{"network", g},
+		{"store", st},
+	}
+	eps := gen.Eps()
+	rng := rand.New(rand.NewSource(1))
+	probes := make([]netclus.PointID, 256)
+	for i := range probes {
+		probes[i] = netclus.PointID(rng.Intn(g.NumPoints()))
+	}
+
+	// Label equivalence across all backends before any timing.
+	var wantDB []int32
+	var wantKM []int32
+	for _, bk := range backends {
+		db, err := netclus.DBSCANCtx(ctx, bk.g, netclus.DBSCANOptions{Eps: eps, MinPts: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		km, err := netclus.KMedoidsCtx(ctx, bk.g, netclus.KMedoidsOptions{K: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bk.name == "csr" {
+			wantDB, wantKM = db.Labels, km.Labels
+			continue
+		}
+		if !reflect.DeepEqual(wantDB, db.Labels) || !reflect.DeepEqual(wantKM, km.Labels) {
+			b.Fatalf("backend %s: labels differ from csr", bk.name)
+		}
+	}
+
+	for _, bk := range backends {
+		bk := bk
+		b.Run(bk.name+"/range", func(b *testing.B) {
+			sc := netclus.ScratchFor(bk.g)
+			minNs := minIter(b, func() {
+				for _, p := range probes {
+					if _, err := sc.RangeQueryCtx(ctx, bk.g, p, eps); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			recordBenchCSR(b, bk.name+"/range", minNs)
+		})
+		b.Run(bk.name+"/knn", func(b *testing.B) {
+			minNs := minIter(b, func() {
+				for _, p := range probes {
+					if _, err := netclus.KNearestNeighborsCtx(ctx, bk.g, p, 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			recordBenchCSR(b, bk.name+"/knn", minNs)
+		})
+		b.Run(bk.name+"/dbscan", func(b *testing.B) {
+			minNs := minIter(b, func() {
+				if _, err := netclus.DBSCANCtx(ctx, bk.g, netclus.DBSCANOptions{Eps: eps, MinPts: 3}); err != nil {
+					b.Fatal(err)
+				}
+			})
+			recordBenchCSR(b, bk.name+"/dbscan", minNs)
+		})
+		b.Run(bk.name+"/kmedoids", func(b *testing.B) {
+			minNs := minIter(b, func() {
+				if _, err := netclus.KMedoidsCtx(ctx, bk.g, netclus.KMedoidsOptions{K: 10}); err != nil {
+					b.Fatal(err)
+				}
+			})
+			recordBenchCSR(b, bk.name+"/kmedoids", minNs)
+		})
+	}
+
+	// The batched multi-source mode is CSR-only: the full probe set fanned
+	// across workers with pooled scratch.
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("csr/range-each/workers=%d", workers), func(b *testing.B) {
+			minNs := minIter(b, func() {
+				err := sn.RangeEach(ctx, probes, eps, workers,
+					func(int, netclus.PointID, []netclus.PointID, []float64) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+			recordBenchCSR(b, fmt.Sprintf("csr/range-each/workers=%d", workers), minNs)
+		})
+	}
+}

@@ -22,9 +22,7 @@
 package netclus_test
 
 import (
-	"encoding/json"
 	"fmt"
-	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -85,22 +83,6 @@ func recordBenchPrune(b *testing.B, name string, nsPerOp float64, physReads int6
 	benchPruneMu.Unlock()
 }
 
-// minIter runs fn b.N times inside the timed region and returns the fastest
-// single iteration in nanoseconds.
-func minIter(b *testing.B, fn func()) float64 {
-	minNs := math.Inf(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t0 := time.Now()
-		fn()
-		if d := float64(time.Since(t0).Nanoseconds()); d < minNs {
-			minNs = d
-		}
-	}
-	b.StopTimer()
-	return minNs
-}
-
 // benchStore materialises g as a disk-backed store under dir and opens it in
 // the paper's access regime: no record caches, buffer pool ~5% of the store.
 func benchStore(b *testing.B, dir string, g *netclus.Network) (*netclus.Store, int, int) {
@@ -157,14 +139,7 @@ func BenchmarkPruneSuite(b *testing.B) {
 		if len(benchPruneResults) == 0 {
 			return
 		}
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			b.Error(err)
-			return
-		}
-		if err := os.WriteFile("BENCH_prune.json", append(data, '\n'), 0o644); err != nil {
-			b.Error(err)
-		}
+		writeBenchReport(b, "BENCH_prune.json", report)
 	})
 
 	type dataset struct {

@@ -11,10 +11,8 @@
 package netclus_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -77,14 +75,7 @@ func BenchmarkStoreSuite(b *testing.B) {
 		if len(benchStoreResults) == 0 {
 			return
 		}
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			b.Error(err)
-			return
-		}
-		if err := os.WriteFile("BENCH_store.json", append(data, '\n'), 0o644); err != nil {
-			b.Error(err)
-		}
+		writeBenchReport(b, "BENCH_store.json", report)
 	})
 
 	cachedOpts := netclus.StoreOptions{PoolShards: 8}

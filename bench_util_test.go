@@ -1,0 +1,43 @@
+// Shared helpers of the benchmark suites (store, prune, CSR): min-of-N
+// timing and the JSON report writer, so every BENCH_*.json is produced the
+// same way.
+package netclus_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+)
+
+// minIter runs fn b.N times inside the timed region and returns the fastest
+// single iteration in nanoseconds. The suites report the MINIMUM, not the
+// mean: each iteration is identical deterministic work, so the minimum is
+// the run's cost and the spread is scheduler noise.
+func minIter(b *testing.B, fn func()) float64 {
+	minNs := math.Inf(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		fn()
+		if d := float64(time.Since(t0).Nanoseconds()); d < minNs {
+			minNs = d
+		}
+	}
+	b.StopTimer()
+	return minNs
+}
+
+// writeBenchReport marshals report into path (indented, trailing newline).
+func writeBenchReport(b *testing.B, path string, report any) {
+	b.Helper()
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Error(err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Error(err)
+	}
+}

@@ -110,6 +110,49 @@ func summarize(target, dataset string, workers int, elapsed time.Duration, sampl
 	return sum
 }
 
+// epDelta compares one endpoint between the cold and hot runs; speedups are
+// cold/hot ratios, so > 1 means the hot replica is faster.
+type epDelta struct {
+	P50Speedup  float64 `json:"p50_speedup"`
+	P95Speedup  float64 `json:"p95_speedup"`
+	MeanSpeedup float64 `json:"mean_speedup"`
+	Throughput  float64 `json:"throughput_ratio"`
+}
+
+// ltCompareSummary is the -compare report: the same mix driven against two
+// datasets (typically a cold store and its hot CSR replica) plus the
+// per-endpoint deltas.
+type ltCompareSummary struct {
+	Cold  ltSummary          `json:"cold"`
+	Hot   ltSummary          `json:"hot"`
+	Delta map[string]epDelta `json:"delta"`
+}
+
+func ratio(cold, hot float64) float64 {
+	if hot <= 0 {
+		return 0
+	}
+	return cold / hot
+}
+
+// compareSummaries folds two runs of the same mix into the delta report.
+func compareSummaries(cold, hot ltSummary) ltCompareSummary {
+	cmp := ltCompareSummary{Cold: cold, Hot: hot, Delta: make(map[string]epDelta)}
+	for ep, cs := range cold.Endpoints {
+		hs, ok := hot.Endpoints[ep]
+		if !ok {
+			continue
+		}
+		cmp.Delta[ep] = epDelta{
+			P50Speedup:  ratio(cs.P50MS, hs.P50MS),
+			P95Speedup:  ratio(cs.P95MS, hs.P95MS),
+			MeanSpeedup: ratio(cs.MeanMS, hs.MeanMS),
+			Throughput:  ratio(hs.PerSecond, cs.PerSecond),
+		}
+	}
+	return cmp
+}
+
 // mixEntry is one weighted endpoint of the traffic mix.
 type mixEntry struct {
 	endpoint string
@@ -251,6 +294,8 @@ func loadtest(args []string) error {
 	k := fs.Int("k", 8, "k for kNN requests")
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "write the JSON summary to this file")
+	compare := fs.String("compare", "",
+		"drive the same mix against this second dataset (e.g. the hot replica) and report deltas")
 	fs.Parse(args)
 	if *dataset == "" {
 		return fmt.Errorf("-dataset is required")
@@ -269,8 +314,31 @@ func loadtest(args []string) error {
 		base, *dataset, points, *workers, *mixFlag, *duration)
 	sum := runLoadtest(client, base, *dataset, points, *workers, *duration, mix, *eps, *k, *seed)
 	printSummary(sum)
+
+	var report any = sum
+	errors := sum.Errors
+	if *compare != "" {
+		cpoints, err := datasetPoints(client, base, *compare)
+		if err != nil {
+			return err
+		}
+		if cpoints != points {
+			return fmt.Errorf("datasets differ: %s has %d points, %s has %d", *dataset, points, *compare, cpoints)
+		}
+		fmt.Printf("loadtest: comparing against dataset %s\n", *compare)
+		hot := runLoadtest(client, base, *compare, points, *workers, *duration, mix, *eps, *k, *seed)
+		printSummary(hot)
+		cmp := compareSummaries(sum, hot)
+		for _, ep := range sortedKeys(cmp.Delta) {
+			d := cmp.Delta[ep]
+			fmt.Printf("  %-8s %s vs %s: p50 %.2fx  p95 %.2fx  mean %.2fx  throughput %.2fx\n",
+				ep, *compare, *dataset, d.P50Speedup, d.P95Speedup, d.MeanSpeedup, d.Throughput)
+		}
+		report = cmp
+		errors += hot.Errors
+	}
 	if *out != "" {
-		data, err := json.MarshalIndent(sum, "", "  ")
+		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -279,10 +347,19 @@ func loadtest(args []string) error {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
-	if sum.Errors > 0 {
-		return fmt.Errorf("%d transport errors", sum.Errors)
+	if errors > 0 {
+		return fmt.Errorf("%d transport errors", errors)
 	}
 	return nil
+}
+
+func sortedKeys(m map[string]epDelta) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func printSummary(sum ltSummary) {

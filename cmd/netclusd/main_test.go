@@ -67,10 +67,16 @@ func TestDataFlagsAndStoreDetection(t *testing.T) {
 	if err := d.Set("sf=data/sf.store"); err != nil {
 		t.Fatal(err)
 	}
-	if got := d.String(); got != "ol=data/ol,sf=data/sf.store" {
+	if err := d.Set("hotsf=data/sf.store,hot"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "ol=data/ol sf=data/sf.store hotsf=data/sf.store,hot" {
 		t.Fatalf("String = %q", got)
 	}
-	for _, bad := range []string{"nope", "=path", "name="} {
+	if !d[2].hot || d[0].hot || d[1].hot {
+		t.Fatalf("hot flags = %+v", d)
+	}
+	for _, bad := range []string{"nope", "=path", "name=", "x=p,warm"} {
 		if err := d.Set(bad); err == nil {
 			t.Fatalf("Set(%q) succeeded", bad)
 		}
@@ -300,5 +306,54 @@ func TestServeSignalDrain(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("serve did not drain after signal")
+	}
+}
+
+// TestLoadtestCompareHotCold boots cold and hot replicas of the same store,
+// runs the same mix against both, and checks the delta report is well formed.
+func TestLoadtestCompareHotCold(t *testing.T) {
+	_, dir := writeTestData(t)
+	logger := log.New(os.Stderr, "", 0)
+	reg, err := buildRegistry([]dataSpec{
+		{name: "cold", path: dir},
+		{name: "hot", path: dir, hot: true},
+	}, 256, 4, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	points, err := datasetPoints(client, ts.URL, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := parseMix("knn:6,range:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runLoadtest(client, ts.URL, "cold", points, 4, 300*time.Millisecond, mix, 20, 5, 1)
+	hot := runLoadtest(client, ts.URL, "hot", points, 4, 300*time.Millisecond, mix, 20, 5, 1)
+	if cold.Errors != 0 || hot.Errors != 0 {
+		t.Fatalf("transport errors: cold %d, hot %d", cold.Errors, hot.Errors)
+	}
+	cmp := compareSummaries(cold, hot)
+	if len(cmp.Delta) == 0 {
+		t.Fatal("empty delta report")
+	}
+	for ep, d := range cmp.Delta {
+		if d.P50Speedup <= 0 || d.MeanSpeedup <= 0 || d.Throughput <= 0 {
+			t.Errorf("%s: implausible delta %+v", ep, d)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the (side) default mux, behind -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -18,9 +19,10 @@ import (
 	"netclus/internal/server"
 )
 
-// dataSpec is one -data name=path flag.
+// dataSpec is one -data name=path[,hot] flag.
 type dataSpec struct {
 	name, path string
+	hot        bool
 }
 
 // dataFlags collects repeated -data flags.
@@ -30,16 +32,33 @@ func (d *dataFlags) String() string {
 	parts := make([]string, len(*d))
 	for i, s := range *d {
 		parts[i] = s.name + "=" + s.path
+		if s.hot {
+			parts[i] += ",hot"
+		}
 	}
-	return strings.Join(parts, ",")
+	return strings.Join(parts, " ")
 }
 
 func (d *dataFlags) Set(v string) error {
-	name, path, ok := strings.Cut(v, "=")
-	if !ok || name == "" || path == "" {
-		return fmt.Errorf("want name=path, got %q", v)
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=path[,hot], got %q", v)
 	}
-	*d = append(*d, dataSpec{name: name, path: path})
+	spec := dataSpec{name: name}
+	spec.path, rest, _ = strings.Cut(rest, ",")
+	if spec.path == "" {
+		return fmt.Errorf("want name=path[,hot], got %q", v)
+	}
+	for _, opt := range strings.Split(rest, ",") {
+		switch opt {
+		case "":
+		case "hot":
+			spec.hot = true
+		default:
+			return fmt.Errorf("unknown dataset option %q in %q (want hot)", opt, v)
+		}
+	}
+	*d = append(*d, spec)
 	return nil
 }
 
@@ -62,11 +81,11 @@ func buildRegistry(specs []dataSpec, bufKB, landmarks int, logger *log.Logger) (
 		start := time.Now()
 		if isStoreDir(spec.path) {
 			opts := netclus.StoreOptions{BufferBytes: bufKB * 1024}
-			d, err = server.NewStoreDataset(spec.name, spec.path, opts, landmarks)
+			d, err = server.NewStoreDataset(spec.name, spec.path, opts, landmarks, spec.hot)
 		} else {
 			var n *netclus.Network
 			if n, err = netclus.LoadNetworkFiles(spec.path, true); err == nil {
-				d, err = server.NewNetworkDataset(spec.name, spec.path, n, landmarks)
+				d, err = server.NewNetworkDataset(spec.name, spec.path, n, landmarks, spec.hot)
 			}
 		}
 		if err != nil {
@@ -78,8 +97,8 @@ func buildRegistry(specs []dataSpec, bufKB, landmarks int, logger *log.Logger) (
 			reg.Close()
 			return nil, err
 		}
-		logger.Printf("dataset %s: %s %s loaded in %s (bounds %v)",
-			spec.name, d.Kind, spec.path, time.Since(start).Round(time.Millisecond), d.Bounds() != nil)
+		logger.Printf("dataset %s: %s %s loaded in %s (bounds %v, hot %v)",
+			spec.name, d.Kind, spec.path, time.Since(start).Round(time.Millisecond), d.Bounds() != nil, d.Hot())
 	}
 	return reg, nil
 }
@@ -99,6 +118,7 @@ func serve(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeout_ms")
 	workers := fs.Int("cluster-workers", 8, "cap on the workers parameter of clustering requests")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (off when empty)")
 	fs.Parse(args)
 	if len(data) == 0 {
 		return fmt.Errorf("at least one -data name=path is required")
@@ -123,6 +143,17 @@ func serve(args []string) error {
 	if err != nil {
 		reg.Close()
 		return err
+	}
+
+	if *pprofAddr != "" {
+		// The query server runs on its own mux, so the default mux carries
+		// only the pprof handlers; keep it on a separate (loopback) address.
+		go func() {
+			logger.Printf("pprof on %s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	errCh := make(chan error, 1)

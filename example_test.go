@@ -43,6 +43,23 @@ func ExampleEpsLink() {
 	// Output: clusters: 2
 }
 
+func ExampleCompile() {
+	n := twoIslands()
+	// Compile once; every query and clustering call after that runs on the
+	// flat CSR arrays with byte-identical results.
+	sn, err := netclus.Compile(n)
+	if err != nil {
+		panic(err)
+	}
+	res, err := netclus.EpsLink(sn, netclus.EpsLinkOptions{Eps: 1.0})
+	if err != nil {
+		panic(err)
+	}
+	st := sn.Stats()
+	fmt.Println("clusters:", res.NumClusters, "nodes:", st.Nodes, "points:", st.Points)
+	// Output: clusters: 2 nodes: 8 points: 12
+}
+
 func ExampleDBSCAN() {
 	n := twoIslands()
 	res, err := netclus.DBSCAN(n, netclus.DBSCANOptions{Eps: 1.0, MinPts: 3})

@@ -80,7 +80,7 @@ func DBSCANCtx(ctx context.Context, g network.Graph, opts DBSCANOptions) (*DBSCA
 	for i := range labels {
 		labels[i] = unvisited
 	}
-	scratch := network.NewRangeScratch(g)
+	scratch := network.ScratchFor(g)
 	scratch.SetBounder(opts.Prune)
 	defer func() { res.Stats.Prune.Add(scratch.PruneStats()) }()
 	var queue []network.PointID
@@ -155,12 +155,12 @@ func dbscanParallel(ctx context.Context, g network.Graph, opts DBSCANOptions, wo
 	statsArr := make([]Stats, workers)
 	// Per-worker scratches of both passes, harvested for prune counters
 	// after the workers finish (each slot is touched by one goroutine).
-	scratches := make([]*network.RangeScratch, 2*workers)
+	scratches := make([]network.RangeQuerier, 2*workers)
 
 	// Pass 1: core flags. Each worker writes disjoint core[p] slots.
 	err := parallelPoints(workers, n, func(w int) func(lo, hi int) error {
 		view := network.ReadView(g)
-		scratch := network.NewRangeScratch(view)
+		scratch := network.ScratchFor(view)
 		scratch.SetBounder(opts.Prune)
 		scratches[w] = scratch
 		st := &statsArr[w]
@@ -187,7 +187,7 @@ func dbscanParallel(ctx context.Context, g network.Graph, opts DBSCANOptions, wo
 	borders := make([][]borderEdge, workers)
 	err = parallelPoints(workers, n, func(w int) func(lo, hi int) error {
 		view := network.ReadView(g)
-		scratch := network.NewRangeScratch(view)
+		scratch := network.ScratchFor(view)
 		scratch.SetBounder(opts.Prune)
 		scratches[workers+w] = scratch
 		uf := unionfind.New(n)

@@ -298,7 +298,7 @@ func epsLinkParallel(ctx context.Context, g network.Graph, opts EpsLinkOptions, 
 	statsArr := make([]Stats, workers)
 	err := parallelPoints(workers, n, func(w int) func(lo, hi int) error {
 		view := network.ReadView(g)
-		scratch := network.NewRangeScratch(view)
+		scratch := network.ScratchFor(view)
 		uf := unionfind.New(n)
 		ufs[w] = uf
 		st := &statsArr[w]

@@ -61,13 +61,14 @@ func MedoidDistFind(g network.Graph, medoids []network.PointInfo, st *MedoidStat
 
 func medoidDistFindCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, st *MedoidState, stats *Stats, mp *medoidPruner) error {
 	st.Reset()
-	h := heapx.New(lessMedEntry)
+	seeds := make([]network.MedoidSeed, 0, 2*len(medoids))
 	for i, m := range medoids {
-		h.Push(medEntry{node: m.N1, med: int32(i), dist: m.Pos})
-		h.Push(medEntry{node: m.N2, med: int32(i), dist: m.Weight - m.Pos})
+		seeds = append(seeds,
+			network.MedoidSeed{Node: m.N1, Med: int32(i), Dist: m.Pos},
+			network.MedoidSeed{Node: m.N2, Med: int32(i), Dist: m.Weight - m.Pos})
 		stats.HeapPushes += 2
 	}
-	return concurrentExpansion(ctx, g, h, st, stats, mp)
+	return runExpansion(ctx, g, seeds, st, stats, mp)
 }
 
 // IncMedoidUpdate implements Fig. 5: after medoid slot replacedIdx has been
@@ -89,7 +90,7 @@ func IncMedoidUpdate(g network.Graph, medoids []network.PointInfo, replacedIdx i
 }
 
 func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats, mp *medoidPruner) error {
-	h := heapx.New(lessMedEntry)
+	var seeds []network.MedoidSeed
 
 	// Unassign the replaced medoid's cluster.
 	var affected []network.NodeID
@@ -109,7 +110,7 @@ func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.
 		stats.EdgesVisited += len(adj)
 		for _, nb := range adj {
 			if st.Med[nb.Node] >= 0 {
-				h.Push(medEntry{node: ni, med: st.Med[nb.Node], dist: st.Dist[nb.Node] + nb.Weight})
+				seeds = append(seeds, network.MedoidSeed{Node: ni, Med: st.Med[nb.Node], Dist: st.Dist[nb.Node] + nb.Weight})
 				stats.HeapPushes++
 			}
 		}
@@ -117,11 +118,31 @@ func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.
 	// Seed every medoid's edge endpoints (the new medoid's seeds are what
 	// Fig. 5 prescribes; the survivors' are the pseudocode correction).
 	for i, m := range medoids {
-		h.Push(medEntry{node: m.N1, med: int32(i), dist: m.Pos})
-		h.Push(medEntry{node: m.N2, med: int32(i), dist: m.Weight - m.Pos})
+		seeds = append(seeds,
+			network.MedoidSeed{Node: m.N1, Med: int32(i), Dist: m.Pos},
+			network.MedoidSeed{Node: m.N2, Med: int32(i), Dist: m.Weight - m.Pos})
 		stats.HeapPushes += 2
 	}
 
+	return runExpansion(ctx, g, seeds, st, stats, mp)
+}
+
+// runExpansion dispatches the seeded concurrent expansion: graphs with a
+// native expansion kernel (the compiled CSR snapshot) run it directly when
+// pruning is off — the kernel replicates the binary-heap tie order, so the
+// assignment is bit-identical — otherwise the generic heap loop runs.
+func runExpansion(ctx context.Context, g network.Graph, seeds []network.MedoidSeed, st *MedoidState, stats *Stats, mp *medoidPruner) error {
+	if ne, ok := g.(network.NearestExpander); ok && mp == nil {
+		c, err := ne.ExpandNearest(ctx, seeds, st.Med, st.Dist)
+		stats.NodesSettled += c.Settled
+		stats.HeapPushes += c.Pushes
+		stats.EdgesVisited += c.Edges
+		return err
+	}
+	h := heapx.New(lessMedEntry)
+	for _, s := range seeds {
+		h.Push(medEntry{node: s.Node, med: s.Med, dist: s.Dist})
+	}
 	return concurrentExpansion(ctx, g, h, st, stats, mp)
 }
 

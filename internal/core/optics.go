@@ -85,7 +85,7 @@ func OPTICSCtx(ctx context.Context, g network.Graph, opts OPTICSOptions) (*OPTIC
 		statsArr := make([]Stats, workers)
 		err := parallelPoints(workers, n, func(w int) func(lo, hi int) error {
 			view := network.ReadView(g)
-			scratch := network.NewRangeScratch(view)
+			scratch := network.ScratchFor(view)
 			st := &statsArr[w]
 			return func(lo, hi int) error {
 				for p := lo; p < hi; p++ {
@@ -107,7 +107,7 @@ func OPTICSCtx(ctx context.Context, g network.Graph, opts OPTICSOptions) (*OPTIC
 		}
 	}
 
-	scratch := network.NewRangeScratch(g)
+	scratch := network.ScratchFor(g)
 	type seed struct {
 		p network.PointID
 		r float64

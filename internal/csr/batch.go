@@ -1,0 +1,87 @@
+package csr
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"netclus/internal/network"
+)
+
+// RangeEach is the batched multi-source range mode: it runs one ε-range
+// query for every element of pts, fanned across workers goroutines, each
+// holding a private Scratch drawn from the snapshot's pool over the shared
+// immutable arrays — zero allocation per query in steady state.
+//
+// visit is called from worker goroutines (concurrently across workers,
+// sequentially within one) with the index into pts, the queried point and
+// the result: the IDs within eps and, aligned with them, their exact
+// network distances. Both slices are scratch-owned and reused by the next
+// query on the same worker; copy anything retained. A non-nil error from
+// visit (or from a query) stops the remaining batches and is returned.
+func (s *Snapshot) RangeEach(ctx context.Context, pts []network.PointID, eps float64, workers int, visit func(i int, p network.PointID, res []network.PointID, dists []float64) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	// Contiguous batches off a shared counter: big enough to amortize the
+	// atomic, small enough to balance skewed per-query cost.
+	batch := len(pts) / (workers * 8)
+	if batch < 8 {
+		batch = 8
+	}
+	if batch > 512 {
+		batch = 512
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := s.acquire()
+			defer s.release(sc)
+			dists := make([]float64, 0, 64)
+			for !failed.Load() {
+				lo := int(next.Add(int64(batch))) - batch
+				if lo >= len(pts) {
+					return
+				}
+				hi := lo + batch
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				for i := lo; i < hi; i++ {
+					if err := sc.run(ctx, pts[i], eps); err != nil {
+						errs[w] = err
+						failed.Store(true)
+						return
+					}
+					dists = dists[:0]
+					for _, q := range sc.result {
+						dists = append(dists, sc.ptDist[q])
+					}
+					if err := visit(i, pts[i], sc.result, dists); err != nil {
+						errs[w] = err
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package csr compiles a spatial network into an immutable flat-array
+// snapshot and runs the paper's traversal primitives (bounded Dijkstra,
+// ε-range, kNN, concurrent nearest-medoid expansion) as cache-friendly
+// kernels over it.
+//
+// The snapshot stores the graph in compressed-sparse-row form with int32
+// node indices and structure-of-arrays adjacency (target node, edge weight
+// and point-group reference in three parallel slices), the points of every
+// edge bucketed in one position-sorted flat array, and the optional planar
+// embedding carried over so the lower-bound Bounder contract of package
+// lbound works unchanged. A snapshot also implements network.Graph — plus
+// the kernel dispatch contracts network.ScratchProvider, network.KNNQuerier
+// and network.NearestExpander — so every existing operator runs on it
+// without modification and the clustering algorithms pick the kernels up
+// automatically, with results identical to the generic paths.
+//
+// Compile is one-shot and read-only on the source graph; it accepts the
+// in-memory Network and the disk Store alike (a store is decompiled into
+// memory through its Graph interface, one sequential scan each for the
+// adjacency and the point file).
+package csr
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"netclus/internal/network"
+)
+
+// Stats describes a compiled snapshot: its shape, how long the compilation
+// took and how many bytes the flat arrays hold resident.
+type Stats struct {
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	Points int `json:"points"`
+	Groups int `json:"groups"`
+	// HasCoords reports whether the planar embedding was carried over.
+	HasCoords bool `json:"has_coords"`
+	// CompileTime is the wall-clock duration of Compile.
+	CompileTime time.Duration `json:"compile_ns"`
+	// ResidentBytes is the total footprint of the snapshot's arrays.
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+// Snapshot is the compiled network: immutable after Compile, safe for any
+// number of concurrent readers, no interior pointers beyond the slice
+// headers. See the package comment for the layout.
+type Snapshot struct {
+	numEdges int
+
+	// Adjacency, CSR structure-of-arrays: the out-entries of node n live at
+	// indices [rowOff[n], rowOff[n+1]). adjGroup holds the point group on
+	// the connecting edge, -1 (network.NoGroup) when empty.
+	rowOff   []int32
+	adjNode  []int32
+	adjW     []float64
+	adjGroup []int32
+
+	// adjRef is the same adjacency in array-of-structs form, sharing rowOff,
+	// so Neighbors can hand out sub-slices through the network.Graph
+	// interface without per-call assembly.
+	adjRef []network.Neighbor
+
+	// Point groups and the flat per-edge point buckets: group g's point
+	// offsets (ascending, measured from N1) are
+	// ptPos[groups[g].First : First+Count], the paper's §4.1 invariant.
+	groups []network.PointGroup
+	ptPos  []float64
+	ptGrp  []int32
+	ptTag  []int32
+
+	// coords is the optional planar embedding (nil when the source graph
+	// has none), kept so lbound.Build and the Bounder contract work on the
+	// snapshot exactly as on the source.
+	coords []network.Coord
+
+	stats Stats
+
+	// scratchPool recycles kernel scratches for the batched range mode and
+	// the kNN entry point: steady-state queries allocate nothing.
+	scratchPool sync.Pool
+
+	// expandPool recycles the multi-source expansion heaps of ExpandNearest
+	// for the same reason: repeated incremental k-medoids updates reuse one
+	// grown backing array instead of regrowing from empty every call.
+	expandPool sync.Pool
+}
+
+// tagSource and coordSource are the optional Graph extensions Compile reads
+// tags and the embedding through; the in-memory Network implements both, the
+// disk Store only the former.
+type tagSource interface{ Tag(network.PointID) int32 }
+type coordSource interface {
+	Coord(network.NodeID) network.Coord
+	HasCoords() bool
+}
+
+// Compile builds a snapshot of g. The source graph is only read; the
+// snapshot shares no memory with it and stays valid after the source is
+// closed (for a disk store) or garbage collected.
+func Compile(g network.Graph) (*Snapshot, error) {
+	start := time.Now()
+	nodes, points, groups := g.NumNodes(), g.NumPoints(), g.NumGroups()
+	if int64(nodes) > math.MaxInt32 || int64(points) > math.MaxInt32 {
+		return nil, fmt.Errorf("csr: graph exceeds int32 index space (%d nodes, %d points)", nodes, points)
+	}
+	s := &Snapshot{
+		numEdges: g.NumEdges(),
+		rowOff:   make([]int32, nodes+1),
+		groups:   make([]network.PointGroup, 0, groups),
+		ptPos:    make([]float64, points),
+		ptGrp:    make([]int32, points),
+		ptTag:    make([]int32, points),
+	}
+
+	// Adjacency: one pass over the nodes, preserving each row's order (the
+	// builder and the store both keep rows sorted by target node, which the
+	// kernels and the generic operators rely on for determinism).
+	half := 2 * s.numEdges
+	s.adjNode = make([]int32, 0, half)
+	s.adjW = make([]float64, 0, half)
+	s.adjGroup = make([]int32, 0, half)
+	s.adjRef = make([]network.Neighbor, 0, half)
+	for n := 0; n < nodes; n++ {
+		adj, err := g.Neighbors(network.NodeID(n))
+		if err != nil {
+			return nil, fmt.Errorf("csr: compiling adjacency of node %d: %w", n, err)
+		}
+		for _, nb := range adj {
+			s.adjNode = append(s.adjNode, int32(nb.Node))
+			s.adjW = append(s.adjW, nb.Weight)
+			s.adjGroup = append(s.adjGroup, int32(nb.Group))
+		}
+		s.adjRef = append(s.adjRef, adj...)
+		s.rowOff[n+1] = int32(len(s.adjNode))
+	}
+
+	// Point groups and buckets: one sequential scan. The §4.1 invariant
+	// (groups ordered by first point ID, IDs dense per edge in ascending
+	// offset order) is what the kernels index by, so verify it holds.
+	next := network.PointID(0)
+	err := g.ScanGroups(func(gid network.GroupID, pg network.PointGroup, offsets []float64) error {
+		if network.GroupID(len(s.groups)) != gid || pg.First != next || int(pg.Count) != len(offsets) {
+			return fmt.Errorf("csr: group %d violates the point-group invariant (first %d, count %d, want first %d)",
+				gid, pg.First, pg.Count, next)
+		}
+		s.groups = append(s.groups, pg)
+		copy(s.ptPos[pg.First:], offsets)
+		for i := int32(0); i < pg.Count; i++ {
+			s.ptGrp[int32(pg.First)+i] = int32(gid)
+		}
+		next += network.PointID(pg.Count)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if int(next) != points {
+		return nil, fmt.Errorf("csr: point groups cover %d of %d points", next, points)
+	}
+
+	// Tags: through the flat accessor when the source has one, falling back
+	// to per-point record resolution.
+	if ts, ok := g.(tagSource); ok {
+		for p := range s.ptTag {
+			s.ptTag[p] = ts.Tag(network.PointID(p))
+		}
+	} else {
+		for p := range s.ptTag {
+			pi, err := g.PointInfo(network.PointID(p))
+			if err != nil {
+				return nil, fmt.Errorf("csr: resolving tag of point %d: %w", p, err)
+			}
+			s.ptTag[p] = pi.Tag
+		}
+	}
+
+	// Planar embedding, when the source carries one.
+	if cg, ok := g.(coordSource); ok && cg.HasCoords() {
+		s.coords = make([]network.Coord, nodes)
+		for n := range s.coords {
+			s.coords[n] = cg.Coord(network.NodeID(n))
+		}
+	}
+
+	s.stats = Stats{
+		Nodes: nodes, Edges: s.numEdges, Points: points, Groups: len(s.groups),
+		HasCoords:     s.coords != nil,
+		ResidentBytes: s.residentBytes(),
+	}
+	s.stats.CompileTime = time.Since(start)
+	return s, nil
+}
+
+// Stats returns the snapshot's shape and footprint.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+func (s *Snapshot) residentBytes() int64 {
+	const (
+		i32 = 4
+		f64 = 8
+	)
+	var b int64
+	b += int64(len(s.rowOff)+len(s.adjNode)+len(s.adjGroup)+len(s.ptGrp)+len(s.ptTag)) * i32
+	b += int64(len(s.adjW)+len(s.ptPos)) * f64
+	b += int64(len(s.adjRef)) * 24 // Neighbor: int32 + pad, float64, int32 + pad
+	b += int64(len(s.groups)) * 24 // PointGroup: 2*int32, float64, int32+int32
+	b += int64(len(s.coords)) * 16 // Coord: 2*float64
+	return b
+}

@@ -1,0 +1,49 @@
+package csr_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"netclus/internal/csr"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+// FuzzRangeEquivalence derives (generator seed, query point, radius) from
+// the fuzz input and checks the kernel range query against the generic
+// scratch on the same generated network: identical ID sets and bit-identical
+// canonical (Dist, Point) outputs.
+func FuzzRangeEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), float64(1.0))
+	f.Add(int64(7), uint8(13), float64(0.25))
+	f.Add(int64(42), uint8(200), float64(4.0))
+	f.Fuzz(func(t *testing.T, seed int64, pt uint8, eps float64) {
+		if !(eps >= 0) || eps > 1e6 { // reject NaN and absurd radii
+			t.Skip()
+		}
+		g, err := testnet.Random(seed%64, 25, 60)
+		if err != nil {
+			t.Skip()
+		}
+		p := network.PointID(int(pt) % g.NumPoints())
+		sn, err := csr.Compile(g)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		ctx := context.Background()
+		ref := network.NewRangeScratch(g)
+		ker := sn.NewRangeScratch()
+		want, err := ref.RangeQueryDistCtx(ctx, g, p, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ker.RangeQueryDistCtx(ctx, sn, p, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(append([]network.PointDist{}, want...), append([]network.PointDist{}, got...)) {
+			t.Fatalf("seed=%d p=%d eps=%v:\nwant %v\ngot  %v", seed, p, eps, want, got)
+		}
+	})
+}

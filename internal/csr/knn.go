@@ -1,0 +1,148 @@
+package csr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"netclus/internal/network"
+)
+
+// KNNCtx returns the k points closest to p in network distance (excluding p
+// itself), ascending (Dist, Point) — the kernel behind
+// network.KNearestNeighborsCtx, which dispatches here for snapshots. The
+// result set is identical to the generic expansion: the offer set keeps the
+// k best candidates under the deterministic (Dist, Point) tie-break, so it
+// depends only on which (candidate, distance) offers are made, not on the
+// traversal's discovery order. Traversal state comes from the snapshot's
+// scratch pool; steady state allocates only the result slice.
+func (s *Snapshot) KNNCtx(ctx context.Context, p network.PointID, k int) ([]network.PointDist, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k-NN needs k >= 1, got %d", network.ErrInvalidOptions, k)
+	}
+	ticks := 0
+	if err := cancelCheck(ctx, &ticks); err != nil {
+		return nil, err
+	}
+	if p < 0 || int(p) >= len(s.ptPos) {
+		return nil, fmt.Errorf("%w: %d", network.ErrPointRange, p)
+	}
+	sc := s.acquire()
+	defer s.release(sc)
+	sc.nextEpoch()
+
+	pg := &s.groups[s.ptGrp[p]]
+	pos := s.ptPos[p]
+	offers := newOffers(p, k)
+
+	// Same-edge candidates (direct distance).
+	first := int32(pg.First)
+	for i, o := range s.ptPos[first : first+pg.Count] {
+		d := o - pos
+		if d < 0 {
+			d = -d
+		}
+		offers.offer(network.PointID(first+int32(i)), d)
+	}
+
+	// Bounded Dijkstra from p's edge exits, collecting points of every edge
+	// met, pruned by the running k-th best distance.
+	sc.heap.Push(entry{node: int32(pg.N1), dist: pos})
+	sc.heap.Push(entry{node: int32(pg.N2), dist: pg.Weight - pos})
+	for !sc.heap.Empty() {
+		e := sc.heap.Pop()
+		if e.dist >= sc.dist(e.node) {
+			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return nil, err
+		}
+		if e.dist > offers.bound() {
+			break // no unsettled node can contribute anymore
+		}
+		sc.nodeEpoch[e.node] = sc.epoch
+		sc.nodeDist[e.node] = e.dist
+		for i, end := s.rowOff[e.node], s.rowOff[e.node+1]; i < end; i++ {
+			if gid := s.adjGroup[i]; gid >= 0 {
+				npg := &s.groups[gid]
+				nfirst := int32(npg.First)
+				fromN1 := e.node == int32(npg.N1)
+				for j, o := range s.ptPos[nfirst : nfirst+npg.Count] {
+					dl := o
+					if !fromN1 {
+						dl = npg.Weight - o
+					}
+					offers.offer(network.PointID(nfirst+int32(j)), e.dist+dl)
+				}
+			}
+			if nd := e.dist + s.adjW[i]; nd <= offers.bound() {
+				if v := s.adjNode[i]; nd < sc.dist(v) {
+					sc.heap.Push(entry{node: v, dist: nd})
+				}
+			}
+		}
+	}
+	return offers.results(), nil
+}
+
+// offers keeps the k best (distance, point) candidates seen so far with the
+// deterministic (Dist, Point) tie-break — the kernel's twin of the network
+// package's offerSet, so both kNN paths agree even at k-th-place ties.
+type offers struct {
+	p network.PointID
+	k int
+	s []network.PointDist // ascending (Dist, Point), len <= k
+}
+
+func newOffers(p network.PointID, k int) *offers {
+	cap := k
+	if cap > 64 {
+		cap = 64 // degenerate huge k: let append grow it
+	}
+	return &offers{p: p, k: k, s: make([]network.PointDist, 0, cap)}
+}
+
+// bound returns the current k-th best offer distance (+Inf while fewer than
+// k candidates are known).
+func (o *offers) bound() float64 {
+	if len(o.s) < o.k {
+		return network.Inf
+	}
+	return o.s[len(o.s)-1].Dist
+}
+
+// offer records distance d for candidate q, evicting the (Dist, Point)-largest
+// entry when the set exceeds k.
+func (o *offers) offer(q network.PointID, d float64) {
+	if q == o.p || d > o.bound() {
+		return
+	}
+	for i := range o.s {
+		if o.s[i].Point == q {
+			if d >= o.s[i].Dist {
+				return
+			}
+			o.s = append(o.s[:i], o.s[i+1:]...)
+			break
+		}
+	}
+	at := sort.Search(len(o.s), func(i int) bool {
+		if o.s[i].Dist != d {
+			return o.s[i].Dist > d
+		}
+		return o.s[i].Point > q
+	})
+	o.s = append(o.s, network.PointDist{})
+	copy(o.s[at+1:], o.s[at:])
+	o.s[at] = network.PointDist{Point: q, Dist: d}
+	if len(o.s) > o.k {
+		o.s = o.s[:o.k]
+	}
+}
+
+// results returns the surviving offers in ascending (Dist, Point) order.
+func (o *offers) results() []network.PointDist {
+	out := make([]network.PointDist, len(o.s))
+	copy(out, o.s)
+	return out
+}

@@ -1,0 +1,61 @@
+package csr
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+// TestEpochWrapAround drives a scratch across the int32 stamp wrap: queries
+// issued right before, at and after epoch MaxInt32 must match a fresh
+// scratch, and the wrap must clear every stale stamp (a stale stamp would
+// surface as a phantom settled node or phantom result point).
+func TestEpochWrapAround(t *testing.T) {
+	ctx := context.Background()
+	g, err := testnet.Random(3, 30, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sn.newScratch()
+	fresh := sn.newScratch()
+
+	// Populate stamps at a high epoch, then fast-forward to the edge of the
+	// wrap so the next queries straddle it.
+	sc.epoch = math.MaxInt32 - 3
+	const eps = 2.0
+	for q := 0; q < 8; q++ {
+		p := network.PointID((q * 5) % sn.NumPoints())
+		got, err := sc.RangeQueryDistCtx(ctx, sn, p, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.RangeQueryDistCtx(ctx, sn, p, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("query %d (epoch %d): wrapped scratch diverged\nwant %v\ngot  %v", q, sc.epoch, want, got)
+		}
+	}
+	if sc.epoch >= math.MaxInt32-3 || sc.epoch < 1 {
+		t.Fatalf("epoch did not wrap: %d", sc.epoch)
+	}
+	for i, e := range sc.nodeEpoch {
+		if e > sc.epoch {
+			t.Fatalf("node %d carries stale future stamp %d (epoch %d)", i, e, sc.epoch)
+		}
+	}
+	for i, e := range sc.ptEpoch {
+		if e > sc.epoch {
+			t.Fatalf("point %d carries stale future stamp %d (epoch %d)", i, e, sc.epoch)
+		}
+	}
+}

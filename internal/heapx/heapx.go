@@ -95,6 +95,100 @@ func (h *Heap[T]) down(i int) {
 	}
 }
 
+// Heap4 is a 4-ary min-heap over elements of type T ordered by less, with
+// the same lazy-deletion usage pattern as Heap. The wider fan-out halves the
+// tree depth: sift-down does more comparisons per level but touches half as
+// many cache lines, which wins on the flat-array Dijkstra frontiers of the
+// CSR traversal kernel where pops dominate. The zero value is not usable;
+// construct with New4.
+//
+// Heap4 and Heap pop equal-ordered elements in different sequences; use Heap
+// where tie order must match the paper's binary-heap pseudocode bit for bit.
+type Heap4[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New4 returns an empty 4-ary min-heap ordered by less.
+func New4[T any](less func(a, b T) bool) *Heap4[T] {
+	return &Heap4[T]{less: less}
+}
+
+// Len reports the number of elements on the heap.
+func (h *Heap4[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap4[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push adds x to the heap.
+func (h *Heap4[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap4[T]) Pop() T {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum element without removing it.
+// It panics on an empty heap.
+func (h *Heap4[T]) Peek() T { return h.items[0] }
+
+// Clear removes all elements but keeps the allocated capacity.
+func (h *Heap4[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap4[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap4[T]) down(i int) {
+	n := len(h.items)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(h.items[c], h.items[min]) {
+				min = c
+			}
+		}
+		if !h.less(h.items[min], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}
+
 // IndexedHeap is a min-heap of (key int, priority float64) pairs supporting
 // DecreaseKey in O(log n). Keys must be in [0, n) where n is the capacity
 // passed to NewIndexed. It is the classic structure backing a textbook

@@ -145,3 +145,56 @@ func TestHeapPopEmptyPanics(t *testing.T) {
 	}()
 	New(func(a, b int) bool { return a < b }).Pop()
 }
+
+func TestHeap4SortsArbitraryInput(t *testing.T) {
+	prop := func(xs []float64) bool {
+		h := New4(func(a, b float64) bool { return a < b })
+		for _, x := range xs {
+			h.Push(x)
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for _, w := range want {
+			if h.Empty() || h.Pop() != w {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeap4InterleavedMatchesBinary(t *testing.T) {
+	// Interleaved push/pop streams must drain the same value multiset in the
+	// same non-decreasing order as the binary heap (tie sequences may differ,
+	// but values popped at each step agree because both are exact min-heaps).
+	rnd := rand.New(rand.NewSource(7))
+	b := New(func(a, x int) bool { return a < x })
+	q := New4(func(a, x int) bool { return a < x })
+	for i := 0; i < 5000; i++ {
+		if q.Len() == 0 || rnd.Intn(3) > 0 {
+			v := rnd.Intn(500)
+			b.Push(v)
+			q.Push(v)
+			continue
+		}
+		if bv, qv := b.Pop(), q.Pop(); bv != qv {
+			t.Fatalf("step %d: binary popped %d, 4-ary popped %d", i, bv, qv)
+		}
+	}
+	for !b.Empty() {
+		if bv, qv := b.Pop(), q.Pop(); bv != qv {
+			t.Fatalf("drain: binary popped %d, 4-ary popped %d", bv, qv)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("4-ary heap retained elements after drain")
+	}
+	q.Clear()
+	q.Push(1)
+	if q.Peek() != 1 || q.Len() != 1 {
+		t.Fatal("Clear/Push/Peek broken")
+	}
+}

@@ -34,6 +34,11 @@ func KNearestNeighborsCtx(ctx context.Context, g Graph, p PointID, k int) ([]Poi
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k-NN needs k >= 1, got %d", ErrInvalidOptions, k)
 	}
+	if kq, ok := g.(KNNQuerier); ok {
+		// Graph-native kernel (the compiled CSR snapshot): identical results,
+		// flat-array traversal.
+		return kq.KNNCtx(ctx, p, k)
+	}
 	ticks := 0
 	if err := cancelCheck(ctx, &ticks); err != nil {
 		return nil, err

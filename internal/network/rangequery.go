@@ -3,6 +3,7 @@ package network
 import (
 	"context"
 	"math"
+	"slices"
 	"sort"
 
 	"netclus/internal/heapx"
@@ -143,8 +144,11 @@ func (s *RangeScratch) RangeQueryCtx(ctx context.Context, g Graph, p PointID, ep
 
 // RangeQueryDist is RangeQuery with exact network distances attached: every
 // point q with d(p, q) <= eps, each at its true distance (minimum over the
-// direct same-edge route and both endpoint routes). OPTICS builds its core
-// and reachability distances from it. The returned slice is reused by the
+// direct same-edge route and both endpoint routes), in ascending
+// (Dist, Point) order. OPTICS builds its core and reachability distances
+// from it; the canonical order makes its tie-sensitive seed relaxation
+// independent of traversal discovery order, so the generic scratch and the
+// CSR kernel feed it identical lists. The returned slice is reused by the
 // next query on the same scratch.
 func (s *RangeScratch) RangeQueryDist(g Graph, p PointID, eps float64) ([]PointDist, error) {
 	return s.RangeQueryDistCtx(context.Background(), g, p, eps)
@@ -159,7 +163,27 @@ func (s *RangeScratch) RangeQueryDistCtx(ctx context.Context, g Graph, p PointID
 	for _, q := range s.result {
 		s.resultD = append(s.resultD, PointDist{Point: q, Dist: s.ptDist[q]})
 	}
+	SortPointDists(s.resultD)
 	return s.resultD, nil
+}
+
+// SortPointDists sorts pds into the canonical ascending (Dist, Point) order
+// shared by every distance-returning query path. The comparator is a total
+// order (no two entries share Point), so any sort produces the same bytes.
+func SortPointDists(pds []PointDist) {
+	slices.SortFunc(pds, func(a, b PointDist) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.Point < b.Point:
+			return -1
+		case a.Point > b.Point:
+			return 1
+		}
+		return 0
+	})
 }
 
 // run performs the bounded expansion shared by both query flavours.

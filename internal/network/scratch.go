@@ -1,0 +1,85 @@
+package network
+
+import "context"
+
+// RangeQuerier is the reusable ε-range query state the clustering algorithms
+// and the serving layer run against: the generic *RangeScratch over any
+// Graph, or a graph-native kernel scratch (the compiled CSR snapshot's).
+// A querier is bound to one goroutine at a time, like *RangeScratch.
+//
+// The g argument of the query methods names the graph to traverse; a querier
+// obtained from ScratchFor(g) must be used with that same g (a kernel
+// scratch is compiled against one snapshot and ignores other graphs).
+type RangeQuerier interface {
+	// RangeQueryCtx returns the IDs of every point within eps of p (p
+	// included). The slice is reused by the next query on the scratch.
+	RangeQueryCtx(ctx context.Context, g Graph, p PointID, eps float64) ([]PointID, error)
+	// RangeQueryDistCtx returns every point within eps of p with its exact
+	// network distance, in ascending (Dist, Point) order. The slice is
+	// reused by the next query on the scratch.
+	RangeQueryDistCtx(ctx context.Context, g Graph, p PointID, eps float64) ([]PointDist, error)
+	// SetBounder installs (or, with nil, removes) a lower-bound provider for
+	// the filter-and-refine range path.
+	SetBounder(b Bounder)
+	// PruneStats returns the pruning counters accumulated by queries on this
+	// scratch since its creation.
+	PruneStats() PruneStats
+}
+
+var _ RangeQuerier = (*RangeScratch)(nil)
+
+// ScratchProvider is implemented by Graphs that carry a native range-query
+// kernel (the compiled CSR snapshot). NewRangeScratch returns a private
+// scratch over the shared graph; any number of scratches may query
+// concurrently.
+type ScratchProvider interface {
+	NewRangeScratch() RangeQuerier
+}
+
+// ScratchFor returns range-query scratch for g: the graph's own kernel
+// scratch when g implements ScratchProvider, else a generic *RangeScratch.
+// Every scratch consumer in core and the serving layer allocates through
+// this, so a compiled snapshot accelerates them without further wiring.
+func ScratchFor(g Graph) RangeQuerier {
+	if sp, ok := g.(ScratchProvider); ok {
+		return sp.NewRangeScratch()
+	}
+	return NewRangeScratch(g)
+}
+
+// KNNQuerier is implemented by Graphs that answer k-nearest-neighbour
+// queries natively. KNearestNeighborsCtx dispatches to it; results must be
+// identical to the generic expansion (ascending (Dist, Point), deterministic
+// ties).
+type KNNQuerier interface {
+	KNNCtx(ctx context.Context, p PointID, k int) ([]PointDist, error)
+}
+
+// MedoidSeed is one initial frontier entry of the k-medoids concurrent
+// expansion (Figs. 4-5): node Node is reachable from medoid Med at network
+// distance Dist.
+type MedoidSeed struct {
+	Node NodeID
+	Med  int32
+	Dist float64
+}
+
+// ExpandCounts reports the traversal work of one NearestExpander run, in the
+// same units core.Stats counts for the generic expansion.
+type ExpandCounts struct {
+	Settled int // nodes settled (accepted pops)
+	Pushes  int // frontier pushes during the expansion
+	Edges   int // adjacency entries scanned
+}
+
+// NearestExpander is implemented by Graphs with a native multi-source
+// nearest-medoid expansion. ExpandNearest must behave exactly like the
+// paper's Concurrent_Expansion seeded by pushing seeds in order onto a
+// binary lazy-deletion heap: med/dist (indexed by node) are updated in
+// place, an entry is accepted when its distance strictly improves dist, and
+// neighbours are pushed unless already at least as close. Implementations
+// must preserve binary-heap tie order so the winning medoid of equidistant
+// nodes matches the generic path bit for bit.
+type NearestExpander interface {
+	ExpandNearest(ctx context.Context, seeds []MedoidSeed, med []int32, dist []float64) (ExpandCounts, error)
+}

@@ -349,8 +349,10 @@ type datasetInfo struct {
 	Edges   int                 `json:"edges"`
 	Points  int                 `json:"points"`
 	Bounds  bool                `json:"bounds"`
+	Hot     bool                `json:"hot"`
 	Queries int64               `json:"queries"`
 	Store   *netclus.StoreStats `json:"store,omitempty"`
+	CSR     *netclus.CSRStats   `json:"csr,omitempty"`
 	Prune   netclus.PruneStats  `json:"prune"`
 }
 
@@ -362,11 +364,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		info := datasetInfo{
 			Name: d.Name, Kind: d.Kind, Source: d.Source,
 			Nodes: d.nodes, Edges: d.edges, Points: d.points,
-			Bounds: d.bounds != nil, Queries: d.Queries(),
+			Bounds: d.bounds != nil, Hot: d.Hot(), Queries: d.Queries(),
 			Prune: d.PruneStats(),
 		}
 		if ss, ok := d.StoreStats(); ok {
 			info.Store = &ss
+		}
+		if cs, ok := d.HotStats(); ok {
+			info.CSR = &cs
 		}
 		out = append(out, info)
 	}

@@ -211,6 +211,32 @@ func writeDatasetMetrics(w io.Writer, reg *Registry) {
 	add := func(name, labels string, v int64) {
 		rows = append(rows, counterRow{name, labels, v})
 	}
+	// Hot-replica gauges first: whether the dataset serves from a compiled
+	// CSR snapshot, what the one-shot compile cost, and what the snapshot
+	// keeps resident.
+	fmt.Fprintf(w, "# HELP netclusd_dataset_hot Dataset serves from a compiled CSR replica.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_dataset_hot gauge\n")
+	for _, d := range reg.List() {
+		hot := 0
+		if d.Hot() {
+			hot = 1
+		}
+		fmt.Fprintf(w, "netclusd_dataset_hot{dataset=%q} %d\n", d.Name, hot)
+	}
+	fmt.Fprintf(w, "# HELP netclusd_csr_compile_seconds Time spent compiling the hot CSR replica.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_csr_compile_seconds gauge\n")
+	for _, d := range reg.List() {
+		if cs, ok := d.HotStats(); ok {
+			fmt.Fprintf(w, "netclusd_csr_compile_seconds{dataset=%q} %g\n", d.Name, cs.CompileTime.Seconds())
+		}
+	}
+	fmt.Fprintf(w, "# HELP netclusd_csr_resident_bytes Bytes held by the hot CSR replica.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_csr_resident_bytes gauge\n")
+	for _, d := range reg.List() {
+		if cs, ok := d.HotStats(); ok {
+			fmt.Fprintf(w, "netclusd_csr_resident_bytes{dataset=%q} %d\n", d.Name, cs.ResidentBytes)
+		}
+	}
 	for _, d := range reg.List() {
 		ds := fmt.Sprintf("dataset=%q", d.Name)
 		add("netclusd_dataset_queries_total", ds, d.Queries())

@@ -28,7 +28,8 @@ type Dataset struct {
 	Source string
 
 	graph  netclus.Graph
-	store  *netclus.Store // nil for in-memory datasets
+	store  *netclus.Store    // nil for in-memory datasets
+	hot    *netclus.Snapshot // compiled CSR replica; nil unless requested
 	bounds *netclus.Bounds
 
 	// base is the store counter snapshot taken at registration, so /metrics
@@ -48,14 +49,17 @@ type Dataset struct {
 // harvested from it, so each release folds only the new work into the
 // dataset's aggregate.
 type scratchBox struct {
-	sc        *netclus.RangeScratch
+	sc        netclus.RangeQuerier
 	harvested netclus.PruneStats
 }
 
 // NewStoreDataset opens the store under dir as a served dataset. landmarks
 // > 0 additionally builds lower-bound pruning tables over it (Euclidean
-// filtering when the embedding allows, landmark tables otherwise).
-func NewStoreDataset(name, dir string, opts netclus.StoreOptions, landmarks int) (*Dataset, error) {
+// filtering when the embedding allows, landmark tables otherwise). hot
+// additionally compiles the store into a CSR snapshot at registration;
+// point queries then run on the in-memory replica and bypass the page
+// buffer entirely — the store's serving counters stay at zero.
+func NewStoreDataset(name, dir string, opts netclus.StoreOptions, landmarks int, hot bool) (*Dataset, error) {
 	st, err := netclus.OpenStore(dir, opts)
 	if err != nil {
 		return nil, err
@@ -65,21 +69,35 @@ func NewStoreDataset(name, dir string, opts netclus.StoreOptions, landmarks int)
 		graph: st, store: st,
 		nodes: st.NumNodes(), edges: st.NumEdges(), points: st.NumPoints(),
 	}
+	if hot {
+		if d.hot, err = netclus.CompileStore(st); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("dataset %s: compiling hot replica: %w", name, err)
+		}
+	}
 	if err := d.buildBounds(landmarks); err != nil {
 		st.Close()
 		return nil, err
 	}
-	// Counters spent loading + preprocessing belong to startup, not serving.
+	// Counters spent loading + preprocessing (including the hot-replica
+	// compile, which reads every page once) belong to startup, not serving.
 	d.base = netclus.SnapshotStore(st)
 	return d, nil
 }
 
-// NewNetworkDataset serves the in-memory network n. landmarks as above.
-func NewNetworkDataset(name, source string, n *netclus.Network, landmarks int) (*Dataset, error) {
+// NewNetworkDataset serves the in-memory network n. landmarks as above; hot
+// compiles n into a CSR snapshot, so queries run on the flat-array kernel.
+func NewNetworkDataset(name, source string, n *netclus.Network, landmarks int, hot bool) (*Dataset, error) {
 	d := &Dataset{
 		Name: name, Kind: "memory", Source: source,
 		graph: n,
 		nodes: n.NumNodes(), edges: n.NumEdges(), points: n.NumPoints(),
+	}
+	if hot {
+		var err error
+		if d.hot, err = netclus.Compile(n); err != nil {
+			return nil, fmt.Errorf("dataset %s: compiling hot replica: %w", name, err)
+		}
 	}
 	if err := d.buildBounds(landmarks); err != nil {
 		return nil, err
@@ -91,11 +109,16 @@ func (d *Dataset) buildBounds(landmarks int) error {
 	if landmarks <= 0 {
 		return nil
 	}
+	// Prefer the hot replica as the build source: same tables, no page I/O.
+	src := d.graph
+	if d.hot != nil {
+		src = d.hot
+	}
 	opts := netclus.BoundsOptions{Landmarks: landmarks, EuclideanLB: true}
-	b, err := netclus.BuildBounds(d.graph, opts)
+	b, err := netclus.BuildBounds(src, opts)
 	if errors.Is(err, netclus.ErrBoundsNoCoords) || errors.Is(err, netclus.ErrBoundsNotEuclidean) {
 		opts.EuclideanLB = false
-		b, err = netclus.BuildBounds(d.graph, opts)
+		b, err = netclus.BuildBounds(src, opts)
 	}
 	if err != nil {
 		return fmt.Errorf("dataset %s: building bounds: %w", d.Name, err)
@@ -104,13 +127,29 @@ func (d *Dataset) buildBounds(landmarks int) error {
 	return nil
 }
 
-// View returns a graph read view for one request goroutine: a fresh Store
-// reader for disk datasets, the shared immutable network otherwise.
+// View returns a graph read view for one request goroutine: the hot CSR
+// replica when one was compiled (shared and immutable, so no per-request
+// state), else a fresh Store reader for disk datasets, else the shared
+// immutable network.
 func (d *Dataset) View() netclus.Graph {
+	if d.hot != nil {
+		return d.hot
+	}
 	if d.store != nil {
 		return d.store.Reader()
 	}
 	return d.graph
+}
+
+// Hot reports whether the dataset serves from a compiled CSR replica.
+func (d *Dataset) Hot() bool { return d.hot != nil }
+
+// HotStats returns the compiled replica's stats, false when not hot.
+func (d *Dataset) HotStats() (netclus.CSRStats, bool) {
+	if d.hot == nil {
+		return netclus.CSRStats{}, false
+	}
+	return d.hot.Stats(), true
 }
 
 // Bounds returns the dataset's pruning tables (nil when not built).
@@ -125,7 +164,12 @@ func (d *Dataset) getScratch() *scratchBox {
 	if b, ok := d.scratch.Get().(*scratchBox); ok {
 		return b
 	}
-	return &scratchBox{sc: netclus.NewRangeScratch(d.graph)}
+	// ScratchFor picks the flat-array kernel scratch for hot datasets and
+	// the generic scratch otherwise; both serve the RangeQuerier surface.
+	if d.hot != nil {
+		return &scratchBox{sc: netclus.ScratchFor(d.hot)}
+	}
+	return &scratchBox{sc: netclus.ScratchFor(d.graph)}
 }
 
 // putScratch returns scratch to the pool, folding the prune work it did since

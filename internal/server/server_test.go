@@ -38,7 +38,7 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	n := testNetwork(t)
 	reg := NewRegistry()
-	mem, err := NewNetworkDataset("mem", "test", n, 4)
+	mem, err := NewNetworkDataset("mem", "test", n, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if err := netclus.BuildStore(dir, n, opts); err != nil {
 		t.Fatal(err)
 	}
-	disk, err := NewStoreDataset("disk", dir, opts, 4)
+	disk, err := NewStoreDataset("disk", dir, opts, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,5 +455,104 @@ func TestServeConcurrentMixed(t *testing.T) {
 	wg.Wait()
 	if got := s.Metrics().RequestCount("", 0); got < 12*15 {
 		t.Fatalf("request count %d < %d", got, 12*15)
+	}
+}
+
+// TestServeHotReplica registers the same store twice — cold and as a hot CSR
+// replica — and checks the hot dataset answers point queries identically,
+// reports zero buffer/page-read deltas in /metrics (queries bypassed the
+// page buffer), and exposes the compile-time and resident-bytes gauges.
+func TestServeHotReplica(t *testing.T) {
+	n := testNetwork(t)
+	dir := t.TempDir()
+	opts := netclus.StoreOptions{PageSize: 1024, BufferBytes: 32 * 1024}
+	if err := netclus.BuildStore(dir, n, opts); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	cold, err := NewStoreDataset("cold", dir, opts, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(cold); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := NewStoreDataset("hot", dir, opts, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(hot); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	h := s.Handler()
+
+	for p := 0; p < 40; p++ {
+		var cr, hr rangeResponse
+		getJSON(t, h, fmt.Sprintf("/v1/cold/range?p=%d&eps=25&dists=1", p), http.StatusOK, &cr)
+		getJSON(t, h, fmt.Sprintf("/v1/hot/range?p=%d&eps=25&dists=1", p), http.StatusOK, &hr)
+		if len(cr.Results) == 0 && p == 0 {
+			t.Fatal("empty range result")
+		}
+		if fmt.Sprint(cr.Results) != fmt.Sprint(hr.Results) {
+			t.Fatalf("p=%d: hot range differs from cold\ncold %v\nhot  %v", p, cr.Results, hr.Results)
+		}
+		var ck, hk knnResponse
+		getJSON(t, h, fmt.Sprintf("/v1/cold/knn?p=%d&k=5&prune=0", p), http.StatusOK, &ck)
+		getJSON(t, h, fmt.Sprintf("/v1/hot/knn?p=%d&k=5&prune=0", p), http.StatusOK, &hk)
+		if fmt.Sprint(ck.Results) != fmt.Sprint(hk.Results) {
+			t.Fatalf("p=%d: hot knn differs from cold", p)
+		}
+	}
+
+	var ds struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	getJSON(t, h, "/v1/datasets", http.StatusOK, &ds)
+	for _, info := range ds.Datasets {
+		switch info.Name {
+		case "hot":
+			if !info.Hot || info.CSR == nil {
+				t.Fatalf("hot dataset not reported hot: %+v", info)
+			}
+			if info.Store == nil || info.Store.Buffer.LogicalReads != 0 {
+				t.Fatalf("hot dataset touched the page buffer: %+v", info.Store)
+			}
+		case "cold":
+			if info.Hot || info.CSR != nil {
+				t.Fatalf("cold dataset reported hot: %+v", info)
+			}
+			if info.Store == nil || info.Store.Buffer.LogicalReads == 0 {
+				t.Fatal("cold dataset should have buffer traffic")
+			}
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`netclusd_dataset_hot{dataset="cold"} 0`,
+		`netclusd_dataset_hot{dataset="hot"} 1`,
+		`netclusd_csr_compile_seconds{dataset="hot"}`,
+		`netclusd_csr_resident_bytes{dataset="hot"}`,
+		`netclusd_store_logical_reads_total{dataset="hot"} 0`,
+		`netclusd_store_physical_reads_total{dataset="hot"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
 	}
 }

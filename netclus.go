@@ -47,6 +47,7 @@ import (
 	"os"
 
 	"netclus/internal/core"
+	"netclus/internal/csr"
 	"netclus/internal/lbound"
 	"netclus/internal/network"
 	"netclus/internal/pagebuf"
@@ -153,6 +154,41 @@ type RangeScratch = network.RangeScratch
 
 // NewRangeScratch allocates range-query scratch for g.
 func NewRangeScratch(g Graph) *RangeScratch { return network.NewRangeScratch(g) }
+
+// RangeQuerier is the backend-neutral ε-range query surface: the generic
+// RangeScratch and the compiled Snapshot's kernel scratch both satisfy it.
+type RangeQuerier = network.RangeQuerier
+
+// ScratchFor returns the fastest range-query scratch for g: the flat-array
+// kernel scratch when g is a compiled Snapshot, the generic RangeScratch
+// otherwise. Results are identical either way.
+func ScratchFor(g Graph) RangeQuerier { return network.ScratchFor(g) }
+
+// Snapshot is an immutable compiled form of a network: int32 CSR adjacency
+// with inlined weights and position-sorted per-edge point buckets, built
+// once with Compile / CompileStore. It implements Graph, so every clustering
+// function and network operator accepts it unchanged and produces
+// byte-identical labels — but traversals run on flat arrays with
+// epoch-stamped scratch, typically several times faster than the pointer
+// Network and an order of magnitude faster than the cold Store. Any number
+// of goroutines may query one snapshot concurrently.
+type Snapshot = csr.Snapshot
+
+// CSRStats describes a compiled snapshot: cardinalities, compile time and
+// resident bytes.
+type CSRStats = csr.Stats
+
+// Compile builds a Snapshot from any Graph (typically an in-memory
+// Network). The source is not retained; node coordinates are carried over
+// when the source has them, so Euclidean bounds (BuildBounds) keep working
+// on the snapshot.
+func Compile(g Graph) (*Snapshot, error) { return csr.Compile(g) }
+
+// CompileStore builds a Snapshot from an open disk Store — a hot in-memory
+// replica whose queries bypass the page buffer entirely. The Store carries
+// no planar embedding, so the snapshot reports HasCoords() == false and
+// BuildBounds falls back to landmark-only bounds.
+func CompileStore(st *Store) (*Snapshot, error) { return csr.Compile(st) }
 
 // PointDist pairs a point with its network distance from a query point.
 type PointDist = network.PointDist
