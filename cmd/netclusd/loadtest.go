@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"netclus/internal/server/api"
 )
 
 // ltSample is one finished loadtest request.
@@ -35,16 +37,30 @@ type endpointSummary struct {
 	PerSecond float64        `json:"per_second"`
 }
 
-// ltSummary is the loadtest report written to -out.
+// ltCacheStats is the dataset's result-cache delta over one run, scraped from
+// /v1/datasets before and after, plus the derived hit ratio.
+type ltCacheStats struct {
+	Hits               int64   `json:"hits"`
+	Misses             int64   `json:"misses"`
+	ContainmentHits    int64   `json:"containment_hits"`
+	SingleflightShared int64   `json:"singleflight_shared"`
+	HitRatio           float64 `json:"hit_ratio"`
+}
+
+// ltSummary is the loadtest report written to -out. Seed and Zipf record the
+// generator inputs so a run is reproducible from its report alone.
 type ltSummary struct {
-	Target    string                     `json:"target"`
-	Dataset   string                     `json:"dataset"`
-	Workers   int                        `json:"workers"`
-	DurationS float64                    `json:"duration_s"`
-	Requests  int                        `json:"requests"`
-	Errors    int                        `json:"errors"`
-	PerSecond float64                    `json:"per_second"`
-	Endpoints map[string]endpointSummary `json:"endpoints"`
+	Target      string                     `json:"target"`
+	Dataset     string                     `json:"dataset"`
+	Workers     int                        `json:"workers"`
+	Seed        int64                      `json:"seed"`
+	Zipf        float64                    `json:"zipf"`
+	DurationS   float64                    `json:"duration_s"`
+	Requests    int                        `json:"requests"`
+	Errors      int                        `json:"errors"`
+	PerSecond   float64                    `json:"per_second"`
+	Endpoints   map[string]endpointSummary `json:"endpoints"`
+	ResultCache *ltCacheStats              `json:"result_cache,omitempty"`
 }
 
 // percentile returns the p-th percentile of sorted (nearest-rank).
@@ -202,66 +218,74 @@ func pickEndpoint(mix []mixEntry, rng *rand.Rand) string {
 	return mix[len(mix)-1].endpoint
 }
 
-// datasetPoints asks the target how many points the dataset has, so query
-// point IDs can be drawn uniformly.
-func datasetPoints(client *http.Client, target, dataset string) (int, error) {
+// datasetProbe asks the target about the dataset: its point count (so query
+// point IDs can be drawn from the real ID space) and its result-cache
+// counters (nil when the dataset is served uncached).
+func datasetProbe(client *http.Client, target, dataset string) (int, *api.ResultCacheStats, error) {
 	resp, err := client.Get(target + "/v1/datasets")
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("GET /v1/datasets: %s", resp.Status)
+		return 0, nil, fmt.Errorf("GET /v1/datasets: %s", resp.Status)
 	}
-	var body struct {
-		Datasets []struct {
-			Name   string `json:"name"`
-			Points int    `json:"points"`
-		} `json:"datasets"`
-	}
+	var body api.DatasetsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	for _, d := range body.Datasets {
 		if d.Name == dataset {
 			if d.Points == 0 {
-				return 0, fmt.Errorf("dataset %q has no points", dataset)
+				return 0, nil, fmt.Errorf("dataset %q has no points", dataset)
 			}
-			return d.Points, nil
+			return d.Points, d.ResultCache, nil
 		}
 	}
-	return 0, fmt.Errorf("dataset %q not served (have %d datasets)", dataset, len(body.Datasets))
+	return 0, nil, fmt.Errorf("dataset %q not served (have %d datasets)", dataset, len(body.Datasets))
+}
+
+// ltConfig is one loadtest run: target and dataset, the traffic shape, and
+// the substream coordinates (seed, run index) its workers draw from.
+type ltConfig struct {
+	target   string
+	dataset  string
+	points   int
+	workers  int
+	duration time.Duration
+	mix      []mixEntry
+	eps      float64
+	k        int
+	seed     int64
+	zipf     float64 // 0 = uniform, > 1 = zipf skew exponent
+	run      int     // substream index: 0 primary leg, 1 the -compare leg
 }
 
 // runLoadtest drives the mixed workload and returns the summary. It is the
 // testable core of the loadtest subcommand.
-func runLoadtest(client *http.Client, target, dataset string, points, workers int,
-	duration time.Duration, mix []mixEntry, eps float64, k int, seed int64) ltSummary {
+func runLoadtest(client *http.Client, cfg ltConfig) ltSummary {
+	var before api.ResultCacheStats
+	hasCache := false
+	if _, rc, err := datasetProbe(client, cfg.target, cfg.dataset); err == nil && rc != nil {
+		before, hasCache = *rc, true
+	}
 	var (
 		mu      sync.Mutex
 		samples []ltSample
 	)
 	start := time.Now()
-	deadline := start.Add(duration)
+	deadline := start.Add(cfg.duration)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)))
+			rng := rand.New(rand.NewSource(substream(cfg.seed, cfg.run, w)))
+			picker := newReqPicker(rng, &cfg)
 			var local []ltSample
 			for time.Now().Before(deadline) {
-				ep := pickEndpoint(mix, rng)
-				p := rng.Intn(points)
-				var url string
-				switch ep {
-				case "knn":
-					url = fmt.Sprintf("%s/v1/%s/knn?p=%d&k=%d", target, dataset, p, k)
-				case "range":
-					url = fmt.Sprintf("%s/v1/%s/range?p=%d&eps=%g", target, dataset, p, eps)
-				case "cluster":
-					url = fmt.Sprintf("%s/v1/%s/cluster?algo=dbscan&eps=%g&minpts=3", target, dataset, eps)
-				}
+				ep, vals := picker.pick()
+				url := cfg.target + "/v1/" + cfg.dataset + "/" + ep + "?" + vals.Encode()
 				start := time.Now()
 				resp, err := client.Get(url)
 				s := ltSample{endpoint: ep, latency: time.Since(start)}
@@ -280,7 +304,27 @@ func runLoadtest(client *http.Client, target, dataset string, points, workers in
 		}(w)
 	}
 	wg.Wait()
-	return summarize(target, dataset, workers, time.Since(start), samples)
+	sum := summarize(cfg.target, cfg.dataset, cfg.workers, time.Since(start), samples)
+	sum.Seed = cfg.seed
+	sum.Zipf = cfg.zipf
+	if hasCache {
+		if _, rc, err := datasetProbe(client, cfg.target, cfg.dataset); err == nil && rc != nil {
+			delta := api.ResultCacheStats{
+				Hits:               rc.Hits - before.Hits,
+				Misses:             rc.Misses - before.Misses,
+				ContainmentHits:    rc.ContainmentHits - before.ContainmentHits,
+				SingleflightShared: rc.SingleflightShared - before.SingleflightShared,
+			}
+			sum.ResultCache = &ltCacheStats{
+				Hits:               delta.Hits,
+				Misses:             delta.Misses,
+				ContainmentHits:    delta.ContainmentHits,
+				SingleflightShared: delta.SingleflightShared,
+				HitRatio:           delta.HitRatio(),
+			}
+		}
+	}
+	return sum
 }
 
 func loadtest(args []string) error {
@@ -293,12 +337,16 @@ func loadtest(args []string) error {
 	eps := fs.Float64("eps", 1, "eps for range and clustering requests")
 	k := fs.Int("k", 8, "k for kNN requests")
 	seed := fs.Int64("seed", 1, "random seed")
+	zipf := fs.Float64("zipf", 0, "zipf skew exponent over points, eps ranks and the mix (0 = uniform; else must be > 1)")
 	out := fs.String("out", "", "write the JSON summary to this file")
 	compare := fs.String("compare", "",
-		"drive the same mix against this second dataset (e.g. the hot replica) and report deltas")
+		"drive the same mix against this second dataset (e.g. the hot replica or a nocache twin) and report deltas")
 	fs.Parse(args)
 	if *dataset == "" {
 		return fmt.Errorf("-dataset is required")
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		return fmt.Errorf("-zipf must be 0 (uniform) or > 1, got %g", *zipf)
 	}
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
@@ -306,19 +354,23 @@ func loadtest(args []string) error {
 	}
 	base := strings.TrimRight(*target, "/")
 	client := &http.Client{Timeout: 2 * time.Minute}
-	points, err := datasetPoints(client, base, *dataset)
+	points, _, err := datasetProbe(client, base, *dataset)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loadtest: %s dataset %s (%d points), %d workers, mix %s, %s\n",
-		base, *dataset, points, *workers, *mixFlag, *duration)
-	sum := runLoadtest(client, base, *dataset, points, *workers, *duration, mix, *eps, *k, *seed)
+	fmt.Printf("loadtest: %s dataset %s (%d points), %d workers, mix %s, zipf %g, %s\n",
+		base, *dataset, points, *workers, *mixFlag, *zipf, *duration)
+	cfg := ltConfig{
+		target: base, dataset: *dataset, points: points, workers: *workers,
+		duration: *duration, mix: mix, eps: *eps, k: *k, seed: *seed, zipf: *zipf,
+	}
+	sum := runLoadtest(client, cfg)
 	printSummary(sum)
 
 	var report any = sum
 	errors := sum.Errors
 	if *compare != "" {
-		cpoints, err := datasetPoints(client, base, *compare)
+		cpoints, _, err := datasetProbe(client, base, *compare)
 		if err != nil {
 			return err
 		}
@@ -326,7 +378,10 @@ func loadtest(args []string) error {
 			return fmt.Errorf("datasets differ: %s has %d points, %s has %d", *dataset, points, *compare, cpoints)
 		}
 		fmt.Printf("loadtest: comparing against dataset %s\n", *compare)
-		hot := runLoadtest(client, base, *compare, points, *workers, *duration, mix, *eps, *k, *seed)
+		ccfg := cfg
+		ccfg.dataset = *compare
+		ccfg.run = 1
+		hot := runLoadtest(client, ccfg)
 		printSummary(hot)
 		cmp := compareSummaries(sum, hot)
 		for _, ep := range sortedKeys(cmp.Delta) {
@@ -365,6 +420,10 @@ func sortedKeys(m map[string]epDelta) []string {
 func printSummary(sum ltSummary) {
 	fmt.Printf("total: %d requests in %.1fs (%.0f req/s), %d transport errors\n",
 		sum.Requests, sum.DurationS, sum.PerSecond, sum.Errors)
+	if rc := sum.ResultCache; rc != nil {
+		fmt.Printf("cache: %d hits, %d containment, %d misses, %d shared (hit ratio %.2f)\n",
+			rc.Hits, rc.ContainmentHits, rc.Misses, rc.SingleflightShared, rc.HitRatio)
+	}
 	eps := make([]string, 0, len(sum.Endpoints))
 	for ep := range sum.Endpoints {
 		eps = append(eps, ep)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 
 	"netclus"
 	"netclus/internal/server"
+	"netclus/internal/server/api"
 )
 
 // writeTestData writes a small grid network with points both as text files
@@ -70,11 +72,17 @@ func TestDataFlagsAndStoreDetection(t *testing.T) {
 	if err := d.Set("hotsf=data/sf.store,hot"); err != nil {
 		t.Fatal(err)
 	}
-	if got := d.String(); got != "ol=data/ol sf=data/sf.store hotsf=data/sf.store,hot" {
+	if err := d.Set("rawsf=data/sf.store,hot,nocache"); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "ol=data/ol sf=data/sf.store hotsf=data/sf.store,hot rawsf=data/sf.store,hot,nocache" {
 		t.Fatalf("String = %q", got)
 	}
 	if !d[2].hot || d[0].hot || d[1].hot {
 		t.Fatalf("hot flags = %+v", d)
+	}
+	if !d[3].nocache || !d[3].hot || d[2].nocache {
+		t.Fatalf("nocache flags = %+v", d)
 	}
 	for _, bad := range []string{"nope", "=path", "name=", "x=p,warm"} {
 		if err := d.Set(bad); err == nil {
@@ -173,14 +181,17 @@ func TestLoadtestAgainstServer(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
-	points, err := datasetPoints(client, ts.URL, "disk")
+	points, cacheStats, err := datasetProbe(client, ts.URL, "disk")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if points != 300 {
 		t.Fatalf("points = %d", points)
 	}
-	if _, err := datasetPoints(client, ts.URL, "nope"); err == nil {
+	if cacheStats == nil {
+		t.Fatal("no result-cache stats for a cached dataset")
+	}
+	if _, _, err := datasetProbe(client, ts.URL, "nope"); err == nil {
 		t.Fatal("unknown dataset did not error")
 	}
 
@@ -188,7 +199,11 @@ func TestLoadtestAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum := runLoadtest(client, ts.URL, "disk", points, 4, 400*time.Millisecond, mix, 20, 5, 1)
+	cfg := ltConfig{
+		target: ts.URL, dataset: "disk", points: points, workers: 4,
+		duration: 400 * time.Millisecond, mix: mix, eps: 20, k: 5, seed: 1,
+	}
+	sum := runLoadtest(client, cfg)
 	if sum.Errors != 0 {
 		t.Fatalf("%d transport errors", sum.Errors)
 	}
@@ -206,11 +221,22 @@ func TestLoadtestAgainstServer(t *testing.T) {
 		}
 	}
 
+	if sum.ResultCache == nil {
+		t.Fatal("summary has no result-cache delta")
+	}
+	if total := sum.ResultCache.Hits + sum.ResultCache.Misses + sum.ResultCache.ContainmentHits +
+		sum.ResultCache.SingleflightShared; total == 0 {
+		t.Fatal("result-cache delta saw no traffic")
+	}
+
 	// Drain while a second loadtest is in flight: nothing may fail with a
 	// transport error or a non-(200|503) status.
 	done := make(chan ltSummary, 1)
 	go func() {
-		done <- runLoadtest(client, ts.URL, "disk", points, 4, 2*time.Second, mix, 20, 5, 2)
+		cfg2 := cfg
+		cfg2.duration = 2 * time.Second
+		cfg2.seed = 2
+		done <- runLoadtest(client, cfg2)
 	}()
 	time.Sleep(150 * time.Millisecond)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -329,7 +355,7 @@ func TestLoadtestCompareHotCold(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
-	points, err := datasetPoints(client, ts.URL, "hot")
+	points, _, err := datasetProbe(client, ts.URL, "hot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,8 +363,14 @@ func TestLoadtestCompareHotCold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold := runLoadtest(client, ts.URL, "cold", points, 4, 300*time.Millisecond, mix, 20, 5, 1)
-	hot := runLoadtest(client, ts.URL, "hot", points, 4, 300*time.Millisecond, mix, 20, 5, 1)
+	cfg := ltConfig{
+		target: ts.URL, dataset: "cold", points: points, workers: 4,
+		duration: 300 * time.Millisecond, mix: mix, eps: 20, k: 5, seed: 1,
+	}
+	cold := runLoadtest(client, cfg)
+	cfg.dataset = "hot"
+	cfg.run = 1
+	hot := runLoadtest(client, cfg)
 	if cold.Errors != 0 || hot.Errors != 0 {
 		t.Fatalf("transport errors: cold %d, hot %d", cold.Errors, hot.Errors)
 	}
@@ -350,6 +382,155 @@ func TestLoadtestCompareHotCold(t *testing.T) {
 		if d.P50Speedup <= 0 || d.MeanSpeedup <= 0 || d.Throughput <= 0 {
 			t.Errorf("%s: implausible delta %+v", ep, d)
 		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestSubstreams: same inputs reproduce the same seed; changing seed, run or
+// worker gives a distinct one. The old seed+worker derivation collided across
+// -compare legs (run was not an input at all).
+func TestSubstreams(t *testing.T) {
+	if substream(1, 0, 3) != substream(1, 0, 3) {
+		t.Fatal("substream is not deterministic")
+	}
+	seen := map[int64]string{}
+	for seed := int64(1); seed <= 3; seed++ {
+		for run := 0; run < 2; run++ {
+			for w := 0; w < 8; w++ {
+				s := substream(seed, run, w)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("substream collision: (%d,%d,%d) and %s", seed, run, w, prev)
+				}
+				seen[s] = fmt.Sprintf("(%d,%d,%d)", seed, run, w)
+			}
+		}
+	}
+}
+
+// TestZipfPicker: with s > 1 the draw must be heavily skewed (the top point
+// rank dominates) and deterministic for a fixed stream; every produced URL
+// must decode through the same api DTOs the server uses.
+func TestZipfPicker(t *testing.T) {
+	mix, err := parseMix("knn:6,range:3,cluster:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &ltConfig{points: 300, mix: mix, eps: 20, k: 5, zipf: 1.2}
+	draw := func(seed int64) (map[string]int, map[string]int) {
+		rng := rand.New(rand.NewSource(seed))
+		p := newReqPicker(rng, cfg)
+		eps, urls := map[string]int{}, map[string]int{}
+		for i := 0; i < 4000; i++ {
+			ep, vals := p.pick()
+			eps[ep]++
+			urls[ep+"?"+vals.Encode()]++
+			switch ep {
+			case "range":
+				if _, err := api.DecodeRange(vals); err != nil {
+					t.Fatalf("picker range values do not decode: %v", err)
+				}
+			case "knn":
+				if _, err := api.DecodeKNN(vals); err != nil {
+					t.Fatalf("picker knn values do not decode: %v", err)
+				}
+			case "cluster":
+				if _, err := api.DecodeClusterValues(vals); err != nil {
+					t.Fatalf("picker cluster values do not decode: %v", err)
+				}
+			}
+		}
+		return eps, urls
+	}
+	eps1, urls1 := draw(7)
+	_, urls2 := draw(7)
+	if fmt.Sprint(urls1) != fmt.Sprint(urls2) {
+		t.Fatal("same stream produced different requests")
+	}
+	// knn carries the top mix weight, so under zipf it must dominate hard.
+	if eps1["knn"] <= eps1["range"] || eps1["range"] < eps1["cluster"] {
+		t.Fatalf("zipf mix skew not respected: %v", eps1)
+	}
+	// Skew concentrates requests: far fewer distinct URLs than draws.
+	if len(urls1) > 1500 {
+		t.Fatalf("zipf draw too flat: %d distinct URLs of 4000", len(urls1))
+	}
+	// Uniform mode spreads much wider over the same point space.
+	cfg.zipf = 0
+	rng := rand.New(rand.NewSource(7))
+	p := newReqPicker(rng, cfg)
+	uni := map[string]bool{}
+	for i := 0; i < 4000; i++ {
+		ep, vals := p.pick()
+		uni[ep+"?"+vals.Encode()] = true
+	}
+	if len(uni) <= len(urls1) {
+		t.Fatalf("uniform (%d) not wider than zipf (%d)", len(uni), len(urls1))
+	}
+}
+
+// TestLoadtestCacheCompare serves the same store twice — cached and nocache —
+// and drives a skewed mix at both: the cached leg must report a result-cache
+// delta with hits, the nocache leg none.
+func TestLoadtestCacheCompare(t *testing.T) {
+	_, dir := writeTestData(t)
+	logger := log.New(os.Stderr, "", 0)
+	reg, err := buildRegistry([]dataSpec{
+		{name: "cached", path: dir, hot: true},
+		{name: "nocache", path: dir, hot: true, nocache: true},
+	}, 256, 4, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	points, rc, err := datasetProbe(client, ts.URL, "cached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == nil {
+		t.Fatal("cached dataset reports no cache stats")
+	}
+	if _, rc, err := datasetProbe(client, ts.URL, "nocache"); err != nil || rc != nil {
+		t.Fatalf("nocache dataset probe = %+v, %v", rc, err)
+	}
+	mix, err := parseMix("knn:6,range:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ltConfig{
+		target: ts.URL, dataset: "nocache", points: points, workers: 4,
+		duration: 300 * time.Millisecond, mix: mix, eps: 20, k: 5, seed: 1, zipf: 1.2,
+	}
+	cold := runLoadtest(client, cfg)
+	cfg.dataset = "cached"
+	cfg.run = 1
+	hot := runLoadtest(client, cfg)
+	if cold.Errors != 0 || hot.Errors != 0 {
+		t.Fatalf("transport errors: cold %d, hot %d", cold.Errors, hot.Errors)
+	}
+	if cold.ResultCache != nil {
+		t.Fatalf("nocache leg reported cache stats %+v", cold.ResultCache)
+	}
+	if hot.ResultCache == nil {
+		t.Fatal("cached leg reported no cache stats")
+	}
+	served := hot.ResultCache.Hits + hot.ResultCache.ContainmentHits
+	if served == 0 || hot.ResultCache.HitRatio <= 0 {
+		t.Fatalf("zipf run produced no cache reuse: %+v", hot.ResultCache)
+	}
+	cmp := compareSummaries(cold, hot)
+	if len(cmp.Delta) == 0 {
+		t.Fatal("empty delta report")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

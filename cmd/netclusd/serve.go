@@ -19,10 +19,13 @@ import (
 	"netclus/internal/server"
 )
 
-// dataSpec is one -data name=path[,hot] flag.
+// dataSpec is one -data name=path[,hot][,nocache] flag. nocache exempts the
+// dataset from the result cache — registering the same data twice, once plain
+// and once nocache, gives loadtest a cached/uncached A/B pair in one process.
 type dataSpec struct {
 	name, path string
 	hot        bool
+	nocache    bool
 }
 
 // dataFlags collects repeated -data flags.
@@ -35,6 +38,9 @@ func (d *dataFlags) String() string {
 		if s.hot {
 			parts[i] += ",hot"
 		}
+		if s.nocache {
+			parts[i] += ",nocache"
+		}
 	}
 	return strings.Join(parts, " ")
 }
@@ -42,20 +48,22 @@ func (d *dataFlags) String() string {
 func (d *dataFlags) Set(v string) error {
 	name, rest, ok := strings.Cut(v, "=")
 	if !ok || name == "" || rest == "" {
-		return fmt.Errorf("want name=path[,hot], got %q", v)
+		return fmt.Errorf("want name=path[,hot][,nocache], got %q", v)
 	}
 	spec := dataSpec{name: name}
 	spec.path, rest, _ = strings.Cut(rest, ",")
 	if spec.path == "" {
-		return fmt.Errorf("want name=path[,hot], got %q", v)
+		return fmt.Errorf("want name=path[,hot][,nocache], got %q", v)
 	}
 	for _, opt := range strings.Split(rest, ",") {
 		switch opt {
 		case "":
 		case "hot":
 			spec.hot = true
+		case "nocache":
+			spec.nocache = true
 		default:
-			return fmt.Errorf("unknown dataset option %q in %q (want hot)", opt, v)
+			return fmt.Errorf("unknown dataset option %q in %q (want hot or nocache)", opt, v)
 		}
 	}
 	*d = append(*d, spec)
@@ -92,6 +100,7 @@ func buildRegistry(specs []dataSpec, bufKB, landmarks int, logger *log.Logger) (
 			reg.Close()
 			return nil, fmt.Errorf("dataset %s: %w", spec.name, err)
 		}
+		d.DisableCache = spec.nocache
 		if err := reg.Add(d); err != nil {
 			d.Close()
 			reg.Close()
@@ -101,6 +110,15 @@ func buildRegistry(specs []dataSpec, bufKB, landmarks int, logger *log.Logger) (
 			spec.name, d.Kind, spec.path, time.Since(start).Round(time.Millisecond), d.Bounds() != nil, d.Hot())
 	}
 	return reg, nil
+}
+
+// cacheBytes maps the -result-cache-mb flag onto Config.ResultCacheBytes,
+// where 0 means "use the default" and negative disables.
+func cacheBytes(mb int64) int64 {
+	if mb <= 0 {
+		return -1
+	}
+	return mb << 20
 }
 
 func serve(args []string) error {
@@ -117,6 +135,7 @@ func serve(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeout_ms")
 	workers := fs.Int("cluster-workers", 8, "cap on the workers parameter of clustering requests")
+	cacheMB := fs.Int64("result-cache-mb", 64, "result cache budget in MiB (0 disables)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (off when empty)")
 	fs.Parse(args)
@@ -138,6 +157,7 @@ func serve(args []string) error {
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		MaxClusterWorkers: *workers,
+		ResultCacheBytes:  cacheBytes(*cacheMB),
 		Log:               logger,
 	})
 	if err != nil {

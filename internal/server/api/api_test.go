@@ -1,0 +1,226 @@
+package api
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strings"
+	"testing"
+
+	"netclus"
+)
+
+func mustQuery(t *testing.T, raw string) url.Values {
+	t.Helper()
+	q, err := url.ParseQuery(raw)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", raw, err)
+	}
+	return q
+}
+
+// TestRangeCanonicalization: param order, float spellings and defaulted
+// fields all map onto one key.
+func TestRangeCanonicalization(t *testing.T) {
+	spellings := []string{
+		"p=3&eps=0.5",
+		"eps=.5&p=3",
+		"p=3&eps=0.50&dists=0",
+		"eps=5e-1&p=3&prune=1",
+		"p=3&eps=0.5&prune=true&dists=false",
+	}
+	want := "p=3&eps=0.5&dists=0&prune=1"
+	for _, raw := range spellings {
+		req, err := DecodeRange(mustQuery(t, raw))
+		if err != nil {
+			t.Fatalf("DecodeRange(%q): %v", raw, err)
+		}
+		if got := req.Canonical(); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", raw, got, want)
+		}
+	}
+	// The dists flavour canonicalizes prune away: it always runs the plain
+	// expansion, so prune=0 and prune=1 are the same computation.
+	a, _ := DecodeRange(mustQuery(t, "p=1&eps=2&dists=1&prune=0"))
+	b, _ := DecodeRange(mustQuery(t, "p=1&eps=2&dists=1&prune=1"))
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("dists keys differ on inert prune: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	// But the two flavours never share a key.
+	c, _ := DecodeRange(mustQuery(t, "p=1&eps=2"))
+	if a.Canonical() == c.Canonical() {
+		t.Errorf("dists and ID-only flavours share key %q", a.Canonical())
+	}
+}
+
+func TestRangeDecodeErrors(t *testing.T) {
+	for _, raw := range []string{"p=3", "p=3&eps=0", "p=3&eps=-1", "p=x&eps=5", "p=3&eps=wat"} {
+		if _, err := DecodeRange(mustQuery(t, raw)); err == nil {
+			t.Errorf("DecodeRange(%q) succeeded", raw)
+		}
+	}
+}
+
+func TestKNNCanonicalization(t *testing.T) {
+	defaulted, err := DecodeKNN(mustQuery(t, "p=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := DecodeKNN(mustQuery(t, "prune=1&k=5&p=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Canonical() != explicit.Canonical() {
+		t.Errorf("defaulted %q != explicit %q", defaulted.Canonical(), explicit.Canonical())
+	}
+	if want := "p=7&k=5&prune=1"; defaulted.Canonical() != want {
+		t.Errorf("Canonical = %q, want %q", defaulted.Canonical(), want)
+	}
+	for _, raw := range []string{"p=1&k=0", "p=1&k=x"} {
+		if _, err := DecodeKNN(mustQuery(t, raw)); err == nil {
+			t.Errorf("DecodeKNN(%q) succeeded", raw)
+		}
+	}
+}
+
+// TestClusterCanonicalization: the GET and POST decode paths, algorithm
+// aliases and defaulted fields all land on one canonical form.
+func TestClusterCanonicalization(t *testing.T) {
+	get, err := DecodeClusterValues(mustQuery(t, "algo=eps-link&eps=12.0&minsup=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := DecodeClusterJSON(strings.NewReader(`{"algo":"epslink","eps":12,"minsup":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get.Canonical() != post.Canonical() {
+		t.Errorf("GET %q != POST %q", get.Canonical(), post.Canonical())
+	}
+	if !strings.Contains(get.Canonical(), "algo=epslink") {
+		t.Errorf("alias not folded: %q", get.Canonical())
+	}
+	kmAlias, err := DecodeClusterValues(mustQuery(t, "algo=k-medoids&k=4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := DecodeClusterValues(mustQuery(t, "algo=kmedoids&k=4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kmAlias.Canonical() != km.Canonical() {
+		t.Errorf("k-medoids alias: %q != %q", kmAlias.Canonical(), km.Canonical())
+	}
+	// Tri-state prune: absent and explicit prune=1 share a key.
+	a, _ := DecodeClusterValues(mustQuery(t, "algo=dbscan&eps=5"))
+	b, _ := DecodeClusterValues(mustQuery(t, "algo=dbscan&eps=5&prune=1"))
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("prune default: %q != %q", a.Canonical(), b.Canonical())
+	}
+	c, _ := DecodeClusterValues(mustQuery(t, "algo=dbscan&eps=5&prune=0"))
+	if a.Canonical() == c.Canonical() {
+		t.Error("prune=0 shares key with prune=1")
+	}
+	if _, err := DecodeClusterValues(mustQuery(t, "algo=wat&eps=5")); err == nil {
+		t.Error("unknown algo decoded")
+	}
+	if _, err := DecodeClusterJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON decoded")
+	}
+}
+
+// TestValuesRoundTrip: Decode(req.Values()) reproduces req exactly, so the
+// loadtest client and the server agree on every request by construction.
+func TestValuesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		rr := RangeRequest{
+			Point: 1 + netclus.PointID(rng.Intn(1000)),
+			Eps:   0.001 + rng.Float64()*100,
+			Dists: rng.Intn(2) == 0,
+			Prune: rng.Intn(2) == 0,
+		}
+		if rr.Dists {
+			rr.Prune = true // canonical form
+		}
+		back, err := DecodeRange(rr.Values())
+		if err != nil {
+			t.Fatalf("range round trip: %v", err)
+		}
+		if back != rr {
+			t.Fatalf("range round trip: %+v != %+v", back, rr)
+		}
+		if back.Canonical() != rr.Canonical() {
+			t.Fatalf("range canonical drift: %q vs %q", back.Canonical(), rr.Canonical())
+		}
+
+		kr := KNNRequest{Point: netclus.PointID(rng.Intn(1000)), K: 1 + rng.Intn(50), Prune: rng.Intn(2) == 0}
+		kback, err := DecodeKNN(kr.Values())
+		if err != nil || kback != kr {
+			t.Fatalf("knn round trip: %+v != %+v (%v)", kback, kr, err)
+		}
+
+		cr := ClusterRequest{
+			Algo:     []string{"dbscan", "epslink", "kmedoids"}[rng.Intn(3)],
+			Eps:      rng.Float64() * 50,
+			MinPts:   1 + rng.Intn(8),
+			MinSup:   rng.Intn(4),
+			K:        1 + rng.Intn(12),
+			Workers:  rng.Intn(8),
+			Restarts: 1 + rng.Intn(3),
+			Seed:     rng.Int63n(1 << 40),
+			Labels:   rng.Intn(2) == 0,
+		}
+		cback, err := DecodeClusterValues(cr.Values())
+		if err != nil {
+			t.Fatalf("cluster round trip: %v", err)
+		}
+		if cback.Canonical() != cr.Canonical() {
+			t.Fatalf("cluster canonical drift: %q vs %q", cback.Canonical(), cr.Canonical())
+		}
+	}
+}
+
+// TestCanonFloatSpellings pins the float normalization: any parseable
+// spelling of the same value canonicalizes identically.
+func TestCanonFloatSpellings(t *testing.T) {
+	cases := map[string][]string{
+		"0.5":   {"0.5", ".5", "0.50", "5e-1", "0.5000"},
+		"25":    {"25", "25.0", "2.5e1", "25.00"},
+		"0.125": {"0.125", ".125", "1.25e-1"},
+	}
+	for want, raws := range cases {
+		for _, raw := range raws {
+			req, err := DecodeRange(mustQuery(t, "p=1&eps="+raw))
+			if err != nil {
+				t.Fatalf("eps=%s: %v", raw, err)
+			}
+			if got := req.Canonical(); !strings.Contains(got, "eps="+want+"&") {
+				t.Errorf("eps=%s canonicalized to %q, want eps=%s", raw, got, want)
+			}
+		}
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	e := Error(CodeBadRequest, "eps must be > 0")
+	if e.Error.Code != "bad_request" || e.Error.Message == "" || e.Error.RetryAfterMS != 0 {
+		t.Fatalf("envelope = %+v", e)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if r := (ResultCacheStats{}).HitRatio(); r != 0 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+	s := ResultCacheStats{Hits: 6, ContainmentHits: 2, Misses: 2}
+	if r := s.HitRatio(); r != 0.8 {
+		t.Fatalf("ratio = %v, want 0.8", r)
+	}
+}
+
+func ExampleRangeRequest_Canonical() {
+	req, _ := DecodeRange(url.Values{"p": {"3"}, "eps": {".50"}})
+	fmt.Println(req.Canonical())
+	// Output: p=3&eps=0.5&dists=0&prune=1
+}

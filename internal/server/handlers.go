@@ -1,278 +1,324 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
 	"netclus"
+	"netclus/internal/server/api"
 )
 
-// parseIntParam reads an integer query parameter with a default.
-func parseIntParam(r *http.Request, name string, def int) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return def, nil
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s %q", name, raw)
-	}
-	return v, nil
+// resultKey builds the exact result-cache key of a canonicalized request:
+// dataset name + epoch pin the immutable snapshot, endpoint + canonical
+// parameters pin the pure function evaluated over it. NUL separators cannot
+// appear in any component.
+func resultKey(dataset string, epoch int64, endpoint, canonical string) string {
+	return dataset + "\x00" + strconv.FormatInt(epoch, 10) + "\x00" + endpoint + "\x00" + canonical
 }
 
-// parseFloatParam reads a float query parameter with a default.
-func parseFloatParam(r *http.Request, name string, def float64) (float64, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return def, nil
-	}
-	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s %q", name, raw)
-	}
-	return v, nil
+// rangePrefix keys the ε-containment index: every range?dists=1 entry for one
+// (dataset, epoch, point) shares it, whatever its ε.
+func rangePrefix(dataset string, epoch int64, p netclus.PointID) string {
+	return dataset + "\x00" + strconv.FormatInt(epoch, 10) + "\x00range\x00p=" + strconv.Itoa(int(p))
 }
 
-// boolParam reads a 0/1 query parameter.
-func boolParam(r *http.Request, name string, def bool) bool {
-	switch r.URL.Query().Get(name) {
-	case "1", "true":
-		return true
-	case "0", "false":
-		return false
-	default:
-		return def
+// encodeBody marshals a 200 response exactly the way writeJSON does (Marshal
+// plus trailing newline), so cached bodies and fresh encodings of the same
+// response struct are byte-identical.
+func encodeBody(v any) []byte {
+	b, _ := json.Marshal(v)
+	return append(b, '\n')
+}
+
+// writeBody writes an encoded 200 response. cache tags the X-Netclusd-Cache
+// header — hit, wider (served by ε-containment from a larger cached radius),
+// shared (rode another request's singleflight), or miss — and is empty when
+// result caching is off for the dataset.
+func writeBody(w http.ResponseWriter, body []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cache != "" {
+		w.Header().Set("X-Netclusd-Cache", cache)
 	}
-}
-
-type pointDistJSON struct {
-	Point netclus.PointID `json:"point"`
-	Dist  float64         `json:"dist"`
-}
-
-type rangeResponse struct {
-	Dataset   string            `json:"dataset"`
-	Point     netclus.PointID   `json:"point"`
-	Eps       float64           `json:"eps"`
-	Count     int               `json:"count"`
-	Points    []netclus.PointID `json:"points,omitempty"`
-	Results   []pointDistJSON   `json:"results,omitempty"`
-	ElapsedMS float64           `json:"elapsed_ms"`
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 // handleRange serves GET /v1/{dataset}/range?p=&eps=[&dists=1][&prune=0].
 // The ID-only flavour runs the filter-and-refine path when the dataset has
 // bounds; dists=1 needs exact distances, which only the plain expansion
-// produces.
+// produces. Results are cached by canonical key; dists=1 entries additionally
+// store their distance vector, and the ε-containment structure of the range
+// primitive lets that vector answer any smaller-ε query for the same point
+// without touching the engine.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *Dataset) {
-	p, err := parseIntParam(r, "p", -1)
+	req, err := api.DecodeRange(r.URL.Query())
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	eps, err := parseFloatParam(r, "eps", 0)
-	if err != nil || eps <= 0 {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "eps must be > 0"})
-		return
-	}
-	view := d.View()
-	box := d.getScratch()
-	defer d.putScratch(box)
-	start := time.Now()
-	resp := rangeResponse{Dataset: d.Name, Point: netclus.PointID(p), Eps: eps}
-	if boolParam(r, "dists", false) {
-		res, err := box.sc.RangeQueryDistCtx(r.Context(), view, netclus.PointID(p), eps)
+	epoch := d.Epoch()
+	c := s.cacheFor(d)
+	if c == nil {
+		resp, _, err := s.computeRange(r.Context(), d, epoch, req)
 		if err != nil {
 			s.queryError(w, r, err)
 			return
 		}
-		resp.Count = len(res)
-		resp.Results = make([]pointDistJSON, len(res))
-		for i, pd := range res {
-			resp.Results[i] = pointDistJSON{Point: pd.Point, Dist: pd.Dist}
-		}
-	} else {
-		if boolParam(r, "prune", true) {
-			box.sc.SetBounder(d.bounds) // nil bounds = plain expansion
-		}
-		res, err := box.sc.RangeQueryCtx(r.Context(), view, netclus.PointID(p), eps)
+		writeBody(w, encodeBody(resp), "")
+		return
+	}
+	prefix := rangePrefix(d.Name, epoch, req.Point)
+	// dists-flavour entries shard by containment prefix so the ε index and
+	// its entries share one latch; ID-only entries shard by full key.
+	shardKey := ""
+	if req.Dists {
+		shardKey = prefix
+	}
+	key := resultKey(d.Name, epoch, "range", req.Canonical())
+	if body, ok := c.Get(key, shardKey); ok {
+		d.cstats.hits.Add(1)
+		writeBody(w, body, "hit")
+		return
+	}
+	// Semantic reuse: a cached range(q, E) distance vector answers any
+	// range(q, eps <= E) exactly — filter on stored distances, no traversal.
+	if vec, _, ok := c.Wider(prefix, req.Eps); ok {
+		resp := rangeFromVector(d.Name, epoch, req, vec)
+		body := encodeBody(resp)
+		c.Put(&cacheEntry{key: key, prefix: shardKey, eps: req.Eps, body: body})
+		d.cstats.containment.Add(1)
+		writeBody(w, body, "wider")
+		return
+	}
+	d.cstats.misses.Add(1)
+	body, shared, err := c.Do(r.Context(), key, func() ([]byte, error) {
+		resp, vec, err := s.computeRange(r.Context(), d, epoch, req)
 		if err != nil {
-			s.queryError(w, r, err)
-			return
+			return nil, err
 		}
-		resp.Count = len(res)
-		resp.Points = append([]netclus.PointID(nil), res...)
-	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
-}
-
-type knnResponse struct {
-	Dataset   string          `json:"dataset"`
-	Point     netclus.PointID `json:"point"`
-	K         int             `json:"k"`
-	Results   []pointDistJSON `json:"results"`
-	Pruned    bool            `json:"pruned"`
-	ElapsedMS float64         `json:"elapsed_ms"`
-}
-
-// handleKNN serves GET /v1/{dataset}/knn?p=&k=[&prune=0].
-func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
-	p, err := parseIntParam(r, "p", -1)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		return
-	}
-	k, err := parseIntParam(r, "k", 5)
-	if err != nil || k < 1 {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "k must be >= 1"})
-		return
-	}
-	view := d.View()
-	start := time.Now()
-	var (
-		res    []netclus.PointDist
-		pruned bool
-	)
-	if d.bounds != nil && boolParam(r, "prune", true) {
-		var ps netclus.PruneStats
-		res, err = netclus.KNearestNeighborsPrunedCtx(r.Context(), view, d.bounds, netclus.PointID(p), k, &ps)
-		d.addPrune(ps)
-		pruned = true
-	} else {
-		res, err = netclus.KNearestNeighborsCtx(r.Context(), view, netclus.PointID(p), k)
-	}
+		body := encodeBody(resp)
+		c.Put(&cacheEntry{key: key, prefix: shardKey, eps: req.Eps, body: body, results: vec})
+		return body, nil
+	})
 	if err != nil {
 		s.queryError(w, r, err)
 		return
 	}
-	resp := knnResponse{
-		Dataset: d.Name, Point: netclus.PointID(p), K: k, Pruned: pruned,
-		Results:   make([]pointDistJSON, len(res)),
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	tag := "miss"
+	if shared {
+		d.cstats.shared.Add(1)
+		tag = "shared"
 	}
-	for i, pd := range res {
-		resp.Results[i] = pointDistJSON{Point: pd.Point, Dist: pd.Dist}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeBody(w, body, tag)
 }
 
-// clusterRequest is the body of POST /v1/{dataset}/cluster; every field can
-// also arrive as a query parameter on GET.
-type clusterRequest struct {
-	Algo     string  `json:"algo"`
-	Eps      float64 `json:"eps"`
-	MinPts   int     `json:"minpts"`
-	MinSup   int     `json:"minsup"`
-	K        int     `json:"k"`
-	Workers  int     `json:"workers"`
-	Restarts int     `json:"restarts"`
-	Seed     int64   `json:"seed"`
-	Labels   bool    `json:"labels"`
-	Prune    *bool   `json:"prune,omitempty"`
-}
-
-type clusterResponse struct {
-	Dataset    string              `json:"dataset"`
-	Algo       string              `json:"algo"`
-	Clusters   int                 `json:"clusters"`
-	Noise      int                 `json:"noise"`
-	CorePoints int                 `json:"core_points,omitempty"`
-	R          float64             `json:"r,omitempty"`
-	Labels     []int32             `json:"labels,omitempty"`
-	Stats      clusterStatsJSON    `json:"stats"`
-	Prune      *netclus.PruneStats `json:"prune,omitempty"`
-	ElapsedMS  float64             `json:"elapsed_ms"`
-}
-
-type clusterStatsJSON struct {
-	NodesSettled int `json:"nodes_settled"`
-	HeapPushes   int `json:"heap_pushes"`
-	EdgesVisited int `json:"edges_visited"`
-	GroupsRead   int `json:"groups_read"`
-	RangeQueries int `json:"range_queries"`
-}
-
-func (s *Server) parseClusterRequest(r *http.Request) (clusterRequest, error) {
-	req := clusterRequest{Algo: "dbscan", MinPts: 3, K: 8, Restarts: 1, Seed: 1}
-	if r.Method == http.MethodPost {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return req, fmt.Errorf("bad request body: %v", err)
+// computeRange runs the engine for a range request. For the dists flavour it
+// also returns a caller-owned copy of the distance vector, which the cache
+// stores for ε-containment reuse.
+func (s *Server) computeRange(ctx context.Context, d *Dataset, epoch int64, req api.RangeRequest) (api.RangeResponse, []netclus.PointDist, error) {
+	view := d.View()
+	box := d.getScratch()
+	defer d.putScratch(box)
+	resp := api.RangeResponse{Dataset: d.Name, Epoch: epoch, Point: req.Point, Eps: req.Eps}
+	if req.Dists {
+		res, err := box.sc.RangeQueryDistCtx(ctx, view, req.Point, req.Eps)
+		if err != nil {
+			return resp, nil, err
 		}
-		return req, nil
+		resp.Count = len(res)
+		resp.Results = api.PointDists(res)
+		return resp, append([]netclus.PointDist(nil), res...), nil
 	}
-	q := r.URL.Query()
-	if v := q.Get("algo"); v != "" {
-		req.Algo = v
+	if req.Prune {
+		box.sc.SetBounder(d.bounds) // nil bounds = plain expansion
 	}
-	var err error
-	if req.Eps, err = parseFloatParam(r, "eps", 0); err != nil {
-		return req, err
-	}
-	if req.MinPts, err = parseIntParam(r, "minpts", req.MinPts); err != nil {
-		return req, err
-	}
-	if req.MinSup, err = parseIntParam(r, "minsup", 0); err != nil {
-		return req, err
-	}
-	if req.K, err = parseIntParam(r, "k", req.K); err != nil {
-		return req, err
-	}
-	if req.Workers, err = parseIntParam(r, "workers", 0); err != nil {
-		return req, err
-	}
-	if req.Restarts, err = parseIntParam(r, "restarts", req.Restarts); err != nil {
-		return req, err
-	}
-	seed, err := parseIntParam(r, "seed", 1)
+	res, err := box.sc.RangeQueryCtx(ctx, view, req.Point, req.Eps)
 	if err != nil {
-		return req, err
+		return resp, nil, err
 	}
-	req.Seed = int64(seed)
-	req.Labels = boolParam(r, "labels", false)
-	if q.Get("prune") != "" {
-		p := boolParam(r, "prune", true)
-		req.Prune = &p
+	resp.Count = len(res)
+	resp.Points = append([]netclus.PointID(nil), res...)
+	return resp, nil, nil
+}
+
+// rangeFromVector answers a range request from a cached wider-ε distance
+// vector. vec ascends in canonical (dist, point) order — the same order
+// RangeQueryDist produces — so the qualifying prefix is byte-identical to a
+// direct dists query. The ID-only flavour returns the same set in canonical
+// order (its ordering is unspecified by the API).
+func rangeFromVector(dataset string, epoch int64, req api.RangeRequest, vec []netclus.PointDist) api.RangeResponse {
+	n := sort.Search(len(vec), func(i int) bool { return vec[i].Dist > req.Eps })
+	resp := api.RangeResponse{Dataset: dataset, Epoch: epoch, Point: req.Point, Eps: req.Eps, Count: n}
+	if req.Dists {
+		resp.Results = api.PointDists(vec[:n])
+		return resp
 	}
-	return req, nil
+	if n > 0 {
+		pts := make([]netclus.PointID, n)
+		for i, pd := range vec[:n] {
+			pts[i] = pd.Point
+		}
+		resp.Points = pts
+	}
+	return resp
+}
+
+// handleKNN serves GET /v1/{dataset}/knn?p=&k=[&prune=0], cached by
+// canonical key with singleflight collapsing.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	req, err := api.DecodeKNN(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	epoch := d.Epoch()
+	c := s.cacheFor(d)
+	if c == nil {
+		resp, err := s.computeKNN(r.Context(), d, epoch, req)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		writeBody(w, encodeBody(resp), "")
+		return
+	}
+	key := resultKey(d.Name, epoch, "knn", req.Canonical())
+	if body, ok := c.Get(key, ""); ok {
+		d.cstats.hits.Add(1)
+		writeBody(w, body, "hit")
+		return
+	}
+	d.cstats.misses.Add(1)
+	body, shared, err := c.Do(r.Context(), key, func() ([]byte, error) {
+		resp, err := s.computeKNN(r.Context(), d, epoch, req)
+		if err != nil {
+			return nil, err
+		}
+		body := encodeBody(resp)
+		c.Put(&cacheEntry{key: key, body: body})
+		return body, nil
+	})
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	tag := "miss"
+	if shared {
+		d.cstats.shared.Add(1)
+		tag = "shared"
+	}
+	writeBody(w, body, tag)
+}
+
+// computeKNN runs the engine for a kNN request.
+func (s *Server) computeKNN(ctx context.Context, d *Dataset, epoch int64, req api.KNNRequest) (api.KNNResponse, error) {
+	view := d.View()
+	var (
+		res    []netclus.PointDist
+		err    error
+		pruned bool
+	)
+	if d.bounds != nil && req.Prune {
+		var ps netclus.PruneStats
+		res, err = netclus.KNearestNeighborsPrunedCtx(ctx, view, d.bounds, req.Point, req.K, &ps)
+		d.addPrune(ps)
+		pruned = true
+	} else {
+		res, err = netclus.KNearestNeighborsCtx(ctx, view, req.Point, req.K)
+	}
+	if err != nil {
+		return api.KNNResponse{}, err
+	}
+	return api.KNNResponse{
+		Dataset: d.Name, Epoch: epoch, Point: req.Point, K: req.K,
+		Pruned: pruned, Results: api.PointDists(res),
+	}, nil
 }
 
 // handleCluster serves /v1/{dataset}/cluster for dbscan, epslink and
 // kmedoids. Clustering rides the same *Ctx engine entry points as the CLI,
-// with the request deadline flowing into every traversal.
+// with the request deadline flowing into every traversal. Results are pure
+// functions of the canonical request and the dataset epoch — datasets are
+// immutable per epoch — so repeat clustering requests become cache reads and
+// concurrent duplicates collapse to one engine run.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Dataset) {
-	req, err := s.parseClusterRequest(r)
+	var (
+		req api.ClusterRequest
+		err error
+	)
+	if r.Method == http.MethodPost {
+		req, err = api.DecodeClusterJSON(r.Body)
+	} else {
+		req, err = api.DecodeClusterValues(r.URL.Query())
+	}
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	workers := req.Workers
-	if workers < 0 {
-		workers = 0
+	// Clamp before canonicalizing so the cache key names the parameters
+	// actually executed under this server's worker cap.
+	if req.Workers > s.cfg.MaxClusterWorkers {
+		req.Workers = s.cfg.MaxClusterWorkers
 	}
-	if workers > s.cfg.MaxClusterWorkers {
-		workers = s.cfg.MaxClusterWorkers
-	}
-	var bounds netclus.Bounder
-	if d.bounds != nil && (req.Prune == nil || *req.Prune) {
-		bounds = d.bounds
-	}
-	view := d.View()
-	ctx := r.Context()
-	start := time.Now()
-	resp := clusterResponse{Dataset: d.Name, Algo: req.Algo}
-	var labels []int32
-	switch req.Algo {
-	case "dbscan":
-		opts := netclus.DBSCANOptions{Eps: req.Eps, MinPts: req.MinPts, Workers: workers, Prune: bounds}
-		res, err := netclus.DBSCANCtx(ctx, view, opts)
+	epoch := d.Epoch()
+	c := s.cacheFor(d)
+	if c == nil {
+		resp, err := s.computeCluster(r.Context(), d, epoch, req)
 		if err != nil {
 			s.queryError(w, r, err)
 			return
+		}
+		writeBody(w, encodeBody(resp), "")
+		return
+	}
+	key := resultKey(d.Name, epoch, "cluster", req.Canonical())
+	if body, ok := c.Get(key, ""); ok {
+		d.cstats.hits.Add(1)
+		writeBody(w, body, "hit")
+		return
+	}
+	d.cstats.misses.Add(1)
+	body, shared, err := c.Do(r.Context(), key, func() ([]byte, error) {
+		resp, err := s.computeCluster(r.Context(), d, epoch, req)
+		if err != nil {
+			return nil, err
+		}
+		body := encodeBody(resp)
+		c.Put(&cacheEntry{key: key, body: body})
+		return body, nil
+	})
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	tag := "miss"
+	if shared {
+		d.cstats.shared.Add(1)
+		tag = "shared"
+	}
+	writeBody(w, body, tag)
+}
+
+// computeCluster runs one clustering job against the dataset.
+func (s *Server) computeCluster(ctx context.Context, d *Dataset, epoch int64, req api.ClusterRequest) (api.ClusterResponse, error) {
+	var bounds netclus.Bounder
+	if d.bounds != nil && req.PruneEnabled() {
+		bounds = d.bounds
+	}
+	view := d.View()
+	resp := api.ClusterResponse{Dataset: d.Name, Epoch: epoch, Algo: req.Algo}
+	var labels []int32
+	switch req.Algo {
+	case "dbscan":
+		opts := netclus.DBSCANOptions{Eps: req.Eps, MinPts: req.MinPts, Workers: req.Workers, Prune: bounds}
+		res, err := netclus.DBSCANCtx(ctx, view, opts)
+		if err != nil {
+			return resp, err
 		}
 		labels = res.Labels
 		resp.CorePoints = res.CorePoints
@@ -282,24 +328,22 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 			ps := res.Stats.Prune
 			resp.Prune = &ps
 		}
-	case "epslink", "eps-link":
-		opts := netclus.EpsLinkOptions{Eps: req.Eps, MinSup: req.MinSup, Workers: workers}
+	case "epslink":
+		opts := netclus.EpsLinkOptions{Eps: req.Eps, MinSup: req.MinSup, Workers: req.Workers}
 		res, err := netclus.EpsLinkCtx(ctx, view, opts)
 		if err != nil {
-			s.queryError(w, r, err)
-			return
+			return resp, err
 		}
 		labels = res.Labels
 		resp.Stats = statsJSON(res.Stats)
-	case "kmedoids", "k-medoids":
+	case "kmedoids":
 		opts := netclus.KMedoidsOptions{
-			K: req.K, Restarts: req.Restarts, Workers: workers, Prune: bounds,
+			K: req.K, Restarts: req.Restarts, Workers: req.Workers, Prune: bounds,
 			Rand: rand.New(rand.NewSource(req.Seed)),
 		}
 		res, err := netclus.KMedoidsCtx(ctx, view, opts)
 		if err != nil {
-			s.queryError(w, r, err)
-			return
+			return resp, err
 		}
 		labels = res.Labels
 		resp.R = res.R
@@ -309,10 +353,6 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 			ps := res.Stats.Prune
 			resp.Prune = &ps
 		}
-	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("unknown algo %q (want dbscan, epslink or kmedoids)", req.Algo)})
-		return
 	}
 	if req.MinSup > 1 {
 		netclus.SuppressSmallClusters(labels, req.MinSup)
@@ -326,12 +366,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 	if req.Labels {
 		resp.Labels = labels
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func statsJSON(st netclus.ClusterStats) clusterStatsJSON {
-	return clusterStatsJSON{
+func statsJSON(st netclus.ClusterStats) api.ClusterStats {
+	return api.ClusterStats{
 		NodesSettled: st.NodesSettled,
 		HeapPushes:   st.HeapPushes,
 		EdgesVisited: st.EdgesVisited,
@@ -340,29 +379,14 @@ func statsJSON(st netclus.ClusterStats) clusterStatsJSON {
 	}
 }
 
-// datasetInfo is one /v1/datasets entry.
-type datasetInfo struct {
-	Name    string              `json:"name"`
-	Kind    string              `json:"kind"`
-	Source  string              `json:"source"`
-	Nodes   int                 `json:"nodes"`
-	Edges   int                 `json:"edges"`
-	Points  int                 `json:"points"`
-	Bounds  bool                `json:"bounds"`
-	Hot     bool                `json:"hot"`
-	Queries int64               `json:"queries"`
-	Store   *netclus.StoreStats `json:"store,omitempty"`
-	CSR     *netclus.CSRStats   `json:"csr,omitempty"`
-	Prune   netclus.PruneStats  `json:"prune"`
-}
-
-// handleDatasets serves GET /v1/datasets: the registry with live counters.
+// handleDatasets serves GET /v1/datasets: the registry with live counters,
+// each dataset's epoch and result-cache share, plus the cache-wide totals.
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	list := s.reg.List()
-	out := make([]datasetInfo, 0, len(list))
+	out := make([]api.DatasetInfo, 0, len(list))
 	for _, d := range list {
-		info := datasetInfo{
-			Name: d.Name, Kind: d.Kind, Source: d.Source,
+		info := api.DatasetInfo{
+			Name: d.Name, Kind: d.Kind, Source: d.Source, Epoch: d.Epoch(),
 			Nodes: d.nodes, Edges: d.edges, Points: d.points,
 			Bounds: d.bounds != nil, Hot: d.Hot(), Queries: d.Queries(),
 			Prune: d.PruneStats(),
@@ -373,31 +397,36 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		if cs, ok := d.HotStats(); ok {
 			info.CSR = &cs
 		}
+		if s.cacheFor(d) != nil {
+			rc := d.ResultCacheStats()
+			info.ResultCache = &rc
+		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Datasets []datasetInfo `json:"datasets"`
-	}{Datasets: out})
-}
-
-// healthResponse is the /healthz payload.
-type healthResponse struct {
-	Status   string  `json:"status"`
-	Datasets int     `json:"datasets"`
-	UptimeS  float64 `json:"uptime_s"`
+	resp := api.DatasetsResponse{Datasets: out}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.ResultCache = &api.CacheTotals{
+			ResultCacheStats: api.ResultCacheStats{
+				Hits: cs.Hits, Misses: cs.Misses,
+				ContainmentHits: cs.Containment, SingleflightShared: cs.Shared,
+			},
+			Evictions: cs.Evictions, Entries: cs.Entries,
+			Bytes: cs.Bytes, CapacityBytes: cs.Capacity,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports ready until the drain begins.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	status := "ok"
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
-			Status: "draining", Datasets: len(s.reg.List()),
-			UptimeS: time.Since(s.started).Seconds(),
-		})
-		return
+		code, status = http.StatusServiceUnavailable, "draining"
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status: "ok", Datasets: len(s.reg.List()),
+	writeJSON(w, code, api.HealthResponse{
+		Status: status, Datasets: len(s.reg.List()),
 		UptimeS: time.Since(s.started).Seconds(),
 	})
 }
@@ -405,5 +434,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w, s.adm, s.reg)
+	s.metrics.WritePrometheus(w, s.adm, s.reg, s.cache)
 }

@@ -104,10 +104,11 @@ func (m *Metrics) RequestCount(endpoint string, code int) int64 {
 }
 
 // WritePrometheus renders every metric family in the text exposition format:
-// the request counters and histograms, the admission controller, and per
-// dataset the engine's buffer/cache/shard counter deltas plus the aggregated
-// prune counters. Output is deterministically ordered so scrapes diff cleanly.
-func (m *Metrics) WritePrometheus(w io.Writer, adm *Admission, reg *Registry) {
+// the request counters and histograms, the admission controller, the result
+// cache, and per dataset the engine's buffer/cache/shard counter deltas plus
+// the aggregated prune counters. Output is deterministically ordered so
+// scrapes diff cleanly.
+func (m *Metrics) WritePrometheus(w io.Writer, adm *Admission, reg *Registry, cache *ResultCache) {
 	m.writeRequests(w)
 	m.writeHistograms(w)
 
@@ -139,9 +140,43 @@ func (m *Metrics) WritePrometheus(w io.Writer, adm *Admission, reg *Registry) {
 		fmt.Fprintf(w, "# TYPE netclusd_admission_timeout_total counter\n")
 		fmt.Fprintf(w, "netclusd_admission_timeout_total %d\n", s.TimedOut)
 	}
+	if cache != nil {
+		writeCacheMetrics(w, cache)
+	}
 	if reg != nil {
 		writeDatasetMetrics(w, reg)
 	}
+}
+
+// writeCacheMetrics exports the result cache: traffic counters (exact hits,
+// ε-containment hits, misses, singleflight shares, evictions) and occupancy
+// gauges against the configured byte budget.
+func writeCacheMetrics(w io.Writer, cache *ResultCache) {
+	s := cache.Stats()
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_hits_total Result-cache exact-key hits.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_hits_total counter\n")
+	fmt.Fprintf(w, "netclusd_result_cache_hits_total %d\n", s.Hits)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_containment_hits_total Range queries answered by filtering a cached wider-radius distance vector.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_containment_hits_total counter\n")
+	fmt.Fprintf(w, "netclusd_result_cache_containment_hits_total %d\n", s.Containment)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_misses_total counter\n")
+	fmt.Fprintf(w, "netclusd_result_cache_misses_total %d\n", s.Misses)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_singleflight_shared_total Requests that shared another request's in-flight computation.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_singleflight_shared_total counter\n")
+	fmt.Fprintf(w, "netclusd_result_cache_singleflight_shared_total %d\n", s.Shared)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_evictions_total Entries evicted to hold the byte budget.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "netclusd_result_cache_evictions_total %d\n", s.Evictions)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_entries Entries currently cached.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_entries gauge\n")
+	fmt.Fprintf(w, "netclusd_result_cache_entries %d\n", s.Entries)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_bytes Bytes currently cached.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_bytes gauge\n")
+	fmt.Fprintf(w, "netclusd_result_cache_bytes %d\n", s.Bytes)
+	fmt.Fprintf(w, "# HELP netclusd_result_cache_capacity_bytes Result-cache byte budget.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_result_cache_capacity_bytes gauge\n")
+	fmt.Fprintf(w, "netclusd_result_cache_capacity_bytes %d\n", s.Capacity)
 }
 
 func (m *Metrics) writeRequests(w io.Writer) {

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"netclus"
+	"netclus/internal/server/api"
 )
 
 // Dataset is one served graph: a disk store or an in-memory network,
@@ -26,6 +28,15 @@ type Dataset struct {
 	// Source describes where the dataset came from (directory or file
 	// prefix), for /v1/datasets.
 	Source string
+	// DisableCache exempts this dataset from the server's result cache.
+	// Set before Add; registering the same data twice — once cached, once
+	// not — gives loadtest an A/B pair on a single process.
+	DisableCache bool
+
+	// epoch versions the dataset's contents. Today's datasets are immutable
+	// after load, so it stays at 1; the write path bumps it on every visible
+	// mutation, which invalidates result-cache entries by key mismatch.
+	epoch atomic.Int64
 
 	graph  netclus.Graph
 	store  *netclus.Store    // nil for in-memory datasets
@@ -43,6 +54,18 @@ type Dataset struct {
 	mu      sync.Mutex
 	prune   netclus.PruneStats
 	queries int64
+
+	// cstats is this dataset's share of result-cache traffic, for
+	// /v1/datasets; the cache-wide counters live on ResultCache.
+	cstats cacheCounters
+}
+
+// cacheCounters attributes result-cache traffic to one dataset.
+type cacheCounters struct {
+	hits        atomic.Int64
+	misses      atomic.Int64
+	containment atomic.Int64
+	shared      atomic.Int64
 }
 
 // scratchBox pairs pooled range-query scratch with the prune counters already
@@ -69,6 +92,7 @@ func NewStoreDataset(name, dir string, opts netclus.StoreOptions, landmarks int,
 		graph: st, store: st,
 		nodes: st.NumNodes(), edges: st.NumEdges(), points: st.NumPoints(),
 	}
+	d.epoch.Store(1)
 	if hot {
 		if d.hot, err = netclus.CompileStore(st); err != nil {
 			st.Close()
@@ -93,6 +117,7 @@ func NewNetworkDataset(name, source string, n *netclus.Network, landmarks int, h
 		graph: n,
 		nodes: n.NumNodes(), edges: n.NumEdges(), points: n.NumPoints(),
 	}
+	d.epoch.Store(1)
 	if hot {
 		var err error
 		if d.hot, err = netclus.Compile(n); err != nil {
@@ -154,6 +179,25 @@ func (d *Dataset) HotStats() (netclus.CSRStats, bool) {
 
 // Bounds returns the dataset's pruning tables (nil when not built).
 func (d *Dataset) Bounds() *netclus.Bounds { return d.bounds }
+
+// Epoch returns the dataset's current content version. Query responses carry
+// it, and result-cache keys embed it, so a bump strands every cached answer.
+func (d *Dataset) Epoch() int64 { return d.epoch.Load() }
+
+// BumpEpoch advances the content version, invalidating all cached results
+// for this dataset (their keys name the old epoch and can never match
+// again; the LRU ages them out). Returns the new epoch.
+func (d *Dataset) BumpEpoch() int64 { return d.epoch.Add(1) }
+
+// ResultCacheStats returns this dataset's share of result-cache traffic.
+func (d *Dataset) ResultCacheStats() api.ResultCacheStats {
+	return api.ResultCacheStats{
+		Hits:               d.cstats.hits.Load(),
+		Misses:             d.cstats.misses.Load(),
+		ContainmentHits:    d.cstats.containment.Load(),
+		SingleflightShared: d.cstats.shared.Load(),
+	}
+}
 
 // NumPoints returns the dataset's point count without touching the graph.
 func (d *Dataset) NumPoints() int { return d.points }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"netclus"
+	"netclus/internal/server/api"
 )
 
 // EndpointCosts sets the admission cost of each query endpoint in abstract
@@ -62,6 +63,10 @@ type Config struct {
 	// MaxClusterWorkers caps the workers parameter of clustering requests
 	// (default 8).
 	MaxClusterWorkers int
+	// ResultCacheBytes is the result cache's byte budget (0 = 64 MiB,
+	// negative = caching disabled). Datasets can opt out individually via
+	// Dataset.DisableCache.
+	ResultCacheBytes int64
 	// Log receives serving errors and panics; nil discards them.
 	Log *log.Logger
 }
@@ -76,6 +81,7 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	http     *http.Server
+	cache    *ResultCache // nil when disabled
 	draining atomic.Bool
 	started  time.Time
 }
@@ -101,6 +107,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxClusterWorkers = 8
 	}
 	cfg.Costs = cfg.Costs.withDefaults()
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = 64 << 20
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
@@ -108,6 +117,9 @@ func New(cfg Config) (*Server, error) {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.cache = NewResultCache(cfg.ResultCacheBytes)
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrumented("healthz", "", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrumented("metrics", "", s.handleMetrics))
@@ -130,6 +142,18 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Admission exposes the admission controller.
 func (s *Server) Admission() *Admission { return s.adm }
 
+// ResultCache exposes the server's result cache; nil when caching is off.
+func (s *Server) ResultCache() *ResultCache { return s.cache }
+
+// cacheFor resolves the cache a dataset's queries go through: nil when the
+// server runs uncached or the dataset opted out.
+func (s *Server) cacheFor(d *Dataset) *ResultCache {
+	if s.cache == nil || d.DisableCache {
+		return nil
+	}
+	return s.cache
+}
+
 // ListenAndServe serves on cfg.Addr until Shutdown; like http.Server, it
 // returns http.ErrServerClosed after a clean drain.
 func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
@@ -150,9 +174,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// errorBody is the uniform JSON error payload.
-type errorBody struct {
-	Error string `json:"error"`
+// writeError writes the uniform api.ErrorBody envelope.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.Error(code, msg))
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -198,7 +222,7 @@ func (s *Server) instrumented(endpoint, dataset string, h http.HandlerFunc) http
 				s.metrics.Panicked()
 				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 				if sw.code == 0 {
-					writeJSON(sw, http.StatusInternalServerError, errorBody{Error: "internal error"})
+					s.writeError(sw, http.StatusInternalServerError, api.CodeInternal, "internal error")
 				}
 			}
 			s.metrics.inflight.Add(-1)
@@ -219,17 +243,17 @@ func (s *Server) instrumented(endpoint, dataset string, h http.HandlerFunc) http
 func (s *Server) query(endpoint string, cost int64, h func(http.ResponseWriter, *http.Request, *Dataset)) http.HandlerFunc {
 	return s.instrumented(endpoint, "", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+			s.writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "server draining")
 			return
 		}
 		d, ok := s.reg.Get(r.PathValue("dataset"))
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown dataset %q", r.PathValue("dataset"))})
+			s.writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown dataset %q", r.PathValue("dataset")))
 			return
 		}
 		timeout, err := requestTimeout(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -238,11 +262,13 @@ func (s *Server) query(endpoint string, cost int64, h func(http.ResponseWriter, 
 			switch {
 			case errors.Is(err, ErrOverloaded):
 				w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
-				writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+				body := api.Error(api.CodeOverloaded, err.Error())
+				body.Error.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
+				writeJSON(w, http.StatusTooManyRequests, body)
 			case errors.Is(err, context.DeadlineExceeded):
-				writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "timed out waiting for admission"})
+				s.writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "timed out waiting for admission")
 			default: // client went away
-				writeJSON(w, statusClientClosed, errorBody{Error: err.Error()})
+				s.writeError(w, statusClientClosed, api.CodeClientClosed, err.Error())
 			}
 			return
 		}
@@ -282,23 +308,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// queryError maps an engine error onto a status code and JSON body.
+// queryError maps an engine error onto a status code and error envelope.
 func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
-	var code int
+	status, code := http.StatusInternalServerError, api.CodeInternal
 	switch {
 	case errors.Is(err, netclus.ErrPointNotFound), errors.Is(err, netclus.ErrNodeNotFound):
-		code = http.StatusNotFound
+		status, code = http.StatusNotFound, api.CodeNotFound
 	case errors.Is(err, netclus.ErrInvalidOptions):
-		code = http.StatusBadRequest
+		status, code = http.StatusBadRequest, api.CodeBadRequest
 	case errors.Is(err, netclus.ErrStoreClosed):
-		code = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, api.CodeUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, api.CodeTimeout
 	case errors.Is(err, context.Canceled):
-		code = statusClientClosed
+		status, code = statusClientClosed, api.CodeClientClosed
 	default:
-		code = http.StatusInternalServerError
 		s.logf("internal error serving %s: %v", r.URL.Path, err)
 	}
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	s.writeError(w, status, code, err.Error())
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"netclus"
+	"netclus/internal/server/api"
 
 	"context"
 )
@@ -90,7 +91,7 @@ func TestServeQueries(t *testing.T) {
 	h := s.Handler()
 	for _, ds := range []string{"mem", "disk"} {
 		// Range, both flavours, pruned and plain, must agree on the count.
-		var pruned, plain, dists rangeResponse
+		var pruned, plain, dists api.RangeResponse
 		getJSON(t, h, "/v1/"+ds+"/range?p=3&eps=25", http.StatusOK, &pruned)
 		getJSON(t, h, "/v1/"+ds+"/range?p=3&eps=25&prune=0", http.StatusOK, &plain)
 		getJSON(t, h, "/v1/"+ds+"/range?p=3&eps=25&dists=1", http.StatusOK, &dists)
@@ -105,7 +106,7 @@ func TestServeQueries(t *testing.T) {
 		}
 
 		// kNN pruned vs plain must return identical distances.
-		var kp, kf knnResponse
+		var kp, kf api.KNNResponse
 		getJSON(t, h, "/v1/"+ds+"/knn?p=3&k=7", http.StatusOK, &kp)
 		getJSON(t, h, "/v1/"+ds+"/knn?p=3&k=7&prune=0", http.StatusOK, &kf)
 		if !kp.Pruned || kf.Pruned {
@@ -122,7 +123,7 @@ func TestServeQueries(t *testing.T) {
 		}
 
 		// Clustering via GET and POST.
-		var cg clusterResponse
+		var cg api.ClusterResponse
 		getJSON(t, h, "/v1/"+ds+"/cluster?algo=dbscan&eps=15&minpts=3", http.StatusOK, &cg)
 		if cg.Clusters < 1 {
 			t.Fatalf("%s: dbscan found no clusters", ds)
@@ -134,7 +135,7 @@ func TestServeQueries(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s: POST cluster: %d %s", ds, rec.Code, rec.Body)
 		}
-		var cp clusterResponse
+		var cp api.ClusterResponse
 		if err := json.Unmarshal(rec.Body.Bytes(), &cp); err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func TestServeDatasetsAndHealth(t *testing.T) {
 	h := s.Handler()
 	getJSON(t, h, "/v1/disk/knn?p=1&k=3", http.StatusOK, nil)
 	var dl struct {
-		Datasets []datasetInfo `json:"datasets"`
+		Datasets []api.DatasetInfo `json:"datasets"`
 	}
 	getJSON(t, h, "/v1/datasets", http.StatusOK, &dl)
 	if len(dl.Datasets) != 2 {
@@ -193,7 +194,7 @@ func TestServeDatasetsAndHealth(t *testing.T) {
 		t.Fatalf("mem info = %+v", dl.Datasets[1])
 	}
 
-	var hr healthResponse
+	var hr api.HealthResponse
 	getJSON(t, h, "/healthz", http.StatusOK, &hr)
 	if hr.Status != "ok" || hr.Datasets != 2 {
 		t.Fatalf("health = %+v", hr)
@@ -231,6 +232,12 @@ func TestServeMetricsExposition(t *testing.T) {
 		`netclusd_store_cache_hits_total{dataset="disk",cache="adj"}`,
 		`netclusd_store_shard_logical_reads_total{dataset="disk",shard="0"}`,
 		`netclusd_prune_candidates_total{dataset="mem"}`,
+		"netclusd_result_cache_hits_total 0",
+		"netclusd_result_cache_misses_total 2",
+		"netclusd_result_cache_evictions_total 0",
+		"netclusd_result_cache_singleflight_shared_total 0",
+		"netclusd_result_cache_bytes",
+		"netclusd_result_cache_capacity_bytes",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -420,7 +427,7 @@ func TestServeDrainUnderLoad(t *testing.T) {
 func TestServeConcurrentMixed(t *testing.T) {
 	s := newTestServer(t, Config{Capacity: 4, MaxQueue: 256})
 	h := s.Handler()
-	var want rangeResponse
+	var want api.RangeResponse
 	getJSON(t, h, "/v1/disk/range?p=9&eps=22", http.StatusOK, &want)
 
 	var wg sync.WaitGroup
@@ -432,7 +439,7 @@ func TestServeConcurrentMixed(t *testing.T) {
 				var rec *httptest.ResponseRecorder
 				switch (w + i) % 4 {
 				case 0:
-					var got rangeResponse
+					var got api.RangeResponse
 					getJSON(t, h, "/v1/disk/range?p=9&eps=22", http.StatusOK, &got)
 					if got.Count != want.Count {
 						t.Errorf("range count %d, want %d", got.Count, want.Count)
@@ -496,7 +503,7 @@ func TestServeHotReplica(t *testing.T) {
 	h := s.Handler()
 
 	for p := 0; p < 40; p++ {
-		var cr, hr rangeResponse
+		var cr, hr api.RangeResponse
 		getJSON(t, h, fmt.Sprintf("/v1/cold/range?p=%d&eps=25&dists=1", p), http.StatusOK, &cr)
 		getJSON(t, h, fmt.Sprintf("/v1/hot/range?p=%d&eps=25&dists=1", p), http.StatusOK, &hr)
 		if len(cr.Results) == 0 && p == 0 {
@@ -505,7 +512,7 @@ func TestServeHotReplica(t *testing.T) {
 		if fmt.Sprint(cr.Results) != fmt.Sprint(hr.Results) {
 			t.Fatalf("p=%d: hot range differs from cold\ncold %v\nhot  %v", p, cr.Results, hr.Results)
 		}
-		var ck, hk knnResponse
+		var ck, hk api.KNNResponse
 		getJSON(t, h, fmt.Sprintf("/v1/cold/knn?p=%d&k=5&prune=0", p), http.StatusOK, &ck)
 		getJSON(t, h, fmt.Sprintf("/v1/hot/knn?p=%d&k=5&prune=0", p), http.StatusOK, &hk)
 		if fmt.Sprint(ck.Results) != fmt.Sprint(hk.Results) {
@@ -514,7 +521,7 @@ func TestServeHotReplica(t *testing.T) {
 	}
 
 	var ds struct {
-		Datasets []datasetInfo `json:"datasets"`
+		Datasets []api.DatasetInfo `json:"datasets"`
 	}
 	getJSON(t, h, "/v1/datasets", http.StatusOK, &ds)
 	for _, info := range ds.Datasets {
@@ -554,5 +561,293 @@ func TestServeHotReplica(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Logf("exposition:\n%s", body)
+	}
+}
+
+// newMemServer serves the deterministic test network as one in-memory dataset
+// named "mem". cacheBytes < 0 disables the result cache, so two such servers
+// give a cached/uncached pair over byte-identical data.
+func newMemServer(t *testing.T, cacheBytes int64) *Server {
+	t.Helper()
+	reg := NewRegistry()
+	mem, err := NewNetworkDataset("mem", "test", testNetwork(t), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(mem); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Registry: reg, ResultCacheBytes: cacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func getRaw(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: code = %d; body %s", url, rec.Code, rec.Body)
+	}
+	return rec, rec.Body.Bytes()
+}
+
+// TestServeCacheByteIdentical: a cached response must be byte-for-byte the
+// response an uncached server computes for the same request, and repeats must
+// be served from cache.
+func TestServeCacheByteIdentical(t *testing.T) {
+	cached := newMemServer(t, 0)  // default budget
+	direct := newMemServer(t, -1) // caching off
+	urls := []string{
+		"/v1/mem/range?p=3&eps=25",
+		"/v1/mem/range?p=3&eps=25&dists=1",
+		"/v1/mem/knn?p=3&k=7",
+		"/v1/mem/cluster?algo=dbscan&eps=15&minpts=3",
+	}
+	for _, url := range urls {
+		rec1, body1 := getRaw(t, cached.Handler(), url)
+		if got := rec1.Header().Get("X-Netclusd-Cache"); got != "miss" {
+			t.Fatalf("%s: first X-Netclusd-Cache = %q, want miss", url, got)
+		}
+		rec2, body2 := getRaw(t, cached.Handler(), url)
+		if got := rec2.Header().Get("X-Netclusd-Cache"); got != "hit" {
+			t.Fatalf("%s: second X-Netclusd-Cache = %q, want hit", url, got)
+		}
+		if string(body1) != string(body2) {
+			t.Fatalf("%s: hit body differs from miss body\n%s\n%s", url, body1, body2)
+		}
+		recD, bodyD := getRaw(t, direct.Handler(), url)
+		if got := recD.Header().Get("X-Netclusd-Cache"); got != "" {
+			t.Fatalf("%s: uncached server tagged X-Netclusd-Cache %q", url, got)
+		}
+		if string(body1) != string(bodyD) {
+			t.Fatalf("%s: cached body differs from uncached compute\n%s\n%s", url, body1, bodyD)
+		}
+	}
+	st := cached.ResultCache().Stats()
+	if st.Hits != int64(len(urls)) || st.Misses == 0 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+	if direct.ResultCache() != nil {
+		t.Fatal("direct server has a cache")
+	}
+}
+
+// TestServeCacheContainment: after caching range(q, 25) with distances, any
+// smaller-ε query for q is answered from the cached vector — byte-identical
+// to a direct computation for the dists flavour, same set for ID-only.
+func TestServeCacheContainment(t *testing.T) {
+	cached := newMemServer(t, 0)
+	direct := newMemServer(t, -1)
+	_, _ = getRaw(t, cached.Handler(), "/v1/mem/range?p=3&eps=25&dists=1")
+
+	for _, eps := range []string{"20", "12.5", "5", "0.001"} {
+		url := "/v1/mem/range?p=3&eps=" + eps + "&dists=1"
+		rec, body := getRaw(t, cached.Handler(), url)
+		if got := rec.Header().Get("X-Netclusd-Cache"); got != "wider" {
+			t.Fatalf("%s: X-Netclusd-Cache = %q, want wider", url, got)
+		}
+		_, bodyD := getRaw(t, direct.Handler(), url)
+		if string(body) != string(bodyD) {
+			t.Fatalf("%s: containment body differs from direct compute\n%s\n%s", url, body, bodyD)
+		}
+		// The derived entry was cached under its exact key: repeat is a hit.
+		rec2, _ := getRaw(t, cached.Handler(), url)
+		if got := rec2.Header().Get("X-Netclusd-Cache"); got != "hit" {
+			t.Fatalf("%s: repeat X-Netclusd-Cache = %q, want hit", url, got)
+		}
+	}
+
+	// ID-only flavour: served from the vector too, same member set as a
+	// direct query (its ordering is unspecified).
+	url := "/v1/mem/range?p=3&eps=15"
+	rec, body := getRaw(t, cached.Handler(), url)
+	if got := rec.Header().Get("X-Netclusd-Cache"); got != "wider" {
+		t.Fatalf("%s: X-Netclusd-Cache = %q, want wider", url, got)
+	}
+	var fromCache, fromEngine api.RangeResponse
+	if err := json.Unmarshal(body, &fromCache); err != nil {
+		t.Fatal(err)
+	}
+	_, bodyD := getRaw(t, direct.Handler(), url)
+	if err := json.Unmarshal(bodyD, &fromEngine); err != nil {
+		t.Fatal(err)
+	}
+	if fromCache.Count == 0 || fromCache.Count != fromEngine.Count {
+		t.Fatalf("counts differ: cache %d, engine %d", fromCache.Count, fromEngine.Count)
+	}
+	set := map[netclus.PointID]bool{}
+	for _, p := range fromCache.Points {
+		set[p] = true
+	}
+	for _, p := range fromEngine.Points {
+		if !set[p] {
+			t.Fatalf("point %d missing from containment answer", p)
+		}
+	}
+	if st := cached.ResultCache().Stats(); st.Containment != 5 {
+		t.Fatalf("containment hits = %d, want 5", st.Containment)
+	}
+}
+
+// TestServeCacheEpochBump: bumping a dataset's epoch strands every cached
+// answer — the next request misses and reports the new epoch.
+func TestServeCacheEpochBump(t *testing.T) {
+	s := newMemServer(t, 0)
+	d, _ := s.reg.Get("mem")
+	url := "/v1/mem/knn?p=3&k=5"
+
+	_, _ = getRaw(t, s.Handler(), url)
+	rec, body := getRaw(t, s.Handler(), url)
+	if got := rec.Header().Get("X-Netclusd-Cache"); got != "hit" {
+		t.Fatalf("X-Netclusd-Cache = %q, want hit", got)
+	}
+	var before api.KNNResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	if before.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", before.Epoch)
+	}
+
+	if e := d.BumpEpoch(); e != 2 {
+		t.Fatalf("BumpEpoch = %d, want 2", e)
+	}
+	rec, body = getRaw(t, s.Handler(), url)
+	if got := rec.Header().Get("X-Netclusd-Cache"); got != "miss" {
+		t.Fatalf("post-bump X-Netclusd-Cache = %q, want miss", got)
+	}
+	var after api.KNNResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != 2 {
+		t.Fatalf("post-bump epoch = %d, want 2", after.Epoch)
+	}
+}
+
+// TestServeCacheOptOut: a dataset registered with DisableCache never touches
+// the cache even when the server runs one.
+func TestServeCacheOptOut(t *testing.T) {
+	reg := NewRegistry()
+	n := testNetwork(t)
+	mem, err := NewNetworkDataset("mem", "test", n, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := NewNetworkDataset("raw", "test", n, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.DisableCache = true
+	for _, d := range []*Dataset{mem, raw} {
+		if err := reg.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rec, _ := getRaw(t, s.Handler(), "/v1/raw/knn?p=3&k=5")
+		if got := rec.Header().Get("X-Netclusd-Cache"); got != "" {
+			t.Fatalf("opted-out dataset tagged X-Netclusd-Cache %q", got)
+		}
+	}
+	_, _ = getRaw(t, s.Handler(), "/v1/mem/knn?p=3&k=5")
+	st := s.ResultCache().Stats()
+	if st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache saw opted-out traffic: %+v", st)
+	}
+
+	var dl api.DatasetsResponse
+	getJSON(t, s.Handler(), "/v1/datasets", http.StatusOK, &dl)
+	for _, info := range dl.Datasets {
+		switch info.Name {
+		case "mem":
+			if info.ResultCache == nil || info.ResultCache.Misses != 1 {
+				t.Fatalf("mem result_cache = %+v", info.ResultCache)
+			}
+		case "raw":
+			if info.ResultCache != nil {
+				t.Fatalf("raw reports result_cache %+v", info.ResultCache)
+			}
+		}
+	}
+	if dl.ResultCache == nil || dl.ResultCache.Entries != 1 {
+		t.Fatalf("cache totals = %+v", dl.ResultCache)
+	}
+}
+
+// TestServeErrorEnvelope pins the uniform error payload shape:
+// {"error":{"code","message"[,"retry_after_ms"]}}.
+func TestServeErrorEnvelope(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		url      string
+		code     int
+		wantCode string
+	}{
+		{"/v1/nope/knn?p=0&k=3", http.StatusNotFound, "not_found"},
+		{"/v1/mem/knn?p=99999&k=3", http.StatusNotFound, "not_found"},
+		{"/v1/mem/range?p=0&eps=0", http.StatusBadRequest, "bad_request"},
+		{"/v1/mem/cluster?algo=wat&eps=5", http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		var env api.ErrorBody
+		getJSON(t, h, c.url, c.code, &env)
+		if env.Error.Code != c.wantCode || env.Error.Message == "" {
+			t.Errorf("%s: envelope = %+v, want code %s", c.url, env, c.wantCode)
+		}
+	}
+}
+
+// TestDatasetsGolden pins the /v1/datasets JSON contract: every key the
+// pre-cache API exposed is still there under the same name, and the new keys
+// ride alongside.
+func TestDatasetsGolden(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	getJSON(t, h, "/v1/disk/knn?p=1&k=3", http.StatusOK, nil)
+	var doc struct {
+		Datasets []map[string]json.RawMessage `json:"datasets"`
+	}
+	getJSON(t, h, "/v1/datasets", http.StatusOK, &doc)
+	if len(doc.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(doc.Datasets))
+	}
+	for _, d := range doc.Datasets {
+		legacy := []string{
+			"name", "kind", "source", "nodes", "edges", "points",
+			"bounds", "hot", "queries", "prune",
+		}
+		for _, k := range legacy {
+			if _, ok := d[k]; !ok {
+				t.Errorf("dataset %s: legacy key %q missing", d["name"], k)
+			}
+		}
+		for _, k := range []string{"epoch", "result_cache"} {
+			if _, ok := d[k]; !ok {
+				t.Errorf("dataset %s: new key %q missing", d["name"], k)
+			}
+		}
+	}
+	// The store-backed entry keeps its nested store stats block.
+	var disk map[string]json.RawMessage
+	for _, d := range doc.Datasets {
+		if string(d["name"]) == `"disk"` {
+			disk = d
+		}
+	}
+	if disk == nil {
+		t.Fatal("no disk dataset")
+	}
+	if _, ok := disk["store"]; !ok {
+		t.Error("disk dataset lost its store key")
 	}
 }
