@@ -1,7 +1,10 @@
 // BenchmarkCSRSuite records the compiled-kernel trajectory into
-// BENCH_csr.json: ε-range batches, kNN batches, DBSCAN and k-medoids on the
-// same workload over three backends — the compiled CSR snapshot, the pointer
-// Network it was compiled from, and the warm disk Store. Run it with
+// BENCH_csr.json: ε-range batches (narrow and wide), kNN (lone, batched SoA
+// sweep), DBSCAN and k-medoids (incremental and recompute) on the same
+// workload over three backends — the compiled CSR snapshot, the pointer
+// Network it was compiled from, and the warm disk Store — plus the
+// frontier-parallel and worker-fanned legs of the CSR-only kernels. Run it
+// with
 //
 //	go test -run '^$' -bench CSRSuite -benchtime 1x .
 //
@@ -9,8 +12,10 @@
 // Every backend's labels are asserted byte-identical before timing, so the
 // perf harness doubles as an end-to-end kernel-equivalence check. The report
 // carries the snapshot's one-shot compile time and resident bytes next to
-// the min-of-N wall times, plus each workload's speedup over the pointer
-// Network.
+// the min-of-N wall times; each entry records the GOMAXPROCS it ran under,
+// and every csr/* workload gets a speedup over its pointer-Network baseline
+// (parallel and batched variants are scored against the plain baseline of
+// the same operator).
 package netclus_test
 
 import (
@@ -19,6 +24,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -33,6 +39,9 @@ var (
 type benchCSREntry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	Iters   int     `json:"iters"`
+	// GOMAXPROCS is recorded per entry: parallel legs are meaningless
+	// without the processor count they actually ran under.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 type benchCSRReport struct {
@@ -44,15 +53,51 @@ type benchCSRReport struct {
 	CSR        netclus.CSRStats         `json:"csr"`
 	Results    map[string]benchCSREntry `json:"results"`
 	// SpeedupVsNetwork is min-of-N network time / min-of-N csr time per
-	// workload, precomputed so the report reads standalone.
+	// workload, precomputed so the report reads standalone. Keys are the
+	// csr/* workload suffixes; each resolves its network baseline by
+	// stripping the worker leg and then trailing -variant segments
+	// (knn-batch/workers=2 scores against network/knn).
 	SpeedupVsNetwork map[string]float64 `json:"speedup_vs_network"`
 }
 
 func recordBenchCSR(b *testing.B, name string, nsPerOp float64) {
 	b.Helper()
 	benchCSRMu.Lock()
-	benchCSRResults[name] = benchCSREntry{NsPerOp: nsPerOp, Iters: b.N}
+	benchCSRResults[name] = benchCSREntry{
+		NsPerOp: nsPerOp, Iters: b.N, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	benchCSRMu.Unlock()
+}
+
+// csrSpeedups derives the speedup map from the recorded entries: every
+// csr/<workload> entry is scored against network/<base>, where <base> is the
+// workload with any /workers=N leg stripped and then trailing -variant
+// segments removed until a network entry exists. No hardcoded workload list:
+// a new csr/* leg with a network baseline scores automatically.
+func csrSpeedups(results map[string]benchCSREntry) map[string]float64 {
+	out := map[string]float64{}
+	for name, e := range results {
+		suffix, ok := strings.CutPrefix(name, "csr/")
+		if !ok || e.NsPerOp <= 0 {
+			continue
+		}
+		base := suffix
+		if i := strings.Index(base, "/"); i >= 0 {
+			base = base[:i]
+		}
+		for {
+			if net, ok := results["network/"+base]; ok {
+				out[suffix] = net.NsPerOp / e.NsPerOp
+				break
+			}
+			i := strings.LastIndex(base, "-")
+			if i < 0 {
+				break
+			}
+			base = base[:i]
+		}
+	}
+	return out
 }
 
 func BenchmarkCSRSuite(b *testing.B) {
@@ -93,16 +138,7 @@ func BenchmarkCSRSuite(b *testing.B) {
 		if len(benchCSRResults) == 0 {
 			return
 		}
-		report.SpeedupVsNetwork = map[string]float64{}
-		for name, e := range benchCSRResults {
-			var workload string
-			if _, err := fmt.Sscanf(name, "csr/%s", &workload); err != nil {
-				continue
-			}
-			if net, ok := benchCSRResults["network/"+workload]; ok && e.NsPerOp > 0 {
-				report.SpeedupVsNetwork[workload] = net.NsPerOp / e.NsPerOp
-			}
-		}
+		report.SpeedupVsNetwork = csrSpeedups(benchCSRResults)
 		writeBenchReport(b, "BENCH_csr.json", report)
 	})
 
@@ -115,15 +151,20 @@ func BenchmarkCSRSuite(b *testing.B) {
 		{"store", st},
 	}
 	eps := gen.Eps()
+	epsWide := eps * 16
 	rng := rand.New(rand.NewSource(1))
 	probes := make([]netclus.PointID, 256)
 	for i := range probes {
 		probes[i] = netclus.PointID(rng.Intn(g.NumPoints()))
 	}
+	// Wide-range legs expand most of the network per query; a smaller probe
+	// set keeps the suite's wall time in line with the narrow legs.
+	wideProbes := probes[:32]
 
-	// Label equivalence across all backends before any timing.
-	var wantDB []int32
-	var wantKM []int32
+	// Label equivalence across all backends before any timing, both
+	// k-medoids modes (the incremental default and the recompute ablation
+	// both ride the Δ-stepping expansion on snapshots).
+	var wantDB, wantKM, wantMP []int32
 	for _, bk := range backends {
 		db, err := netclus.DBSCANCtx(ctx, bk.g, netclus.DBSCANOptions{Eps: eps, MinPts: 3})
 		if err != nil {
@@ -133,11 +174,16 @@ func BenchmarkCSRSuite(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		mp, err := netclus.KMedoidsCtx(ctx, bk.g, netclus.KMedoidsOptions{K: 10, Recompute: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if bk.name == "csr" {
-			wantDB, wantKM = db.Labels, km.Labels
+			wantDB, wantKM, wantMP = db.Labels, km.Labels, mp.Labels
 			continue
 		}
-		if !reflect.DeepEqual(wantDB, db.Labels) || !reflect.DeepEqual(wantKM, km.Labels) {
+		if !reflect.DeepEqual(wantDB, db.Labels) || !reflect.DeepEqual(wantKM, km.Labels) ||
+			!reflect.DeepEqual(wantMP, mp.Labels) {
 			b.Fatalf("backend %s: labels differ from csr", bk.name)
 		}
 	}
@@ -154,6 +200,17 @@ func BenchmarkCSRSuite(b *testing.B) {
 				}
 			})
 			recordBenchCSR(b, bk.name+"/range", minNs)
+		})
+		b.Run(bk.name+"/range-wide", func(b *testing.B) {
+			sc := netclus.ScratchFor(bk.g)
+			minNs := minIter(b, func() {
+				for _, p := range wideProbes {
+					if _, err := sc.RangeQueryDistCtx(ctx, bk.g, p, epsWide); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			recordBenchCSR(b, bk.name+"/range-wide", minNs)
 		})
 		b.Run(bk.name+"/knn", func(b *testing.B) {
 			minNs := minIter(b, func() {
@@ -181,15 +238,21 @@ func BenchmarkCSRSuite(b *testing.B) {
 			})
 			recordBenchCSR(b, bk.name+"/kmedoids", minNs)
 		})
+		b.Run(bk.name+"/kmedoids-mp", func(b *testing.B) {
+			minNs := minIter(b, func() {
+				if _, err := netclus.KMedoidsCtx(ctx, bk.g, netclus.KMedoidsOptions{K: 10, Recompute: true}); err != nil {
+					b.Fatal(err)
+				}
+			})
+			recordBenchCSR(b, bk.name+"/kmedoids-mp", minNs)
+		})
 	}
 
-	// The batched multi-source mode is CSR-only: the full probe set fanned
-	// across workers with pooled scratch.
-	workerCounts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		workerCounts = append(workerCounts, n)
-	}
-	for _, workers := range workerCounts {
+	// CSR-only kernels: the batched multi-source range mode, the
+	// frontier-parallel wide range, and the batched SoA kNN sweep, each at
+	// worker counts 1/2/4 so the report shows the parallel trajectory even
+	// when GOMAXPROCS caps the realized speedup.
+	for _, workers := range []int{1, 2, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("csr/range-each/workers=%d", workers), func(b *testing.B) {
 			minNs := minIter(b, func() {
@@ -200,6 +263,34 @@ func BenchmarkCSRSuite(b *testing.B) {
 				}
 			})
 			recordBenchCSR(b, fmt.Sprintf("csr/range-each/workers=%d", workers), minNs)
+		})
+		b.Run(fmt.Sprintf("csr/range-wide-par/workers=%d", workers), func(b *testing.B) {
+			// Reuse one result buffer across probes, like the sequential
+			// legs reuse their scratch result slice.
+			var buf []netclus.PointDist
+			minNs := minIter(b, func() {
+				for _, p := range wideProbes {
+					res, err := sn.RangeQueryDistParallelInto(ctx, p, epsWide, workers, buf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = res
+				}
+			})
+			recordBenchCSR(b, fmt.Sprintf("csr/range-wide-par/workers=%d", workers), minNs)
+		})
+		b.Run(fmt.Sprintf("csr/knn-batch/workers=%d", workers), func(b *testing.B) {
+			kb := sn.NewKNNBatch()
+			minNs := minIter(b, func() {
+				kb.Reset()
+				for _, p := range probes {
+					kb.Add(p, 10)
+				}
+				if err := kb.Run(ctx, workers); err != nil {
+					b.Fatal(err)
+				}
+			})
+			recordBenchCSR(b, fmt.Sprintf("csr/knn-batch/workers=%d", workers), minNs)
 		})
 	}
 }

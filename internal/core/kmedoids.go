@@ -20,6 +20,12 @@ import (
 type MedoidState struct {
 	Med  []int32
 	Dist []float64
+
+	// affected and seeds are scratch for the incremental update, kept on
+	// the state so the once-per-attempted-swap call rate allocates nothing
+	// in steady state. Never retained past a call.
+	affected []network.NodeID
+	seeds    []network.MedoidSeed
 }
 
 // NewMedoidState returns a state for a graph with n nodes, all unassigned.
@@ -50,7 +56,22 @@ type medEntry struct {
 	dist float64
 }
 
-func lessMedEntry(a, b medEntry) bool { return a.dist < b.dist }
+// lessMedEntry orders the expansion frontier by the explicit lexicographic
+// (dist, med, node) key. Distance alone decides almost every pop; the med
+// component makes the winning medoid of exactly equidistant nodes the
+// lowest slot index, and the node component makes the order total. Any
+// label-correcting schedule that accepts lexicographic (dist, med)
+// improvements converges to the same assignment (DESIGN.md §10), which is
+// the contract the CSR Δ-stepping kernel is proven against.
+func lessMedEntry(a, b medEntry) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.med != b.med {
+		return a.med < b.med
+	}
+	return a.node < b.node
+}
 
 // MedoidDistFind implements Fig. 4: a concurrent (multi-source) Dijkstra
 // expansion from all medoids that tags every node with its nearest medoid
@@ -90,10 +111,10 @@ func IncMedoidUpdate(g network.Graph, medoids []network.PointInfo, replacedIdx i
 }
 
 func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.PointInfo, replacedIdx int, st *MedoidState, stats *Stats, mp *medoidPruner) error {
-	var seeds []network.MedoidSeed
+	seeds := st.seeds[:0]
 
 	// Unassign the replaced medoid's cluster.
-	var affected []network.NodeID
+	affected := st.affected[:0]
 	for n := range st.Med {
 		if st.Med[n] == int32(replacedIdx) {
 			affected = append(affected, network.NodeID(n))
@@ -123,14 +144,16 @@ func incMedoidUpdateCtx(ctx context.Context, g network.Graph, medoids []network.
 			network.MedoidSeed{Node: m.N2, Med: int32(i), Dist: m.Weight - m.Pos})
 		stats.HeapPushes += 2
 	}
+	st.affected, st.seeds = affected, seeds
 
 	return runExpansion(ctx, g, seeds, st, stats, mp)
 }
 
 // runExpansion dispatches the seeded concurrent expansion: graphs with a
 // native expansion kernel (the compiled CSR snapshot) run it directly when
-// pruning is off — the kernel replicates the binary-heap tie order, so the
-// assignment is bit-identical — otherwise the generic heap loop runs.
+// pruning is off — kernel and generic loop converge to the same
+// (dist, med, node) lexicographic fixpoint, so the assignment is
+// bit-identical — otherwise the generic heap loop runs.
 func runExpansion(ctx context.Context, g network.Graph, seeds []network.MedoidSeed, st *MedoidState, stats *Stats, mp *medoidPruner) error {
 	if ne, ok := g.(network.NearestExpander); ok && mp == nil {
 		c, err := ne.ExpandNearest(ctx, seeds, st.Med, st.Dist)
@@ -190,16 +213,23 @@ func (mp *medoidPruner) upper(v network.NodeID) float64 {
 }
 
 // concurrentExpansion is the shared Concurrent_Expansion of Figs. 4-5. The
-// acceptance test B.dist < Dist[B.node] subsumes both variants: with a reset
-// state it is Fig. 4's "not assigned" check, and on a partially retained
-// state it is Fig. 5's "can this node get closer" check. A non-nil mp
-// prunes pushes whose distance exceeds the target node's upper bound to the
-// nearest medoid without changing any settled distance.
+// acceptance test — does (B.dist, B.med) lexicographically improve the
+// node's (Dist, Med)? — subsumes both variants: with a reset state it is
+// Fig. 4's "not assigned" check, and on a partially retained state it is
+// Fig. 5's "can this node get closer" check. The med half of the key only
+// matters at exact distance ties, where it awards the node to the lowest
+// medoid slot; because positive edge weights make the key strictly increase
+// along every path, the loop settles each node at the unique lexicographic
+// fixpoint whatever the pop order (DESIGN.md §10). A non-nil mp prunes
+// pushes whose distance exceeds the target node's upper bound to the
+// nearest medoid without changing any settled distance or label: the
+// winning push of a node carries exactly its final distance, which is never
+// above the upper bound.
 func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[medEntry], st *MedoidState, stats *Stats, mp *medoidPruner) error {
 	ticks := 0
 	for !h.Empty() {
 		b := h.Pop()
-		if b.dist >= st.Dist[b.node] {
+		if b.dist > st.Dist[b.node] || (b.dist == st.Dist[b.node] && b.med >= st.Med[b.node]) {
 			continue
 		}
 		if err := ctxCheck(ctx, &ticks); err != nil {
@@ -215,7 +245,7 @@ func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[med
 		stats.EdgesVisited += len(adj)
 		for _, nb := range adj {
 			nd := b.dist + nb.Weight
-			if nd >= st.Dist[nb.Node] {
+			if nd > st.Dist[nb.Node] || (nd == st.Dist[nb.Node] && b.med >= st.Med[nb.Node]) {
 				continue
 			}
 			if mp != nil && nd > mp.upper(nb.Node) {
@@ -234,10 +264,20 @@ func concurrentExpansion(ctx context.Context, g network.Graph, h *heapx.Heap[med
 // and (ii) directly along its own edge when a medoid shares the edge. It
 // fills labels (length NumPoints; Noise for points unreachable from every
 // medoid) and returns the evaluation function R = Σ d(p, m_p). The scan is a
-// single sequential pass over the point groups.
+// single sequential pass over the point groups; R accumulates per group
+// first and then across groups in ascending order, the association the
+// DeltaAssigner kernel contract pins so a partially-rescanned assignment
+// reproduces the full-scan value bit for bit.
 func AssignPoints(g network.Graph, medoids []network.PointInfo, st *MedoidState, labels []int32, stats *Stats) (r float64, err error) {
 	if len(labels) != g.NumPoints() {
 		return 0, fmt.Errorf("core: labels slice has %d entries for %d points", len(labels), g.NumPoints())
+	}
+	// Graphs with a native assignment scan (the compiled CSR snapshot) run
+	// it directly: same arithmetic over flat arrays, no per-swap map build.
+	if ma, ok := g.(network.MedoidAssigner); ok {
+		r, groups := ma.AssignNearest(medoids, st.Med, st.Dist, labels)
+		stats.GroupsRead += groups
+		return r, nil
 	}
 	// Medoids that share an edge with candidate points, keyed by group.
 	onEdge := make(map[network.GroupID][]int32)
@@ -251,6 +291,7 @@ func AssignPoints(g network.Graph, medoids []network.PointInfo, st *MedoidState,
 		m1 := st.Med[pg.N1]
 		m2 := st.Med[pg.N2]
 		same := onEdge[gid]
+		var sg float64
 		for i, off := range offsets {
 			best, bestM := network.Inf, int32(-1)
 			if d := d1 + off; d < best {
@@ -271,9 +312,10 @@ func AssignPoints(g network.Graph, medoids []network.PointInfo, st *MedoidState,
 			}
 			labels[pg.First+network.PointID(i)] = bestM
 			if bestM >= 0 {
-				r += best
+				sg += best
 			}
 		}
+		r += sg
 		return nil
 	})
 	return r, err
@@ -496,6 +538,17 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 	if opts.Prune != nil {
 		mp = newMedoidPruner(opts.Prune, g.NumNodes())
 	}
+	// Graphs with a delta-assignment kernel (the compiled CSR snapshot)
+	// rescan only the groups a swap perturbed; sub and trialSub hold the
+	// per-group R subtotals of the accepted and the trial assignment. The
+	// R association is the same either way (per group, then across groups
+	// in order), so the trajectory is identical to the full-scan path.
+	da, _ := g.(network.DeltaAssigner)
+	var sub, trialSub []float64
+	if da != nil {
+		sub = make([]float64, g.NumGroups())
+		trialSub = make([]float64, g.NumGroups())
+	}
 	start := time.Now()
 	if mp != nil {
 		mp.retarget(infos)
@@ -503,8 +556,13 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 	if err := medoidDistFindCtx(ctx, g, infos, st, &res.Stats, mp); err != nil {
 		return nil, err
 	}
-	r, err := AssignPoints(g, infos, st, labels, &res.Stats)
-	if err != nil {
+	var r float64
+	var err error
+	if da != nil {
+		var groups int
+		r, groups = da.AssignNearestDelta(infos, st.Med, st.Dist, nil, nil, nil, labels, sub)
+		res.Stats.GroupsRead += groups
+	} else if r, err = AssignPoints(g, infos, st, labels, &res.Stats); err != nil {
 		return nil, err
 	}
 	res.FirstIterTime += time.Since(start)
@@ -512,6 +570,7 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 
 	backup := NewMedoidState(g.NumNodes())
 	trial := make([]int32, g.NumPoints())
+	var extra [2]network.GroupID
 	bad := 0
 	for bad < opts.MaxBadSwaps {
 		mi := rng.Intn(opts.K)
@@ -540,8 +599,19 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 				return nil, err
 			}
 		}
-		r2, err := AssignPoints(g, infos, st, trial, &res.Stats)
-		if err != nil {
+		var r2 float64
+		if da != nil {
+			// Trial state starts as a copy of the accepted assignment; the
+			// kernel patches the groups whose endpoints moved between
+			// backup and st, plus the two edges that exchanged the medoid.
+			copy(trial, labels)
+			copy(trialSub, sub)
+			extra[0], extra[1] = oldInfo.Group, candInfo.Group
+			var rescanned int
+			r2, rescanned = da.AssignNearestDelta(infos, st.Med, st.Dist,
+				backup.Med, backup.Dist, extra[:], trial, trialSub)
+			res.Stats.GroupsRead += rescanned
+		} else if r2, err = AssignPoints(g, infos, st, trial, &res.Stats); err != nil {
 			return nil, err
 		}
 		res.SwapIterTime += time.Since(start)
@@ -552,6 +622,7 @@ func kmedoidsOnce(ctx context.Context, g network.Graph, opts KMedoidsOptions, in
 			// Commit the replacement.
 			r = r2
 			labels, trial = trial, labels
+			sub, trialSub = trialSub, sub
 			delete(inSet, oldID)
 			inSet[cand] = true
 			res.AcceptedSwaps++

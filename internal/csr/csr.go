@@ -76,16 +76,30 @@ type Snapshot struct {
 	// snapshot exactly as on the source.
 	coords []network.Coord
 
+	// invDelta is 1/Δ for the Δ-stepping bucket queue of ExpandNearest and
+	// the frontier-parallel range kernel, with Δ the mean edge weight: a
+	// frontier entry at distance d files under bucket floor(d·invDelta).
+	// Zero when the graph has no edges (the kernels then run single-bucket,
+	// which is plain label-correcting and still correct).
+	invDelta float64
+
 	stats Stats
 
 	// scratchPool recycles kernel scratches for the batched range mode and
 	// the kNN entry point: steady-state queries allocate nothing.
 	scratchPool sync.Pool
 
-	// expandPool recycles the multi-source expansion heaps of ExpandNearest
-	// for the same reason: repeated incremental k-medoids updates reuse one
-	// grown backing array instead of regrowing from empty every call.
+	// expandPool recycles the Δ-stepping bucket queues of ExpandNearest for
+	// the same reason: repeated incremental k-medoids updates reuse the
+	// grown bucket arrays instead of regrowing from empty every call.
 	expandPool sync.Pool
+
+	// assignPool recycles the per-node dirty stamps of AssignNearestDelta.
+	assignPool sync.Pool
+
+	// prangePool recycles the coordination state of the frontier-parallel
+	// range expansion (bucket queue, proposal buffers, worker slots).
+	prangePool sync.Pool
 }
 
 // tagSource and coordSource are the optional Graph extensions Compile reads
@@ -182,6 +196,18 @@ func Compile(g network.Graph) (*Snapshot, error) {
 		s.coords = make([]network.Coord, nodes)
 		for n := range s.coords {
 			s.coords[n] = cg.Coord(network.NodeID(n))
+		}
+	}
+
+	// Δ-stepping bucket width: the mean edge weight balances bucket count
+	// against within-bucket re-processing on road-like weight distributions.
+	if len(s.adjW) > 0 {
+		var sum float64
+		for _, w := range s.adjW {
+			sum += w
+		}
+		if mean := sum / float64(len(s.adjW)); mean > 0 {
+			s.invDelta = 1 / mean
 		}
 	}
 

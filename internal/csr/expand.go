@@ -14,58 +14,76 @@ type medEntry struct {
 	dist float64
 }
 
-func lessMedEntry(a, b medEntry) bool { return a.dist < b.dist }
-
 // ExpandNearest is the kernel of the k-medoids Concurrent_Expansion
-// (Figs. 4-5): a multi-source Dijkstra over the flat adjacency that tags
+// (Figs. 4-5): a multi-source expansion over the flat adjacency that tags
 // every node in med/dist with its nearest medoid. It satisfies
 // network.NearestExpander, so core's k-medoids dispatches here when pruning
 // is off.
 //
-// The heap is deliberately the BINARY heapx.Heap, not the 4-ary kernel
-// heap: when several medoids reach a node at the same distance, the winner
-// is whichever entry pops first, and the generic path's pop order at ties
-// is a function of the binary heap's structure. Running the identical heap
-// over the identical push sequence reproduces that order, so the node
-// assignment — and with it every label and the evaluation function R — is
-// bit-identical to the generic expansion. The speedup comes from the flat
-// arrays: no interface dispatch, no error checks, no Neighbor struct loads
-// on the hot path.
+// The frontier is a Δ-stepping bucket queue (Δ = the snapshot's mean edge
+// weight), not a comparison heap: an entry at distance d files under bucket
+// floor(d/Δ) in O(1), buckets drain in ascending order, and entries within
+// one bucket are processed in arbitrary order with re-processing when a
+// same-bucket relaxation improves a node. That is allowed because the
+// expansion is label-correcting under the explicit lexicographic
+// (dist, med) acceptance test: a node takes an entry when it lowers the
+// distance, or matches it with a lower medoid slot index. Positive edge
+// weights make the key strictly increase along every path, so whatever the
+// processing order the arrays converge to the unique (dist, med, node)
+// lexicographic fixpoint — each node at its shortest seed distance, owned
+// by the lowest-index medoid achieving it — which is the same assignment
+// the generic binary-heap expansion settles on (network.NearestExpander,
+// DESIGN.md §10). Equivalence is property-tested, not inherited from heap
+// structure; the speedup comes from O(1) bucket pushes replacing O(log n)
+// heap ops on top of the flat-array row scans.
 func (s *Snapshot) ExpandNearest(ctx context.Context, seeds []network.MedoidSeed, med []int32, dist []float64) (network.ExpandCounts, error) {
 	var c network.ExpandCounts
-	h, ok := s.expandPool.Get().(*heapx.Heap[medEntry])
+	q, ok := s.expandPool.Get().(*heapx.Buckets[medEntry])
 	if !ok {
-		h = heapx.New(lessMedEntry)
+		q = heapx.NewBuckets[medEntry]()
 	}
 	defer func() {
-		h.Clear()
-		s.expandPool.Put(h)
+		q.Reset()
+		s.expandPool.Put(q)
 	}()
+	inv := s.invDelta
 	for _, sd := range seeds {
-		h.Push(medEntry{node: int32(sd.Node), med: sd.Med, dist: sd.Dist})
+		q.Push(int(sd.Dist*inv), medEntry{node: int32(sd.Node), med: sd.Med, dist: sd.Dist})
 	}
 	ticks := 0
-	for !h.Empty() {
-		b := h.Pop()
-		if b.dist >= dist[b.node] {
-			continue
-		}
-		if err := cancelCheck(ctx, &ticks); err != nil {
-			return c, err
-		}
-		med[b.node] = b.med
-		dist[b.node] = b.dist
-		c.Settled++
-		row, end := s.rowOff[b.node], s.rowOff[b.node+1]
-		c.Edges += int(end - row)
-		for i := row; i < end; i++ {
-			nd := b.dist + s.adjW[i]
-			v := s.adjNode[i]
-			if nd >= dist[v] {
-				continue
+	for !q.Empty() {
+		bkt := q.Skip()
+		// Drain the bucket to exhaustion: relaxations may re-file into it
+		// (zero-length hops, tie-improving pushes at the same distance).
+		for {
+			batch := q.Drain(bkt)
+			if batch == nil {
+				break
 			}
-			h.Push(medEntry{node: v, med: b.med, dist: nd})
-			c.Pushes++
+			for _, b := range batch {
+				if b.dist > dist[b.node] || (b.dist == dist[b.node] && b.med >= med[b.node]) {
+					continue
+				}
+				if err := cancelCheck(ctx, &ticks); err != nil {
+					q.Recycle(batch)
+					return c, err
+				}
+				med[b.node] = b.med
+				dist[b.node] = b.dist
+				c.Settled++
+				row, end := s.rowOff[b.node], s.rowOff[b.node+1]
+				c.Edges += int(end - row)
+				for i := row; i < end; i++ {
+					nd := b.dist + s.adjW[i]
+					v := s.adjNode[i]
+					if nd > dist[v] || (nd == dist[v] && b.med >= med[v]) {
+						continue
+					}
+					q.Push(int(nd*inv), medEntry{node: v, med: b.med, dist: nd})
+					c.Pushes++
+				}
+			}
+			q.Recycle(batch)
 		}
 	}
 	return c, nil

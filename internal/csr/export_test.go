@@ -1,0 +1,15 @@
+package csr
+
+import (
+	"context"
+
+	"netclus/internal/network"
+)
+
+// RangeParallelUncapped exposes the frontier-split expansion without the
+// public API's GOMAXPROCS cap, so the external test package can drive the
+// parallel machinery at any worker count regardless of the host's
+// processor count.
+func (s *Snapshot) RangeParallelUncapped(ctx context.Context, p network.PointID, eps float64, workers int) ([]network.PointDist, error) {
+	return s.rangeParallel(ctx, p, eps, workers, nil)
+}

@@ -47,3 +47,55 @@ func FuzzRangeEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzKNNBatch derives a query mix from the fuzz input and checks the
+// batched SoA sweep answers every query exactly like a lone KNNCtx call —
+// the batch's locality reordering and slot storage must be invisible in the
+// results.
+func FuzzKNNBatch(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3))
+	f.Add(int64(7), uint8(16), uint8(1))
+	f.Add(int64(42), uint8(255), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, mix uint8, workers uint8) {
+		g, err := testnet.Random(seed%64, 25, 60)
+		if err != nil {
+			t.Skip()
+		}
+		sn, err := csr.Compile(g)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		ctx := context.Background()
+		b := sn.NewKNNBatch()
+		n := int(mix)%24 + 1
+		type q struct {
+			p network.PointID
+			k int
+		}
+		qs := make([]q, 0, n)
+		for i := 0; i < n; i++ {
+			// Query points stride over the network; k cycles through small,
+			// mid and beyond-point-count values.
+			p := network.PointID((i*int(mix+1) + int(seed&7)) % g.NumPoints())
+			k := 1 + (i*int(mix)+int(seed&15))%(g.NumPoints()+3)
+			qs = append(qs, q{p, k})
+			b.Add(p, k)
+		}
+		if err := b.Run(ctx, int(workers)%5+1); err != nil {
+			t.Fatal(err)
+		}
+		for i, query := range qs {
+			want, err := sn.KNNCtx(ctx, query.p, query.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Err(i); err != nil {
+				t.Fatalf("query %d (p=%d k=%d): batch error %v", i, query.p, query.k, err)
+			}
+			got := b.Results(i)
+			if !reflect.DeepEqual(append([]network.PointDist{}, want...), append([]network.PointDist{}, got...)) {
+				t.Fatalf("query %d (p=%d k=%d):\nwant %v\ngot  %v", i, query.p, query.k, want, got)
+			}
+		}
+	})
+}

@@ -35,6 +35,7 @@ type Scratch struct {
 	heap      *heapx.Heap4[entry]
 	result    []network.PointID
 	resultD   []network.PointDist
+	knnS      []network.PointDist // kNN candidate set backing array
 
 	// The filter-and-refine path delegates to a generic RangeScratch over
 	// the snapshot (lazily created), keeping the Bounder contract and its

@@ -59,3 +59,41 @@ func TestEpochWrapAround(t *testing.T) {
 		}
 	}
 }
+
+// TestKNNEpochWrap drives the kNN kernel across the stamp wrap: the offer
+// dedup reuses the per-point epoch stamps, so a stale stamp surviving the
+// wrap would silently reject a candidate's first offer as a repeat.
+func TestKNNEpochWrap(t *testing.T) {
+	ctx := context.Background()
+	g, err := testnet.Random(3, 30, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sn.newScratch()
+	fresh := sn.newScratch()
+	sc.epoch = math.MaxInt32 - 3
+	const k = 12
+	for q := 0; q < 8; q++ {
+		p := network.PointID((q * 5) % sn.NumPoints())
+		got := make([]network.PointDist, k)
+		n, err := sc.knnInto(ctx, p, k, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]network.PointDist, k)
+		m, err := fresh.knnInto(ctx, p, k, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want[:m], got[:n]) {
+			t.Fatalf("query %d (epoch %d): wrapped scratch diverged\nwant %v\ngot  %v", q, sc.epoch, want[:m], got[:n])
+		}
+	}
+	if sc.epoch >= math.MaxInt32-3 || sc.epoch < 1 {
+		t.Fatalf("epoch did not wrap: %d", sc.epoch)
+	}
+}

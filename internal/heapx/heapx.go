@@ -189,6 +189,114 @@ func (h *Heap4[T]) down(i int) {
 	}
 }
 
+// Buckets is a monotone bucket priority queue — the Δ-stepping frontier of
+// the CSR multi-source expansion kernel. Elements are filed under an integer
+// bucket index (typically floor(dist/Δ)); the consumer drains buckets in
+// ascending index order and may push into the current or any later bucket
+// while draining (pushing below the cursor files into the current bucket, so
+// no element is ever lost to a rounding edge case). Unlike a comparison heap
+// it imposes NO order within a bucket: it is only usable by algorithms whose
+// result is independent of the processing order — label-correcting
+// expansions that converge to an order-free fixpoint, like the lexicographic
+// (dist, sourceRank, nodeID) nearest-medoid expansion (see DESIGN.md §10).
+//
+// Bucket indices are clamped to maxBuckets; everything at or beyond the cap
+// lands in the last bucket, which then holds mixed priorities. That degrades
+// the processing order, never correctness, and only triggers on pathological
+// weight distributions (max distance / Δ beyond a million).
+//
+// The zero value is not usable; construct with NewBuckets. Drained backing
+// arrays are recycled internally, so a reused Buckets reaches zero
+// steady-state allocation.
+type Buckets[T any] struct {
+	b    [][]T
+	free [][]T
+	cur  int
+	n    int
+}
+
+// maxBuckets caps the bucket span; see the type comment.
+const maxBuckets = 1 << 20
+
+// NewBuckets returns an empty monotone bucket queue.
+func NewBuckets[T any]() *Buckets[T] {
+	return &Buckets[T]{}
+}
+
+// Len reports the number of queued elements.
+func (q *Buckets[T]) Len() int { return q.n }
+
+// Empty reports whether no elements are queued.
+func (q *Buckets[T]) Empty() bool { return q.n == 0 }
+
+// Reset empties the queue and rewinds the cursor, keeping every backing
+// array for reuse.
+func (q *Buckets[T]) Reset() {
+	for i := range q.b {
+		if q.b[i] != nil {
+			q.free = append(q.free, q.b[i][:0])
+			q.b[i] = nil
+		}
+	}
+	q.cur, q.n = 0, 0
+}
+
+// Push files x under bucket i. Indices below the cursor are clamped up to it
+// and indices at or beyond maxBuckets down to the last bucket.
+func (q *Buckets[T]) Push(i int, x T) {
+	if i < q.cur {
+		i = q.cur
+	}
+	if i >= maxBuckets {
+		i = maxBuckets - 1
+	}
+	for i >= len(q.b) {
+		q.b = append(q.b, nil)
+	}
+	if q.b[i] == nil {
+		if n := len(q.free); n > 0 {
+			q.b[i] = q.free[n-1]
+			q.free = q.free[:n-1]
+		}
+	}
+	q.b[i] = append(q.b[i], x)
+	q.n++
+}
+
+// Skip advances the cursor to the next non-empty bucket and returns its
+// index. It panics on an empty queue.
+func (q *Buckets[T]) Skip() int {
+	if q.n == 0 {
+		panic("heapx: Skip on empty Buckets")
+	}
+	for len(q.b[q.cur]) == 0 {
+		q.cur++
+	}
+	return q.cur
+}
+
+// Drain detaches and returns the contents of bucket i, nil when the bucket
+// is empty. The caller owns the slice until handing it back via Recycle;
+// meanwhile Push may file new elements into the same bucket.
+func (q *Buckets[T]) Drain(i int) []T {
+	if i >= len(q.b) || len(q.b[i]) == 0 {
+		return nil
+	}
+	out := q.b[i]
+	q.b[i] = nil
+	q.n -= len(out)
+	return out
+}
+
+// Recycle hands a drained slice's backing array back for reuse.
+func (q *Buckets[T]) Recycle(s []T) {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	q.free = append(q.free, s[:0])
+}
+
 // IndexedHeap is a min-heap of (key int, priority float64) pairs supporting
 // DecreaseKey in O(log n). Keys must be in [0, n) where n is the capacity
 // passed to NewIndexed. It is the classic structure backing a textbook

@@ -198,3 +198,85 @@ func TestHeap4InterleavedMatchesBinary(t *testing.T) {
 		t.Fatal("Clear/Push/Peek broken")
 	}
 }
+
+// TestBucketsDrainsAscending checks the Δ-stepping contract: elements come
+// out grouped by non-decreasing bucket index, every pushed element exactly
+// once, including same-bucket pushes made while draining.
+func TestBucketsDrainsAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewBuckets[int]()
+	for trial := 0; trial < 50; trial++ {
+		q.Reset()
+		n := rng.Intn(200)
+		pushed := make(map[int]int) // value -> bucket
+		for v := 0; v < n; v++ {
+			bkt := rng.Intn(20)
+			pushed[v] = bkt
+			q.Push(bkt, v)
+		}
+		seen := make(map[int]bool)
+		last := -1
+		for !q.Empty() {
+			i := q.Skip()
+			if i < last {
+				t.Fatalf("cursor went backwards: %d after %d", i, last)
+			}
+			last = i
+			for {
+				batch := q.Drain(i)
+				if batch == nil {
+					break
+				}
+				for _, v := range batch {
+					if seen[v] {
+						t.Fatalf("value %d drained twice", v)
+					}
+					seen[v] = true
+					if want := pushed[v]; want != i && !(want < i) {
+						t.Fatalf("value %d pushed to %d, drained from %d", v, want, i)
+					}
+					// Same-bucket re-push while draining must surface in a
+					// later drain of the same bucket, not vanish.
+					if v < n && rng.Intn(8) == 0 {
+						nv := n + v
+						if !seen[nv] && pushed[nv] == 0 {
+							pushed[nv] = i
+							q.Push(i, nv)
+						}
+					}
+				}
+				q.Recycle(batch)
+			}
+		}
+		for v, bkt := range pushed {
+			if bkt != 0 && !seen[v] {
+				t.Fatalf("value %d (bucket %d) never drained", v, bkt)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("Len = %d after full drain", q.Len())
+		}
+	}
+}
+
+// TestBucketsClampsBelowCursor verifies that pushing under the cursor files
+// into the current bucket instead of losing the element.
+func TestBucketsClampsBelowCursor(t *testing.T) {
+	q := NewBuckets[string]()
+	q.Push(5, "a")
+	if got := q.Skip(); got != 5 {
+		t.Fatalf("Skip = %d, want 5", got)
+	}
+	q.Recycle(q.Drain(5))
+	q.Push(2, "late") // below the cursor: must land at 5, not 2
+	if q.Empty() {
+		t.Fatal("element lost")
+	}
+	if got := q.Skip(); got != 5 {
+		t.Fatalf("clamped Skip = %d, want 5", got)
+	}
+	batch := q.Drain(5)
+	if len(batch) != 1 || batch[0] != "late" {
+		t.Fatalf("Drain = %v", batch)
+	}
+}

@@ -73,13 +73,54 @@ type ExpandCounts struct {
 }
 
 // NearestExpander is implemented by Graphs with a native multi-source
-// nearest-medoid expansion. ExpandNearest must behave exactly like the
-// paper's Concurrent_Expansion seeded by pushing seeds in order onto a
-// binary lazy-deletion heap: med/dist (indexed by node) are updated in
-// place, an entry is accepted when its distance strictly improves dist, and
-// neighbours are pushed unless already at least as close. Implementations
-// must preserve binary-heap tie order so the winning medoid of equidistant
-// nodes matches the generic path bit for bit.
+// nearest-medoid expansion kernel. ExpandNearest updates med/dist (indexed
+// by node) in place so that, merged with whatever assignment the arrays
+// held on entry, every node ends at the lexicographic-minimum
+// (dist, sourceRank) reachable from the seeds — i.e. its final distance is
+// the shortest over all seeds and retained values, and at exact distance
+// ties the smallest medoid slot index wins.
+//
+// That (dist, sourceRank, nodeID) tie-break key is the whole contract: the
+// fixpoint it names is unique and independent of the priority-queue
+// discipline or processing order (DESIGN.md §10 gives the argument), so an
+// implementation is free to use Δ-stepping buckets, a 4-ary heap or any
+// other label-correcting schedule. The generic expansion resolves ties the
+// same way, which is what makes kernel and generic labels bit-identical —
+// by construction, not by replaying each other's heap order.
 type NearestExpander interface {
 	ExpandNearest(ctx context.Context, seeds []MedoidSeed, med []int32, dist []float64) (ExpandCounts, error)
+}
+
+// MedoidAssigner is implemented by Graphs with a native point-assignment
+// scan (Equation 1): given the node assignment produced by a nearest-medoid
+// expansion, AssignNearest labels every point with its nearest medoid slot
+// (Noise when unreachable) and returns the evaluation function
+// R = Σ d(p, m_p) plus the number of point groups scanned. The scan must
+// replicate the generic core.AssignPoints arithmetic and comparison order
+// expression for expression, so labels and R are bit-identical.
+type MedoidAssigner interface {
+	AssignNearest(medoids []PointInfo, med []int32, dist []float64, labels []int32) (r float64, groupsRead int)
+}
+
+// DeltaAssigner is implemented by Graphs whose assignment scan can be
+// restricted to the part of the network a medoid swap actually touched. A
+// group's per-point minimization reads only the (med, dist) entries of its
+// two endpoint nodes and the set of medoids on its own edge, so a group
+// whose endpoints carry the same (med, dist) as under the previous
+// assignment — and that is in neither extraGroups entry (the edges that
+// lost and gained the swapped medoid) — would rescan to exactly the labels
+// and subtotal it already has.
+//
+// AssignNearestDelta therefore keeps labels and sub (the per-group partial
+// sums of R, in point order within the group) from the previous assignment
+// for clean groups and rescans only the dirty ones. R is returned as the
+// sum of all group subtotals in ascending group order — the association
+// core.AssignPoints uses — so the value is bit-identical to a full rescan
+// whether a group was recomputed or carried over. prevMed == nil marks
+// every group dirty (the initial full assignment, which seeds sub).
+type DeltaAssigner interface {
+	MedoidAssigner
+	AssignNearestDelta(medoids []PointInfo, med []int32, dist []float64,
+		prevMed []int32, prevDist []float64, extraGroups []GroupID,
+		labels []int32, sub []float64) (r float64, groupsRescanned int)
 }

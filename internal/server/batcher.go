@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"netclus"
+)
+
+// knnWaiter is one admitted kNN request parked on the batcher: the drain
+// goroutine fills res/err and closes done.
+type knnWaiter struct {
+	p    netclus.PointID
+	k    int
+	res  []netclus.PointDist
+	err  error
+	done chan struct{}
+}
+
+// knnBatcher coalesces concurrent kNN requests against one hot dataset into
+// KNNBatch sweeps. Requests that arrive while a sweep is running accumulate
+// and form the next sweep, so under load the batch size adapts to the
+// arrival rate — one request degenerates to a batch of one, a burst becomes
+// a single cache-friendly pass over the CSR arrays in point-locality order.
+// Admission still happens per request in the handler; the batcher only
+// changes how admitted requests are executed.
+type knnBatcher struct {
+	sn      *netclus.Snapshot
+	m       *Metrics
+	timeout time.Duration // detached-sweep budget (the server's MaxTimeout)
+
+	mu       sync.Mutex
+	pending  []*knnWaiter
+	draining bool
+	kb       *netclus.KNNBatch // owned by the single drain goroutine
+}
+
+func newKNNBatcher(sn *netclus.Snapshot, timeout time.Duration, m *Metrics) *knnBatcher {
+	return &knnBatcher{sn: sn, m: m, timeout: timeout, kb: sn.NewKNNBatch()}
+}
+
+// Submit parks one kNN query on the batcher and waits for its sweep. The
+// request context only bounds the wait: the sweep itself runs on a detached
+// context (capped by the server's maximum timeout), so one client giving up
+// never cancels the batch mates that are still waiting.
+func (b *knnBatcher) Submit(ctx context.Context, p netclus.PointID, k int) ([]netclus.PointDist, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := &knnWaiter{p: p, k: k, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, w)
+	if !b.draining {
+		b.draining = true
+		go b.drain()
+	}
+	b.mu.Unlock()
+	select {
+	case <-w.done:
+		return w.res, w.err
+	case <-ctx.Done():
+		// The sweep finishes without us and discards the slot.
+		return nil, ctx.Err()
+	}
+}
+
+// drain runs sweeps until no request is pending. At most one drain goroutine
+// exists per batcher — Submit only spawns one while draining is unset, and
+// the flag clears under the lock that also proves pending is empty — so kb
+// is effectively single-owner.
+func (b *knnBatcher) drain() {
+	for {
+		b.mu.Lock()
+		batch := b.pending
+		b.pending = nil
+		if len(batch) == 0 {
+			b.draining = false
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+
+		ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
+		b.kb.Reset()
+		for _, w := range batch {
+			b.kb.Add(w.p, w.k)
+		}
+		workers := len(batch)
+		if workers > 4 {
+			workers = 4
+		}
+		err := b.kb.Run(ctx, workers)
+		for i, w := range batch {
+			switch {
+			case err != nil:
+				w.err = err
+			case b.kb.Err(i) != nil:
+				w.err = b.kb.Err(i)
+			default:
+				// Copy out: the batch's storage is reused by the next sweep
+				// while handlers may still be reading their slices.
+				res := b.kb.Results(i)
+				w.res = make([]netclus.PointDist, len(res))
+				copy(w.res, res)
+			}
+			close(w.done)
+		}
+		cancel()
+		if b.m != nil {
+			b.m.ObserveKNNBatch(len(batch))
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"netclus"
+	"netclus/internal/server/api"
+)
+
+// newHotServer serves one hot (CSR-compiled) in-memory dataset, the
+// configuration the kNN batcher activates on.
+func newHotServer(t *testing.T, cfg Config) (*Server, *netclus.Network) {
+	t.Helper()
+	n := testNetwork(t)
+	reg := NewRegistry()
+	hot, err := NewNetworkDataset("hot", "test", n, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(hot); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, n
+}
+
+// TestKNNBatcherMatchesEngine hammers the kNN endpoint of a hot dataset with
+// concurrent distinct requests — all cache misses, so every one runs through
+// the batcher — and checks each response against the direct engine answer,
+// and that the sweeps actually coalesced.
+func TestKNNBatcherMatchesEngine(t *testing.T) {
+	// Queue deep enough that all 80 concurrent requests are admitted — the
+	// subject here is the batcher, not load shedding.
+	s, n := newHotServer(t, Config{Capacity: 16, MaxQueue: 256})
+	h := s.Handler()
+
+	want := make(map[int][]netclus.PointDist)
+	for p := 0; p < 80; p++ {
+		res, err := netclus.KNearestNeighbors(n, netclus.PointID(p), 1+p%7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = res
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 80)
+	for p := 0; p < 80; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			url := fmt.Sprintf("/v1/hot/knn?p=%d&k=%d&prune=0", p, 1+p%7)
+			var resp api.KNNResponse
+			req := httptest.NewRequest(http.MethodGet, url, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errs[p] = fmt.Errorf("GET %s: code %d body %s", url, rec.Code, rec.Body)
+				return
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				errs[p] = err
+				return
+			}
+			got := make([]netclus.PointDist, len(resp.Results))
+			for i, pd := range resp.Results {
+				got[i] = netclus.PointDist{Point: pd.Point, Dist: pd.Dist}
+			}
+			if !reflect.DeepEqual(want[p], got) {
+				errs[p] = fmt.Errorf("p=%d: batched response diverged from engine\nwant %v\ngot  %v", p, want[p], got)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batches, reqs := s.Metrics().KNNBatchCounts()
+	if reqs != 80 {
+		t.Fatalf("batched requests = %d, want 80 (every miss should route through the batcher)", reqs)
+	}
+	if batches < 1 || batches > 80 {
+		t.Fatalf("batches = %d, want within [1, 80]", batches)
+	}
+
+	// A bad point must come back as this request's 404, not poison its
+	// batch mates (the concurrent loop above already proves the latter).
+	getJSON(t, h, "/v1/hot/knn?p=99999&k=3&prune=0", http.StatusNotFound, nil)
+	getJSON(t, h, "/v1/hot/knn?p=1&k=0&prune=0", http.StatusBadRequest, nil)
+}

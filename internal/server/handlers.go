@@ -228,6 +228,10 @@ func (s *Server) computeKNN(ctx context.Context, d *Dataset, epoch int64, req ap
 		res, err = netclus.KNearestNeighborsPrunedCtx(ctx, view, d.bounds, req.Point, req.K, &ps)
 		d.addPrune(ps)
 		pruned = true
+	} else if d.knnb != nil {
+		// Hot dataset, unpruned: coalesce with concurrent kNN requests into
+		// one batched SoA sweep. Answers are identical to the direct call.
+		res, err = d.knnb.Submit(ctx, req.Point, req.K)
 	} else {
 		res, err = netclus.KNearestNeighborsCtx(ctx, view, req.Point, req.K)
 	}

@@ -21,6 +21,11 @@ type Metrics struct {
 
 	panics   atomic.Int64
 	inflight atomic.Int64
+
+	// kNN batching: sweeps executed and requests answered through them. The
+	// ratio is the realized batch size under the current load.
+	knnBatches     atomic.Int64
+	knnBatchedReqs atomic.Int64
 }
 
 type reqKey struct {
@@ -86,6 +91,17 @@ func (m *Metrics) Observe(endpoint, dataset string, code int, d time.Duration) {
 // Panicked records a request handler panic.
 func (m *Metrics) Panicked() { m.panics.Add(1) }
 
+// ObserveKNNBatch records one executed kNN sweep answering n requests.
+func (m *Metrics) ObserveKNNBatch(n int) {
+	m.knnBatches.Add(1)
+	m.knnBatchedReqs.Add(int64(n))
+}
+
+// KNNBatchCounts returns sweeps executed and requests batched, for tests.
+func (m *Metrics) KNNBatchCounts() (batches, requests int64) {
+	return m.knnBatches.Load(), m.knnBatchedReqs.Load()
+}
+
 // Panics returns the panic count.
 func (m *Metrics) Panics() int64 { return m.panics.Load() }
 
@@ -118,6 +134,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, adm *Admission, reg *Registry, ca
 	fmt.Fprintf(w, "# HELP netclusd_panics_total Request handlers recovered from a panic.\n")
 	fmt.Fprintf(w, "# TYPE netclusd_panics_total counter\n")
 	fmt.Fprintf(w, "netclusd_panics_total %d\n", m.panics.Load())
+	fmt.Fprintf(w, "# HELP netclusd_knn_batches_total Batched kNN sweeps executed on hot datasets.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_knn_batches_total counter\n")
+	fmt.Fprintf(w, "netclusd_knn_batches_total %d\n", m.knnBatches.Load())
+	fmt.Fprintf(w, "# HELP netclusd_knn_batched_requests_total kNN requests answered through a batched sweep.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_knn_batched_requests_total counter\n")
+	fmt.Fprintf(w, "netclusd_knn_batched_requests_total %d\n", m.knnBatchedReqs.Load())
 
 	if adm != nil {
 		s := adm.Stats()

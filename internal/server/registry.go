@@ -42,6 +42,7 @@ type Dataset struct {
 	store  *netclus.Store    // nil for in-memory datasets
 	hot    *netclus.Snapshot // compiled CSR replica; nil unless requested
 	bounds *netclus.Bounds
+	knnb   *knnBatcher // coalesces kNN requests on hot datasets; wired by New
 
 	// base is the store counter snapshot taken at registration, so /metrics
 	// reports deltas attributable to serving rather than to dataset load.

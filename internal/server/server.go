@@ -121,6 +121,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResultCacheBytes > 0 {
 		s.cache = NewResultCache(cfg.ResultCacheBytes)
 	}
+	// Hot datasets get a kNN batcher: concurrent admitted requests coalesce
+	// into one SoA sweep over the CSR arrays instead of N independent
+	// traversals. Cold datasets keep the per-request path — the batch kernel
+	// only exists on snapshots.
+	for _, d := range cfg.Registry.List() {
+		if d.hot != nil {
+			d.knnb = newKNNBatcher(d.hot, cfg.MaxTimeout, s.metrics)
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.instrumented("healthz", "", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrumented("metrics", "", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/datasets", s.instrumented("datasets", "", s.handleDatasets))

@@ -178,6 +178,14 @@ type Snapshot = csr.Snapshot
 // resident bytes.
 type CSRStats = csr.Stats
 
+// KNNBatch is a reusable multi-query kNN runner over one Snapshot in
+// structure-of-arrays layout: queries accumulate via Add, Run answers them
+// all in one cache-friendly sweep (optionally fanned across workers), and
+// Results hands each answer back without copying. Obtain one with
+// Snapshot.NewKNNBatch; every query is answered exactly like a lone
+// KNearestNeighbors call.
+type KNNBatch = csr.KNNBatch
+
 // Compile builds a Snapshot from any Graph (typically an in-memory
 // Network). The source is not retained; node coordinates are carried over
 // when the source has them, so Euclidean bounds (BuildBounds) keep working
