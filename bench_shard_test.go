@@ -1,0 +1,330 @@
+// BenchmarkShardSuite records the scatter-gather serving trajectory into
+// BENCH_shard.json: ε-range, kNN and DBSCAN over sharded sets of 1/2/4/8
+// shards, scored against the sequential single-snapshot kernel. Run it with
+//
+//	go test -run '^$' -bench ShardSuite -benchtime 1x .
+//
+// for a smoke pass (CI does) or with a larger -benchtime for stable numbers.
+// Every sharded result is asserted byte-identical to the snapshot kernel
+// before timing, so the perf harness doubles as an end-to-end stitching
+// equivalence check.
+//
+// Speedup model: this suite usually runs on a single-core CI host, where
+// wall-clock can never show fan-out parallelism. The executor therefore
+// tracks a modeled critical path — the coordinator's own (serial) stitch
+// time plus, per scatter round, the SLOWEST shard's work of that round: the
+// cost with one core per shard. Range and DBSCAN queries book that per
+// query (speedup_vs_1shard); the kNN op is one KNNBatchCtx call over the
+// whole probe set, whose booked critical path is the slowest shard's probe
+// group plus the escalated queries' own critical paths (see its doc).
+// batch_crit_ns_per_op is the batched-serving pipeline bound — serial
+// coordinator total plus busiest-shard busy total over the probe stream —
+// the regime netclusd actually serves, and what the gate scores for range.
+// Every speedup divides wall(1 shard) by the modeled cost; wall_ns_per_op
+// keeps the realized single-core cost visible. All per-op numbers are means
+// over the timed iterations (the counters accumulate across a run).
+package netclus_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"netclus"
+)
+
+type shardOpEntry struct {
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+	CritNsPerOp float64 `json:"crit_ns_per_op"`
+	RoundsPerOp float64 `json:"rounds_per_op"`
+	FanoutPerOp float64 `json:"fanout_per_op"`
+	// SpeedupVs1Shard = wall_ns_per_op(1 shard) / crit_ns_per_op(this K).
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard,omitempty"`
+	// BatchCritNsPerOp is the batched-serving pipeline bound per query: the
+	// coordinator's serial stitch total plus the busiest shard's busy total,
+	// divided by the query count — the cost per query of streaming the whole
+	// probe set through one coordinator and K shard servers. BatchSpeedup
+	// compares it against the 1-shard wall.
+	BatchCritNsPerOp     float64 `json:"batch_crit_ns_per_op,omitempty"`
+	BatchSpeedupVs1Shard float64 `json:"batch_speedup_vs_1shard,omitempty"`
+	Iters                int     `json:"iters"`
+}
+
+type shardKEntry struct {
+	CutEdges      int           `json:"cut_edges"`
+	CutPoints     int           `json:"cut_points"`
+	BoundaryNodes int           `json:"boundary_nodes"`
+	ResidentBytes int64         `json:"resident_bytes"`
+	Range         *shardOpEntry `json:"range,omitempty"`
+	KNN           *shardOpEntry `json:"knn,omitempty"`
+	DBSCAN        *shardOpEntry `json:"dbscan,omitempty"`
+}
+
+type shardGate struct {
+	RangeSpeedup4Shard float64 `json:"range_speedup_4shard"`
+	KNNSpeedup4Shard   float64 `json:"knn_speedup_4shard"`
+}
+
+type benchShardReport struct {
+	GoVersion    string                  `json:"go_version"`
+	GOMAXPROCS   int                     `json:"gomaxprocs"`
+	Scale        float64                 `json:"scale"`
+	Nodes        int                     `json:"nodes"`
+	Edges        int                     `json:"edges"`
+	Points       int                     `json:"points"`
+	Eps          float64                 `json:"eps"`
+	K            int                     `json:"knn_k"`
+	SpeedupModel string                  `json:"speedup_model"`
+	Shards       map[string]*shardKEntry `json:"shards"`
+	Gate         shardGate               `json:"gate"`
+}
+
+// countersDelta subtracts two Counters reads field by field, including the
+// per-shard busy sums the batch pipeline bound needs.
+func countersDelta(after, before netclus.ShardedSetCounters) netclus.ShardedSetCounters {
+	d := netclus.ShardedSetCounters{
+		Queries: after.Queries - before.Queries,
+		Rounds:  after.Rounds - before.Rounds,
+		Fanout:  after.Fanout - before.Fanout,
+		CritNs:  after.CritNs - before.CritNs,
+		WallNs:  after.WallNs - before.WallNs,
+	}
+	for i := range after.PerShard {
+		s := after.PerShard[i]
+		s.LocalRuns -= before.PerShard[i].LocalRuns
+		s.BusyNs -= before.PerShard[i].BusyNs
+		d.PerShard = append(d.PerShard, s)
+	}
+	return d
+}
+
+func perOp(delta netclus.ShardedSetCounters, iters int) *shardOpEntry {
+	q := float64(delta.Queries)
+	if q == 0 {
+		return &shardOpEntry{Iters: iters}
+	}
+	var busySum, busyMax int64
+	for _, s := range delta.PerShard {
+		busySum += s.BusyNs
+		if s.BusyNs > busyMax {
+			busyMax = s.BusyNs
+		}
+	}
+	return &shardOpEntry{
+		WallNsPerOp:      float64(delta.WallNs) / q,
+		CritNsPerOp:      float64(delta.CritNs) / q,
+		RoundsPerOp:      float64(delta.Rounds) / q,
+		FanoutPerOp:      float64(delta.Fanout) / q,
+		BatchCritNsPerOp: float64(delta.WallNs-busySum+busyMax) / q,
+		Iters:            iters,
+	}
+}
+
+func BenchmarkShardSuite(b *testing.B) {
+	ctx := context.Background()
+	scale := benchScale()
+	g, gen, err := netclus.RoadDataset("TG", scale, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sn, err := netclus.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Each operator is benchmarked in the regime where scatter-gather pays
+	// off. Range: the radius is a large multiple of the generator's cluster
+	// ε, so the Dijkstra frontier crosses cut edges and the per-shard
+	// kernels split the region between them (narrow queries stay
+	// single-shard, fanout_per_op ~1, and gain nothing). kNN: the paper's
+	// small-k point-query regime served through KNNBatchCtx, where home-
+	// shard routing answers almost every probe with one local kernel run
+	// and the shards work their probe groups in parallel. The report keeps
+	// both knobs in its header so the regime is explicit.
+	eps := gen.Eps() * 384
+	knnK := 16
+	shardCounts := []int{1, 2, 4, 8}
+	sets := map[int]*netclus.ShardedSet{}
+	for _, k := range shardCounts {
+		if sets[k], err = netclus.PartitionNetwork(g, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	probes := make([]netclus.PointID, 96)
+	for i := range probes {
+		probes[i] = netclus.PointID(rng.Intn(g.NumPoints()))
+	}
+	// kNN probes are cheap per query, so a larger set keeps the measurement
+	// out of timer-noise territory and spreads home-shard routing evenly.
+	kprobes := make([]netclus.PointID, 512)
+	for i := range kprobes {
+		kprobes[i] = netclus.PointID(rng.Intn(g.NumPoints()))
+	}
+
+	// Byte-identity of every sharded operator against the snapshot kernel
+	// before any timing.
+	ref := sn.NewRangeScratch()
+	wantDB, err := netclus.DBSCANCtx(ctx, sn, netclus.DBSCANOptions{Eps: gen.Eps(), MinPts: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range shardCounts {
+		set := sets[k]
+		q := netclus.ScratchFor(set)
+		for _, p := range probes[:32] {
+			want, err := ref.RangeQueryDistCtx(ctx, sn, p, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := q.RangeQueryDistCtx(ctx, set, p, eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !reflect.DeepEqual(append([]netclus.PointDist{}, want...), append([]netclus.PointDist{}, got...)) {
+				b.Fatalf("shards=%d p=%d: range differs from snapshot kernel", k, p)
+			}
+		}
+		gotK, err := set.KNNBatchCtx(ctx, kprobes, knnK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, p := range kprobes {
+			wantK, err := sn.KNNCtx(ctx, p, knnK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantK, gotK[i]) {
+				b.Fatalf("shards=%d p=%d: batch kNN differs from snapshot kernel", k, p)
+			}
+		}
+		db, err := netclus.DBSCANCtx(ctx, set, netclus.DBSCANOptions{Eps: gen.Eps(), MinPts: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantDB.Labels, db.Labels) {
+			b.Fatalf("shards=%d: DBSCAN labels differ from snapshot kernel", k)
+		}
+	}
+
+	report := benchShardReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Points:     g.NumPoints(),
+		Eps:        eps,
+		K:          knnK,
+		SpeedupModel: "crit-path: speedup_vs_1shard = wall_ns_per_op(1 shard) / crit_ns_per_op(K shards), " +
+			"where the critical path is the coordinator's serial stitch time plus the slowest shard's " +
+			"work of each scatter round — the cost with one core per shard. range/dbscan book this per " +
+			"query; knn is one KNNBatchCtx call over 512 probes (home-shard routing, slowest probe " +
+			"group + escalated queries on the critical path). batch_crit_ns_per_op is the batched-" +
+			"serving pipeline bound (serial coordinator total + busiest-shard busy total); the gate " +
+			"scores range on it and knn on its booked batch critical path. wall_ns_per_op is the " +
+			"realized cost under the recorded gomaxprocs; per-op numbers are means over the timed run.",
+		Shards: map[string]*shardKEntry{},
+	}
+	for _, k := range shardCounts {
+		st := sets[k].Stats()
+		report.Shards[itoa(k)] = &shardKEntry{
+			CutEdges: st.CutEdges, CutPoints: st.CutPoints,
+			BoundaryNodes: st.BoundaryNodes, ResidentBytes: st.ResidentBytes,
+		}
+	}
+	b.Cleanup(func() {
+		one := report.Shards["1"]
+		if one == nil || one.Range == nil {
+			return // partial -bench run: nothing to score, keep the old report
+		}
+		for _, k := range shardCounts {
+			e := report.Shards[itoa(k)]
+			for base, op := range map[*shardOpEntry]*shardOpEntry{
+				one.Range: e.Range, one.KNN: e.KNN, one.DBSCAN: e.DBSCAN,
+			} {
+				if base == nil || op == nil {
+					continue
+				}
+				if op.CritNsPerOp > 0 {
+					op.SpeedupVs1Shard = base.WallNsPerOp / op.CritNsPerOp
+				}
+				if op.BatchCritNsPerOp > 0 {
+					op.BatchSpeedupVs1Shard = base.WallNsPerOp / op.BatchCritNsPerOp
+				}
+			}
+		}
+		// The gate scores the batched-serving regime netclusd actually runs:
+		// range through the pipeline bound over the probe stream, kNN through
+		// KNNBatchCtx's booked critical path (already a batch model).
+		four := report.Shards["4"]
+		if four.Range != nil && four.KNN != nil {
+			report.Gate = shardGate{
+				RangeSpeedup4Shard: four.Range.BatchSpeedupVs1Shard,
+				KNNSpeedup4Shard:   four.KNN.SpeedupVs1Shard,
+			}
+		}
+		writeBenchReport(b, "BENCH_shard.json", report)
+	})
+
+	for _, k := range shardCounts {
+		k := k
+		set := sets[k]
+		entry := report.Shards[itoa(k)]
+		b.Run("shards="+itoa(k)+"/knn", func(b *testing.B) {
+			runtime.GC()
+			before := set.Counters()
+			minIter(b, func() {
+				if _, err := set.KNNBatchCtx(ctx, kprobes, knnK); err != nil {
+					b.Fatal(err)
+				}
+			})
+			entry.KNN = perOp(countersDelta(set.Counters(), before), b.N)
+		})
+		b.Run("shards="+itoa(k)+"/range", func(b *testing.B) {
+			runtime.GC()
+			q := netclus.ScratchFor(set)
+			before := set.Counters()
+			minIter(b, func() {
+				for _, p := range probes {
+					if _, err := q.RangeQueryDistCtx(ctx, set, p, eps); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			entry.Range = perOp(countersDelta(set.Counters(), before), b.N)
+		})
+		b.Run("shards="+itoa(k)+"/dbscan", func(b *testing.B) {
+			// DBSCAN's per-op is one full clustering run: wall is measured
+			// directly, and the modeled critical path replaces only the
+			// scatter-gather share of it (wall - Σ query wall + Σ query crit);
+			// the algorithm's own serial work stays serial in the model.
+			runtime.GC()
+			before := set.Counters()
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := netclus.DBSCANCtx(ctx, set, netclus.DBSCANOptions{Eps: gen.Eps(), MinPts: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wallNs := float64(time.Since(t0).Nanoseconds()) / float64(b.N)
+			b.StopTimer()
+			d := countersDelta(set.Counters(), before)
+			entry.DBSCAN = &shardOpEntry{
+				WallNsPerOp: wallNs,
+				CritNsPerOp: wallNs - float64(d.WallNs-d.CritNs)/float64(b.N),
+				RoundsPerOp: float64(d.Rounds) / float64(b.N),
+				FanoutPerOp: float64(d.Fanout) / float64(b.N),
+				Iters:       b.N,
+			}
+		})
+	}
+}
+
+func itoa(k int) string {
+	return map[int]string{1: "1", 2: "2", 4: "4", 8: "8"}[k]
+}

@@ -3,7 +3,8 @@
 //
 // Each benchmark wraps the corresponding internal/exp experiment at a
 // benchmark-friendly scale; set NETCLUS_SCALE (relative to the paper's
-// dataset sizes, e.g. 0.0625 or 1) to change it. For the formatted tables
+// dataset sizes, e.g. 0.0625, 1, or up to 16 for order-of-magnitude
+// oversize runs) to change it. For the formatted tables
 // run `go run ./cmd/experiments`; for the paper-vs-measured comparison see
 // EXPERIMENTS.md.
 package netclus_test
@@ -24,7 +25,7 @@ import (
 // fast default.
 func benchScale() float64 {
 	if s := os.Getenv("NETCLUS_SCALE"); s != "" {
-		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= netclus.MaxRoadScale {
 			return v
 		}
 	}

@@ -162,7 +162,7 @@ func saveNetwork(n *netclus.Network, prefix string, withPoints bool) error {
 func genNetwork(args []string) error {
 	fs := flag.NewFlagSet("gen-network", flag.ExitOnError)
 	name := fs.String("name", "OL", "road network stand-in: NA, SF, TG, OL, or 'grid'")
-	scale := fs.Float64("scale", 0.1, "scale relative to the paper's network size")
+	scale := fs.Float64("scale", 0.1, "scale relative to the paper's network size (up to 16)")
 	rows := fs.Int("rows", 50, "grid rows (with -name grid)")
 	cols := fs.Int("cols", 50, "grid cols (with -name grid)")
 	extra := fs.Int("extra", 500, "extra non-tree edges (with -name grid)")

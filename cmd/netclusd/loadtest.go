@@ -55,6 +55,7 @@ type ltSummary struct {
 	Workers     int                        `json:"workers"`
 	Seed        int64                      `json:"seed"`
 	Zipf        float64                    `json:"zipf"`
+	Scale       float64                    `json:"scale,omitempty"`
 	DurationS   float64                    `json:"duration_s"`
 	Requests    int                        `json:"requests"`
 	Errors      int                        `json:"errors"`
@@ -258,6 +259,7 @@ type ltConfig struct {
 	k        int
 	seed     int64
 	zipf     float64 // 0 = uniform, > 1 = zipf skew exponent
+	scale    float64 // dataset scale, recorded in the report only
 	run      int     // substream index: 0 primary leg, 1 the -compare leg
 }
 
@@ -307,6 +309,7 @@ func runLoadtest(client *http.Client, cfg ltConfig) ltSummary {
 	sum := summarize(cfg.target, cfg.dataset, cfg.workers, time.Since(start), samples)
 	sum.Seed = cfg.seed
 	sum.Zipf = cfg.zipf
+	sum.Scale = cfg.scale
 	if hasCache {
 		if _, rc, err := datasetProbe(client, cfg.target, cfg.dataset); err == nil && rc != nil {
 			delta := api.ResultCacheStats{
@@ -338,6 +341,7 @@ func loadtest(args []string) error {
 	k := fs.Int("k", 8, "k for kNN requests")
 	seed := fs.Int64("seed", 1, "random seed")
 	zipf := fs.Float64("zipf", 0, "zipf skew exponent over points, eps ranks and the mix (0 = uniform; else must be > 1)")
+	scaleFlag := fs.Float64("scale", 0, "dataset scale factor, recorded verbatim in the report header")
 	out := fs.String("out", "", "write the JSON summary to this file")
 	compare := fs.String("compare", "",
 		"drive the same mix against this second dataset (e.g. the hot replica or a nocache twin) and report deltas")
@@ -363,6 +367,7 @@ func loadtest(args []string) error {
 	cfg := ltConfig{
 		target: base, dataset: *dataset, points: points, workers: *workers,
 		duration: *duration, mix: mix, eps: *eps, k: *k, seed: *seed, zipf: *zipf,
+		scale: *scaleFlag,
 	}
 	sum := runLoadtest(client, cfg)
 	printSummary(sum)

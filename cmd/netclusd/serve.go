@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -19,13 +20,20 @@ import (
 	"netclus/internal/server"
 )
 
-// dataSpec is one -data name=path[,hot][,nocache] flag. nocache exempts the
-// dataset from the result cache — registering the same data twice, once plain
-// and once nocache, gives loadtest a cached/uncached A/B pair in one process.
+// dataSpec is one -data name=path[,hot][,nocache][,shards=K][,save=DIR]
+// flag. nocache exempts the dataset from the result cache — registering the
+// same data twice, once plain and once nocache, gives loadtest a
+// cached/uncached A/B pair in one process. shards=K serves the dataset as a
+// K-way scatter-gather set; save=DIR persists the compiled form (a sharded
+// set directory, or a snapshot file for hot datasets) and warm-starts from
+// it on later boots with zero store reads. path may also point directly at a
+// saved snapshot file or sharded-set directory.
 type dataSpec struct {
 	name, path string
 	hot        bool
 	nocache    bool
+	shards     int
+	save       string
 }
 
 // dataFlags collects repeated -data flags.
@@ -41,6 +49,12 @@ func (d *dataFlags) String() string {
 		if s.nocache {
 			parts[i] += ",nocache"
 		}
+		if s.shards > 0 {
+			parts[i] += fmt.Sprintf(",shards=%d", s.shards)
+		}
+		if s.save != "" {
+			parts[i] += ",save=" + s.save
+		}
 	}
 	return strings.Join(parts, " ")
 }
@@ -48,23 +62,38 @@ func (d *dataFlags) String() string {
 func (d *dataFlags) Set(v string) error {
 	name, rest, ok := strings.Cut(v, "=")
 	if !ok || name == "" || rest == "" {
-		return fmt.Errorf("want name=path[,hot][,nocache], got %q", v)
+		return fmt.Errorf("want name=path[,hot][,nocache][,shards=K][,save=DIR], got %q", v)
 	}
 	spec := dataSpec{name: name}
 	spec.path, rest, _ = strings.Cut(rest, ",")
 	if spec.path == "" {
-		return fmt.Errorf("want name=path[,hot][,nocache], got %q", v)
+		return fmt.Errorf("want name=path[,hot][,nocache][,shards=K][,save=DIR], got %q", v)
 	}
 	for _, opt := range strings.Split(rest, ",") {
-		switch opt {
+		key, val, _ := strings.Cut(opt, "=")
+		switch key {
 		case "":
 		case "hot":
 			spec.hot = true
 		case "nocache":
 			spec.nocache = true
+		case "shards":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 1 {
+				return fmt.Errorf("bad shards=%q in %q (want a positive integer)", val, v)
+			}
+			spec.shards = k
+		case "save":
+			if val == "" {
+				return fmt.Errorf("save= needs a path in %q", v)
+			}
+			spec.save = val
 		default:
-			return fmt.Errorf("unknown dataset option %q in %q (want hot or nocache)", opt, v)
+			return fmt.Errorf("unknown dataset option %q in %q (want hot, nocache, shards=K or save=DIR)", opt, v)
 		}
+	}
+	if spec.hot && spec.shards > 0 {
+		return fmt.Errorf("hot and shards=K are mutually exclusive in %q", v)
 	}
 	*d = append(*d, spec)
 	return nil
@@ -77,25 +106,122 @@ func isStoreDir(path string) bool {
 	return err == nil && st.Mode().IsRegular()
 }
 
+// loadGraph loads the spec's backing graph: an open store for store
+// directories (the caller closes it via the returned func) or an in-memory
+// network for text-file prefixes.
+func loadGraph(spec dataSpec, bufKB int) (netclus.Graph, func(), error) {
+	if isStoreDir(spec.path) {
+		st, err := netclus.OpenStore(spec.path, netclus.StoreOptions{BufferBytes: bufKB * 1024})
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, func() { st.Close() }, nil
+	}
+	n, err := netclus.LoadNetworkFiles(spec.path, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, func() {}, nil
+}
+
+// loadShardedDataset resolves the scatter-gather form of a spec. A saved set
+// directory — the path itself, or an earlier boot's save= target — reopens
+// with zero store reads; otherwise the backing graph is loaded, partitioned
+// into spec.shards connected subnetworks, and optionally persisted for the
+// next boot.
+func loadShardedDataset(spec dataSpec, bufKB int, logger *log.Logger) (*server.Dataset, error) {
+	for _, dir := range []string{spec.path, spec.save} {
+		if dir == "" || !netclus.IsShardedSetDir(dir) {
+			continue
+		}
+		set, err := netclus.OpenShardedSet(dir)
+		if err != nil {
+			return nil, err
+		}
+		if spec.shards > 0 && set.Stats().Shards != spec.shards {
+			return nil, fmt.Errorf("saved set %s has %d shards, spec wants %d", dir, set.Stats().Shards, spec.shards)
+		}
+		logger.Printf("dataset %s: warm start from %s (%d shards, zero store reads)",
+			spec.name, dir, set.Stats().Shards)
+		return server.NewShardedDataset(spec.name, dir, set)
+	}
+	if spec.shards < 1 {
+		return nil, fmt.Errorf("%s is not a saved sharded set and no shards=K was given", spec.path)
+	}
+	g, closeGraph, err := loadGraph(spec, bufKB)
+	if err != nil {
+		return nil, err
+	}
+	defer closeGraph()
+	set, err := netclus.PartitionNetwork(g, spec.shards)
+	if err != nil {
+		return nil, err
+	}
+	if spec.save != "" {
+		if err := netclus.SaveShardedSet(set, spec.save); err != nil {
+			return nil, fmt.Errorf("saving sharded set to %s: %w", spec.save, err)
+		}
+		logger.Printf("dataset %s: sharded set saved to %s", spec.name, spec.save)
+	}
+	return server.NewShardedDataset(spec.name, spec.path, set)
+}
+
+// loadDataset resolves one -data spec, picking the serving form: sharded
+// scatter-gather, a durable snapshot file (direct or via save=), a disk
+// store, or in-memory network files.
+func loadDataset(spec dataSpec, bufKB, landmarks int, logger *log.Logger) (*server.Dataset, error) {
+	if spec.shards > 0 || netclus.IsShardedSetDir(spec.path) {
+		return loadShardedDataset(spec, bufKB, logger)
+	}
+	for _, path := range []string{spec.path, spec.save} {
+		if path == "" || !netclus.IsSnapshotFile(path) {
+			continue
+		}
+		sn, err := netclus.OpenSnapshot(path)
+		if err != nil {
+			return nil, err
+		}
+		logger.Printf("dataset %s: warm start from snapshot %s (zero store reads)", spec.name, path)
+		return server.NewSnapshotDataset(spec.name, path, sn, landmarks)
+	}
+	var (
+		d   *server.Dataset
+		err error
+	)
+	if isStoreDir(spec.path) {
+		opts := netclus.StoreOptions{BufferBytes: bufKB * 1024}
+		d, err = server.NewStoreDataset(spec.name, spec.path, opts, landmarks, spec.hot)
+	} else {
+		var n *netclus.Network
+		if n, err = netclus.LoadNetworkFiles(spec.path, true); err == nil {
+			d, err = server.NewNetworkDataset(spec.name, spec.path, n, landmarks, spec.hot)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if spec.save != "" {
+		sn := d.HotSnapshot()
+		if sn == nil {
+			d.Close()
+			return nil, fmt.Errorf("save=%s needs hot (or shards=K) to have a compiled form to persist", spec.save)
+		}
+		if err := netclus.WriteSnapshotFile(sn, spec.save); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("saving snapshot to %s: %w", spec.save, err)
+		}
+		logger.Printf("dataset %s: snapshot saved to %s", spec.name, spec.save)
+	}
+	return d, nil
+}
+
 // buildRegistry loads every -data spec into a registry, closing already
 // loaded datasets on failure.
 func buildRegistry(specs []dataSpec, bufKB, landmarks int, logger *log.Logger) (*server.Registry, error) {
 	reg := server.NewRegistry()
 	for _, spec := range specs {
-		var (
-			d   *server.Dataset
-			err error
-		)
 		start := time.Now()
-		if isStoreDir(spec.path) {
-			opts := netclus.StoreOptions{BufferBytes: bufKB * 1024}
-			d, err = server.NewStoreDataset(spec.name, spec.path, opts, landmarks, spec.hot)
-		} else {
-			var n *netclus.Network
-			if n, err = netclus.LoadNetworkFiles(spec.path, true); err == nil {
-				d, err = server.NewNetworkDataset(spec.name, spec.path, n, landmarks, spec.hot)
-			}
-		}
+		d, err := loadDataset(spec, bufKB, landmarks, logger)
 		if err != nil {
 			reg.Close()
 			return nil, fmt.Errorf("dataset %s: %w", spec.name, err)

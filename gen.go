@@ -23,6 +23,10 @@ const OutlierTag = datagen.OutlierTag
 // Roads lists the paper's four evaluation networks (NA, SF, TG, OL).
 var Roads = datagen.Roads
 
+// MaxRoadScale caps RoadNetwork / RoadDataset scaling: up to 16x the
+// paper's dataset sizes for stress and sharding runs.
+const MaxRoadScale = datagen.MaxScale
+
 // DefaultClusterConfig returns the paper's standard workload shape.
 func DefaultClusterConfig(n, k int, sInit float64) ClusterConfig {
 	return datagen.DefaultClusterConfig(n, k, sInit)

@@ -42,6 +42,15 @@ type Scratch struct {
 	// counters unchanged.
 	bounder network.Bounder
 	pruned  *network.RangeScratch
+
+	// Seeded-kernel state (see seeded.go): the boundary-node watch mask and
+	// per-round settle list of the sharded executor, plus the persistent
+	// candidate set of resumable kNN rounds.
+	watch   []bool
+	watched []int32
+	seedO   offers
+	seedS   []network.PointDist
+	seedCap float64
 }
 
 var _ network.RangeQuerier = (*Scratch)(nil)

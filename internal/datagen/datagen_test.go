@@ -234,8 +234,11 @@ func TestRoadNetworksDeterministicAndSized(t *testing.T) {
 	if _, err := RoadNetwork("OL", 0); err == nil {
 		t.Fatal("want error for scale 0")
 	}
-	if _, err := RoadNetwork("OL", 2); err == nil {
-		t.Fatal("want error for scale > 1")
+	if _, err := RoadNetwork("OL", 2); err != nil {
+		t.Fatalf("scale 2 (above the paper's size) must work: %v", err)
+	}
+	if _, err := RoadNetwork("OL", MaxScale+1); err == nil {
+		t.Fatal("want error for scale > MaxScale")
 	}
 }
 

@@ -41,19 +41,26 @@ func RoadSpecByName(name string) (RoadSpec, error) {
 	return RoadSpec{}, fmt.Errorf("datagen: unknown road network %q (want NA, SF, TG or OL)", name)
 }
 
+// MaxScale caps RoadNetwork / RoadDataset scaling at 16× the paper's
+// dataset sizes — room for stress and sharding runs an order of magnitude
+// past the original evaluation while keeping generation tractable.
+const MaxScale = 16.0
+
 // RoadNetwork builds the synthetic stand-in for one of the paper's road
 // networks at the given scale (1.0 = the paper's size; benchmarks default to
-// a smaller scale so CI stays fast). The stand-in matches the original's
-// node count, edge/node ratio, connectivity and Euclidean edge weights; see
-// DESIGN.md's substitution table for why this preserves the experiments'
-// behaviour. The result is deterministic per (name, scale).
+// a smaller scale so CI stays fast, and scales up to MaxScale grow the
+// network past the paper's for stress and sharding runs). The stand-in
+// matches the original's node count, edge/node ratio, connectivity and
+// Euclidean edge weights; see DESIGN.md's substitution table for why this
+// preserves the experiments' behaviour. The result is deterministic per
+// (name, scale).
 func RoadNetwork(name string, scale float64) (*network.Network, error) {
 	spec, err := RoadSpecByName(name)
 	if err != nil {
 		return nil, err
 	}
-	if scale <= 0 || scale > 1 {
-		return nil, fmt.Errorf("datagen: scale %v outside (0,1]", scale)
+	if scale <= 0 || scale > MaxScale {
+		return nil, fmt.Errorf("datagen: scale %v outside (0,%v]", scale, MaxScale)
 	}
 	wantNodes := int(float64(spec.Nodes) * scale)
 	if wantNodes < 64 {

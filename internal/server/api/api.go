@@ -433,6 +433,15 @@ type DatasetInfo struct {
 	CSR         *netclus.CSRStats   `json:"csr,omitempty"`
 	Prune       netclus.PruneStats  `json:"prune"`
 	ResultCache *ResultCacheStats   `json:"result_cache,omitempty"`
+
+	// Sharded-dataset fields (absent for unsharded datasets — additive, so
+	// the golden contract above is untouched). Shards is the shard count;
+	// ShardSet describes the partition (cut edges, boundary nodes, per-shard
+	// sizes); ShardServe is the scatter-gather telemetry (rounds, fan-out,
+	// wall and modeled critical-path time, per-shard kernel runs).
+	Shards     int                         `json:"shards,omitempty"`
+	ShardSet   *netclus.ShardedSetStats    `json:"shard_set,omitempty"`
+	ShardServe *netclus.ShardedSetCounters `json:"shard_serve,omitempty"`
 }
 
 // DatasetsResponse is the /v1/datasets payload.

@@ -405,6 +405,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			rc := d.ResultCacheStats()
 			info.ResultCache = &rc
 		}
+		if sh := d.Sharded(); sh != nil {
+			st, ct := sh.Stats(), sh.Counters()
+			info.Shards = st.Shards
+			info.ShardSet = &st
+			info.ShardServe = &ct
+		}
 		out = append(out, info)
 	}
 	resp := api.DatasetsResponse{Datasets: out}

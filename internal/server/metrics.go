@@ -294,9 +294,40 @@ func writeDatasetMetrics(w io.Writer, reg *Registry) {
 			fmt.Fprintf(w, "netclusd_csr_resident_bytes{dataset=%q} %d\n", d.Name, cs.ResidentBytes)
 		}
 	}
+	fmt.Fprintf(w, "# HELP netclusd_dataset_shards Shard count of scatter-gather datasets (0 = unsharded).\n")
+	fmt.Fprintf(w, "# TYPE netclusd_dataset_shards gauge\n")
+	for _, d := range reg.List() {
+		shards := 0
+		if sh := d.Sharded(); sh != nil {
+			shards = sh.Stats().Shards
+		}
+		fmt.Fprintf(w, "netclusd_dataset_shards{dataset=%q} %d\n", d.Name, shards)
+	}
+	fmt.Fprintf(w, "# HELP netclusd_shard_resident_bytes Bytes held by one shard's CSR snapshot and cut tables.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_shard_resident_bytes gauge\n")
+	for _, d := range reg.List() {
+		if sh := d.Sharded(); sh != nil {
+			for i, ss := range sh.Stats().PerShard {
+				fmt.Fprintf(w, "netclusd_shard_resident_bytes{dataset=%q,shard=\"%d\"} %d\n", d.Name, i, ss.ResidentBytes)
+			}
+		}
+	}
 	for _, d := range reg.List() {
 		ds := fmt.Sprintf("dataset=%q", d.Name)
 		add("netclusd_dataset_queries_total", ds, d.Queries())
+		if sh := d.Sharded(); sh != nil {
+			ct := sh.Counters()
+			add("netclusd_shard_queries_total", ds, ct.Queries)
+			add("netclusd_shard_rounds_total", ds, ct.Rounds)
+			add("netclusd_shard_fanout_total", ds, ct.Fanout)
+			add("netclusd_shard_wall_ns_total", ds, ct.WallNs)
+			add("netclusd_shard_crit_ns_total", ds, ct.CritNs)
+			for i, sc := range ct.PerShard {
+				sl := fmt.Sprintf("%s,shard=\"%d\"", ds, i)
+				add("netclusd_shard_local_runs_total", sl, sc.LocalRuns)
+				add("netclusd_shard_busy_ns_total", sl, sc.BusyNs)
+			}
+		}
 		if ss, ok := d.StoreStats(); ok {
 			add("netclusd_store_logical_reads_total", ds, ss.Buffer.LogicalReads)
 			add("netclusd_store_physical_reads_total", ds, ss.Buffer.PhysicalReads)

@@ -38,11 +38,12 @@ type Dataset struct {
 	// mutation, which invalidates result-cache entries by key mismatch.
 	epoch atomic.Int64
 
-	graph  netclus.Graph
-	store  *netclus.Store    // nil for in-memory datasets
-	hot    *netclus.Snapshot // compiled CSR replica; nil unless requested
-	bounds *netclus.Bounds
-	knnb   *knnBatcher // coalesces kNN requests on hot datasets; wired by New
+	graph   netclus.Graph
+	store   *netclus.Store      // nil for in-memory datasets
+	hot     *netclus.Snapshot   // compiled CSR replica; nil unless requested
+	sharded *netclus.ShardedSet // scatter-gather set; nil for unsharded datasets
+	bounds  *netclus.Bounds
+	knnb    *knnBatcher // coalesces kNN requests on hot datasets; wired by New
 
 	// base is the store counter snapshot taken at registration, so /metrics
 	// reports deltas attributable to serving rather than to dataset load.
@@ -130,6 +131,44 @@ func NewNetworkDataset(name, source string, n *netclus.Network, landmarks int, h
 	}
 	return d, nil
 }
+
+// NewSnapshotDataset serves a durable CSR snapshot file directly: the
+// decoded snapshot is the graph and the hot replica at once, so the dataset
+// boots warm with zero store or network-file reads. Kind is "snapshot".
+func NewSnapshotDataset(name, path string, sn *netclus.Snapshot, landmarks int) (*Dataset, error) {
+	d := &Dataset{
+		Name: name, Kind: "snapshot", Source: path,
+		graph: sn, hot: sn,
+		nodes: sn.NumNodes(), edges: sn.NumEdges(), points: sn.NumPoints(),
+	}
+	d.epoch.Store(1)
+	if err := d.buildBounds(landmarks); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NewShardedDataset serves the scatter-gather form of a partitioned network:
+// range, kNN and clustering queries fan out across the per-shard CSR
+// snapshots and stitch exact answers over the cut edges, byte-identical to a
+// single-snapshot dataset over the same network. Kind is "sharded". Pruning
+// bounds are not built — the scatter-gather executor is the query path.
+func NewShardedDataset(name, source string, set *netclus.ShardedSet) (*Dataset, error) {
+	d := &Dataset{
+		Name: name, Kind: "sharded", Source: source,
+		graph: set, sharded: set,
+		nodes: set.NumNodes(), edges: set.NumEdges(), points: set.NumPoints(),
+	}
+	d.epoch.Store(1)
+	return d, nil
+}
+
+// Sharded returns the dataset's scatter-gather set, nil when unsharded.
+func (d *Dataset) Sharded() *netclus.ShardedSet { return d.sharded }
+
+// HotSnapshot returns the compiled CSR replica, nil when the dataset is not
+// hot — the handle the serve command persists with WriteSnapshotFile.
+func (d *Dataset) HotSnapshot() *netclus.Snapshot { return d.hot }
 
 func (d *Dataset) buildBounds(landmarks int) error {
 	if landmarks <= 0 {

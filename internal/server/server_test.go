@@ -325,13 +325,39 @@ func TestServeAdmissionSheds(t *testing.T) {
 }
 
 func TestServeDeadline(t *testing.T) {
-	s := newTestServer(t, Config{})
+	// The deadline must flow into the engine and come back as 504. The
+	// standard fixture's 400-point clustering job can finish inside a 1ms
+	// budget on a fast host, so this test serves a dedicated larger network
+	// whose unpruned whole-network DBSCAN reliably outlives the deadline.
+	rng := rand.New(rand.NewSource(7))
+	base, err := netclus.GridNetwork(50, 50, 10, 2, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netclus.GenerateUniform(base, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewNetworkDataset("big", "test", n, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Add(big); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
 	h := s.Handler()
-	// A 1ms budget cannot finish an unpruned whole-network clustering job
-	// (400 full range expansions); the deadline must flow into the engine
-	// and come back as 504.
 	req := httptest.NewRequest(http.MethodGet,
-		"/v1/mem/cluster?algo=dbscan&eps=1e9&minpts=3&prune=0&timeout_ms=1", nil)
+		"/v1/big/cluster?algo=dbscan&eps=1e9&minpts=3&prune=0&timeout_ms=1", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusGatewayTimeout {

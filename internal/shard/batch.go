@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netclus/internal/network"
+)
+
+// escState carries what phase one learned about an escalated probe: its
+// local top-k mapped to global IDs (exact in-shard distances, so valid
+// best-so-far candidate offers) and the watched boundary nodes it settled,
+// in settle order, whose cut edges phase two still has to relax.
+type escState struct {
+	offs []network.PointDist
+	bnd  []network.Seed // Node is a global node ID, Dist its local distance
+}
+
+// KNNBatchCtx answers a batch of k-nearest-neighbour queries through the
+// scatter-gather executor, the sharded twin of csr.KNNBatch. Each answer is
+// byte-identical to a lone KNNCtx call (and so to the single-snapshot
+// kernel), but the batch exploits that home-shard routing makes most
+// queries single-shard work:
+//
+//   - a scatter round hands every shard its home probes; the shard answers
+//     each with an unbounded local kernel run and keeps the result whenever
+//     the proof below shows no other shard can contribute;
+//   - probes that fail the proof escalate, but none of the home work is
+//     repeated: the local candidates and settled boundary distances carry
+//     over, and the cross-shard rounds replay from them exactly like a
+//     cut-group query (no shard owes an unconditional first run). Cut-group
+//     probes, which have no home shard, take the plain per-query path.
+//
+// Locality proof: the local kernel settles every node within its final
+// local bound (the k-th best local distance), so if no watched boundary
+// node settled at a distance ≤ that bound, every path leaving the shard is
+// strictly longer than the bound and no external point (cut-group points
+// included: both endpoints of their edge are unreachable boundary nodes)
+// can enter the top k, ties included. Fewer than k local results leave the
+// bound at +Inf, so any boundary contact escalates. Escalation replay is
+// sound because carried distances are exact along in-shard paths — upper
+// bounds on the true distances — and the rounds relax them to the same
+// least fixpoint the per-query path reaches; home points missing from the
+// carried top-k can only matter via a shorter cross-shard route, which
+// re-enters the home shard as a boundary seed and re-offers them.
+//
+// The batch books one query per probe; its critical-path share is the
+// serial coordinator time, plus the slowest shard's whole probe group in
+// the scatter round, plus the escalated queries' own critical paths (those
+// serialize on the coordinator).
+func (set *Set) KNNBatchCtx(ctx context.Context, ps []network.PointID, k int) ([][]network.PointDist, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k-NN needs k >= 1, got %d", network.ErrInvalidOptions, k)
+	}
+	for _, p := range ps {
+		if p < 0 || int(p) >= len(set.ptPos) {
+			return nil, fmt.Errorf("%w: %d", network.ErrPointRange, p)
+		}
+	}
+	out := make([][]network.PointDist, len(ps))
+	if len(ps) == 0 {
+		return out, nil
+	}
+	q := set.acquireQuerier()
+	defer set.releaseQuerier(q)
+	t0 := time.Now()
+	if q.batchGroups == nil {
+		q.batchGroups = make([][]int32, set.k)
+	}
+	for s := range q.batchGroups {
+		q.batchGroups[s] = q.batchGroups[s][:0]
+	}
+	for i, p := range ps {
+		if s := set.pointShard[p]; s >= 0 {
+			q.batchGroups[s] = append(q.batchGroups[s], int32(i))
+		}
+		// Cut-group probes keep out[i] == nil and esc[i] == nil: they take
+		// the per-query path below.
+	}
+	esc := make([]*escState, len(ps))
+	q.newEpoch()
+	q.runList = q.runList[:0]
+	for s := 0; s < set.k; s++ {
+		if len(q.batchGroups[s]) > 0 {
+			q.runList = append(q.runList, int32(s))
+		}
+	}
+	err := q.runShards(ctx, func(s int) error {
+		sc := q.scratch(s)
+		pg := set.pointGlobal[s]
+		ng := set.nodeGlobal[s]
+		for _, i := range q.batchGroups[s] {
+			lp := network.PointID(set.pointLocal[ps[i]])
+			if err := sc.SeededKNN(ctx, lp, nil, k, network.Inf, false); err != nil {
+				return err
+			}
+			offs := sc.KNNOffers()
+			bound := network.Inf
+			if len(offs) == k {
+				bound = offs[len(offs)-1].Dist
+			}
+			st := (*escState)(nil)
+			for _, lu := range sc.Settled() {
+				d, ok := sc.NodeDist(lu)
+				if !ok || d > bound {
+					continue
+				}
+				if st == nil {
+					st = &escState{}
+				}
+				st.bnd = append(st.bnd, network.Seed{Node: network.NodeID(ng[lu]), Dist: d})
+			}
+			res := make([]network.PointDist, len(offs))
+			for j, e := range offs {
+				res[j] = network.PointDist{Point: network.PointID(pg[e.Point]), Dist: e.Dist}
+			}
+			if st != nil {
+				st.offs = res
+				esc[i] = st
+				continue
+			}
+			out[i] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ph1Crit, ph1Total := q.critRunNs, q.totalRunNs
+	var escCrit, escTotal int64
+	for i, res := range out {
+		if res != nil {
+			continue
+		}
+		p := ps[i]
+		if st := esc[i]; st != nil {
+			q.newEpoch()
+			q.gOff = goffers{p: p, k: k, s: q.gOffS[:0], q: q}
+			for _, e := range st.offs {
+				q.gOff.offer(e.Point, e.Dist)
+			}
+			bnd := q.gOff.bound()
+			for _, sd := range st.bnd {
+				gu, du := int32(sd.Node), sd.Dist
+				if du >= q.rlxGet(gu) {
+					continue
+				}
+				q.rlx[gu], q.rlxEp[gu] = du, q.epoch
+				if du > bnd {
+					continue
+				}
+				q.relaxKNNBoundary(gu, du)
+				bnd = q.gOff.bound()
+			}
+			if err := q.knnRounds(ctx, -1, p, k); err != nil {
+				return nil, err
+			}
+		} else if err := q.runKNN(ctx, p, k); err != nil {
+			return nil, err
+		}
+		full := make([]network.PointDist, len(q.gOff.s))
+		copy(full, q.gOff.s)
+		out[i] = full
+		escCrit += q.critRunNs
+		escTotal += q.totalRunNs
+	}
+	wall := time.Since(t0).Nanoseconds()
+	nonKernel := wall - ph1Total - escTotal
+	if nonKernel < 0 {
+		nonKernel = 0
+	}
+	set.critNs.Add(nonKernel + ph1Crit + escCrit)
+	set.wallNs.Add(wall)
+	set.queries.Add(int64(len(ps)))
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"netclus/internal/network"
+)
+
+// expandState is the pooled per-call state of the distributed nearest-medoid
+// expansion: per-shard label arrays, pending relay seeds, and the boundary
+// snapshots change detection compares against.
+type expandState struct {
+	lmed    [][]int32
+	ldist   [][]float64
+	pend    [][]network.MedoidSeed
+	prevM   [][]int32 // boundary labels before a round, indexed by bList slot
+	prevD   [][]float64
+	runList []int32
+}
+
+func newExpandState(set *Set) *expandState {
+	st := &expandState{
+		lmed:  make([][]int32, set.k),
+		ldist: make([][]float64, set.k),
+		pend:  make([][]network.MedoidSeed, set.k),
+		prevM: make([][]int32, set.k),
+		prevD: make([][]float64, set.k),
+	}
+	for s := 0; s < set.k; s++ {
+		st.lmed[s] = make([]int32, len(set.nodeGlobal[s]))
+		st.ldist[s] = make([]float64, len(set.nodeGlobal[s]))
+		st.prevM[s] = make([]int32, len(set.bList[s]))
+		st.prevD[s] = make([]float64, len(set.bList[s]))
+	}
+	return st
+}
+
+// ExpandNearest runs the multi-source nearest-medoid expansion across the
+// shards, satisfying network.NearestExpander over global node IDs. Each
+// round, shards with pending seeds run their own Δ-stepping kernel; boundary
+// nodes whose (dist, medoid) label lexicographically improved relay across
+// the cut edges as seeds for the neighbouring shard, until no relay remains.
+// The (dist, sourceRank, nodeID) fixpoint of the contract is unique and
+// schedule-independent, so the merged labels equal the single-snapshot
+// kernel's exactly. Labels retained from entry act as thresholds only and
+// are never relayed, matching the kernel's accepted-entries-only pushes.
+func (set *Set) ExpandNearest(ctx context.Context, seeds []network.MedoidSeed, med []int32, dist []float64) (network.ExpandCounts, error) {
+	var counts network.ExpandCounts
+	st := set.expandPool.Get().(*expandState)
+	defer set.expandPool.Put(st)
+
+	for n, s := range set.nodeShard {
+		ln := set.nodeLocal[n]
+		st.lmed[s][ln] = med[n]
+		st.ldist[s][ln] = dist[n]
+	}
+	for s := range st.pend {
+		st.pend[s] = st.pend[s][:0]
+	}
+	for _, sd := range seeds {
+		if sd.Node < 0 || int(sd.Node) >= len(set.nodeShard) {
+			return counts, fmt.Errorf("%w: seed node %d", network.ErrNodeRange, sd.Node)
+		}
+		s := set.nodeShard[sd.Node]
+		st.pend[s] = append(st.pend[s], network.MedoidSeed{
+			Node: network.NodeID(set.nodeLocal[sd.Node]), Med: sd.Med, Dist: sd.Dist,
+		})
+	}
+
+	for {
+		st.runList = st.runList[:0]
+		for s := 0; s < set.k; s++ {
+			if len(st.pend[s]) > 0 {
+				st.runList = append(st.runList, int32(s))
+			}
+		}
+		if len(st.runList) == 0 {
+			break
+		}
+		for _, s := range st.runList {
+			for idx, ln := range set.bList[s] {
+				st.prevM[s][idx] = st.lmed[s][ln]
+				st.prevD[s][idx] = st.ldist[s][ln]
+			}
+		}
+		roundCounts := make([]network.ExpandCounts, len(st.runList))
+		roundErrs := make([]error, len(st.runList))
+		if set.workers > 1 && len(st.runList) > 1 {
+			sem := make(chan struct{}, set.workers)
+			var wg sync.WaitGroup
+			for i, s := range st.runList {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int, s int32) {
+					defer wg.Done()
+					roundCounts[i], roundErrs[i] = set.shards[s].ExpandNearest(ctx, st.pend[s], st.lmed[s], st.ldist[s])
+					st.pend[s] = st.pend[s][:0]
+					<-sem
+				}(i, int32(s))
+			}
+			wg.Wait()
+		} else {
+			for i, s := range st.runList {
+				roundCounts[i], roundErrs[i] = set.shards[s].ExpandNearest(ctx, st.pend[s], st.lmed[s], st.ldist[s])
+				st.pend[s] = st.pend[s][:0]
+			}
+		}
+		for i, err := range roundErrs {
+			c := roundCounts[i]
+			counts.Settled += c.Settled
+			counts.Pushes += c.Pushes
+			counts.Edges += c.Edges
+			if err != nil {
+				return counts, err
+			}
+		}
+		// Relay lexicographic improvements of boundary labels across the cut
+		// edges, with the kernel's own push gate.
+		for _, s := range st.runList {
+			for idx, ln := range set.bList[s] {
+				d, m := st.ldist[s][ln], st.lmed[s][ln]
+				if d > st.prevD[s][idx] || (d == st.prevD[s][idx] && m >= st.prevM[s][idx]) {
+					continue // not an improvement
+				}
+				gu := set.nodeGlobal[s][ln]
+				for i := set.cutOff[gu]; i < set.cutOff[gu+1]; i++ {
+					ce := &set.cutEdges[set.cutAdj[i]]
+					gv := int32(ce.U)
+					if gv == gu {
+						gv = int32(ce.V)
+					}
+					nd := d + ce.Weight
+					sv, lv := set.nodeShard[gv], set.nodeLocal[gv]
+					if nd > st.ldist[sv][lv] || (nd == st.ldist[sv][lv] && m >= st.lmed[sv][lv]) {
+						continue
+					}
+					st.pend[sv] = append(st.pend[sv], network.MedoidSeed{
+						Node: network.NodeID(lv), Med: m, Dist: nd,
+					})
+					counts.Pushes++
+				}
+			}
+		}
+	}
+
+	for n, s := range set.nodeShard {
+		ln := set.nodeLocal[n]
+		med[n] = st.lmed[s][ln]
+		dist[n] = st.ldist[s][ln]
+	}
+	return counts, nil
+}
+
+// groupMedoid pairs a medoid slot with the group it lies on, the same
+// structure the csr assignment kernel sorts by.
+type groupMedoid struct {
+	gid  int32
+	slot int32
+}
+
+// sortMedoidsByGroup insertion-sorts the medoid slots by group ID (slots
+// ascending at ties), replicating the kernel's helper so the same-edge scan
+// order — and therefore every tie-break — matches it exactly.
+func sortMedoidsByGroup(medoids []network.PointInfo, buf []groupMedoid) []groupMedoid {
+	byGroup := buf
+	for slot := range medoids {
+		gm := groupMedoid{gid: int32(medoids[slot].Group), slot: int32(slot)}
+		byGroup = append(byGroup, gm)
+		for j := len(byGroup) - 1; j > 0 && byGroup[j-1].gid > gm.gid; j-- {
+			byGroup[j] = byGroup[j-1]
+			byGroup[j-1] = gm
+		}
+	}
+	return byGroup
+}
+
+// AssignNearest labels every point with its nearest medoid slot given the
+// node assignment, satisfying network.MedoidAssigner. It is the csr
+// assignment scan ported onto the Set's global tables — same merge-join,
+// same per-point minimization and comparison order — so labels and R are
+// bit-identical to the single-snapshot kernel over the global med/dist
+// arrays the distributed expansion produced.
+func (set *Set) AssignNearest(medoids []network.PointInfo, med []int32, dist []float64, labels []int32) (r float64, groupsRead int) {
+	var stack [32]groupMedoid
+	byGroup := sortMedoidsByGroup(medoids, stack[:0])
+	gi := 0
+	for g := range set.groups {
+		lo := gi
+		for gi < len(byGroup) && byGroup[gi].gid == int32(g) {
+			gi++
+		}
+		r += set.scanGroup(int32(g), medoids, byGroup[lo:gi], med, dist, labels)
+	}
+	return r, len(set.groups)
+}
+
+// scanGroup is the per-group minimization of Equation 1, expression for
+// expression the csr kernel's.
+func (set *Set) scanGroup(g int32, medoids []network.PointInfo, same []groupMedoid, med []int32, dist []float64, labels []int32) float64 {
+	pg := &set.groups[g]
+	d1, m1 := dist[pg.N1], med[pg.N1]
+	d2, m2 := dist[pg.N2], med[pg.N2]
+	first := int32(pg.First)
+	off := set.ptPos[first : first+pg.Count]
+	lbl := labels[first : first+pg.Count]
+	var sg float64
+	if len(same) == 0 {
+		w := pg.Weight
+		for i, o := range off {
+			best, bestM := network.Inf, int32(-1)
+			if d := d1 + o; d < best {
+				best, bestM = d, m1
+			}
+			if d := d2 + (w - o); d < best {
+				best, bestM = d, m2
+			}
+			lbl[i] = bestM
+			if bestM >= 0 {
+				sg += best
+			}
+		}
+		return sg
+	}
+	for i, o := range off {
+		best, bestM := network.Inf, int32(-1)
+		if d := d1 + o; d < best {
+			best, bestM = d, m1
+		}
+		if d := d2 + (pg.Weight - o); d < best {
+			best, bestM = d, m2
+		}
+		for _, sm := range same {
+			m := medoids[sm.slot]
+			dl := o - m.Pos
+			if dl < 0 {
+				dl = -dl
+			}
+			if dl < best {
+				best, bestM = dl, sm.slot
+			}
+		}
+		lbl[i] = bestM
+		if bestM >= 0 {
+			sg += best
+		}
+	}
+	return sg
+}

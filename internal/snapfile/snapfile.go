@@ -1,0 +1,313 @@
+// Package snapfile is the durable container format shared by the compiled
+// CSR snapshot file and the shard-set plan file: a little-endian, versioned,
+// crc64-checksummed section file whose payloads start on 4 KiB page
+// boundaries, so a loader can mmap the file (or read it whole) and hand the
+// int32/float64 arrays straight to the kernels as zero-copy slice views.
+//
+// Layout:
+//
+//	header   (32 B)  magic[8] | version u32 | nsec u32 | metaLen u32 |
+//	                 reserved u32 | crc64(meta ++ table) u64
+//	meta     (metaLen B, format-private)
+//	table    (nsec × 32 B)  id u32 | reserved u32 | off u64 | size u64 |
+//	                        crc64(payload) u64
+//	payloads (each starting at a multiple of PageSize, zero-padded between)
+//
+// Every read validates magic, version, bounds and all checksums before any
+// payload is interpreted, and failures come back as one of the typed errors
+// below (never a panic, never silently misread data).
+package snapfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// Typed failure modes of Read, distinguishable with errors.Is.
+var (
+	// ErrMagic marks a file that is not a snapshot of the expected kind.
+	ErrMagic = errors.New("snapfile: bad magic")
+	// ErrVersion marks a snapshot written by an incompatible format version.
+	ErrVersion = errors.New("snapfile: unsupported snapshot version")
+	// ErrChecksum marks payload or header bytes that fail their crc64.
+	ErrChecksum = errors.New("snapfile: checksum mismatch")
+	// ErrCorrupt marks structural damage: truncation, out-of-bounds section
+	// table entries, impossible lengths.
+	ErrCorrupt = errors.New("snapfile: corrupt or truncated snapshot")
+)
+
+const (
+	// PageSize is the alignment of every section payload within the file.
+	PageSize = 4096
+
+	headerSize   = 32
+	secEntrySize = 32
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Section is one payload to be written: an application-chosen ID (unique
+// within the file) and its raw bytes.
+type Section struct {
+	ID   uint32
+	Data []byte
+}
+
+// File is a parsed, fully checksum-verified snapshot container. Meta and the
+// section payloads alias the byte slice given to Read.
+type File struct {
+	Meta     []byte
+	sections map[uint32][]byte
+}
+
+// Section returns the payload of the section with the given ID.
+func (f *File) Section(id uint32) ([]byte, bool) {
+	b, ok := f.sections[id]
+	return b, ok
+}
+
+func align(n int64) int64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// Write emits a snapshot container to w and returns the bytes written.
+// magic must be exactly 8 bytes and should name the embedding format.
+func Write(w io.Writer, magic string, version uint32, meta []byte, sections []Section) (int64, error) {
+	if len(magic) != 8 {
+		return 0, fmt.Errorf("snapfile: magic must be 8 bytes, got %d", len(magic))
+	}
+	table := make([]byte, len(sections)*secEntrySize)
+	off := align(int64(headerSize+len(meta)) + int64(len(table)))
+	for i, s := range sections {
+		e := table[i*secEntrySize:]
+		binary.LittleEndian.PutUint32(e[0:], s.ID)
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.Data)))
+		binary.LittleEndian.PutUint64(e[24:], crc64.Checksum(s.Data, crcTable))
+		off = align(off + int64(len(s.Data)))
+	}
+
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(sections)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(meta)))
+	h := crc64.New(crcTable)
+	h.Write(meta)
+	h.Write(table)
+	binary.LittleEndian.PutUint64(hdr[24:], h.Sum64())
+
+	cw := countWriter{w: w}
+	cw.write(hdr)
+	cw.write(meta)
+	cw.write(table)
+	for _, s := range sections {
+		cw.pad(align(cw.n) - cw.n)
+		cw.write(s.Data)
+	}
+	cw.pad(align(cw.n) - cw.n) // trailing pad keeps the file page-granular
+	return cw.n, cw.err
+}
+
+// WriteFile writes the container to path via Write, replacing any existing
+// file atomically-enough for our use (write then rename).
+func WriteFile(path, magic string, version uint32, meta []byte, sections []Section) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := Write(f, magic, version, meta, sections); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read parses and verifies a snapshot container held in data. The returned
+// File aliases data; callers must not mutate it afterwards.
+func Read(data []byte, magic string, version uint32) (*File, error) {
+	if len(magic) != 8 {
+		return nil, fmt.Errorf("snapfile: magic must be 8 bytes, got %d", len(magic))
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than the %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrMagic, data[:8], magic)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, version)
+	}
+	nsec := binary.LittleEndian.Uint32(data[12:])
+	metaLen := binary.LittleEndian.Uint32(data[16:])
+	tableOff := uint64(headerSize) + uint64(metaLen)
+	tableEnd := tableOff + uint64(nsec)*secEntrySize
+	if tableEnd > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: header claims %d meta bytes + %d sections beyond the %d-byte file",
+			ErrCorrupt, metaLen, nsec, len(data))
+	}
+	meta := data[headerSize:tableOff:tableOff]
+	table := data[tableOff:tableEnd]
+	h := crc64.New(crcTable)
+	h.Write(meta)
+	h.Write(table)
+	if h.Sum64() != binary.LittleEndian.Uint64(data[24:]) {
+		return nil, fmt.Errorf("%w: header", ErrChecksum)
+	}
+
+	f := &File{Meta: meta, sections: make(map[uint32][]byte, nsec)}
+	for i := 0; i < int(nsec); i++ {
+		e := table[i*secEntrySize:]
+		id := binary.LittleEndian.Uint32(e[0:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		size := binary.LittleEndian.Uint64(e[16:])
+		sum := binary.LittleEndian.Uint64(e[24:])
+		if off%PageSize != 0 {
+			return nil, fmt.Errorf("%w: section %d starts at unaligned offset %d", ErrCorrupt, id, off)
+		}
+		if off > uint64(len(data)) || size > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: section %d spans [%d, %d) beyond the %d-byte file",
+				ErrCorrupt, id, off, off+size, len(data))
+		}
+		if _, dup := f.sections[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section id %d", ErrCorrupt, id)
+		}
+		payload := data[off : off+size : off+size]
+		if crc64.Checksum(payload, crcTable) != sum {
+			return nil, fmt.Errorf("%w: section %d", ErrChecksum, id)
+		}
+		f.sections[id] = payload
+	}
+	return f, nil
+}
+
+// ReadFile loads path into memory and parses it with Read. The page-aligned
+// layout would equally support mmap; reading the file whole keeps the loader
+// portable and still performs zero decoding work on the array sections.
+func ReadFile(path, magic string, version uint32) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(data, magic, version)
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) write(b []byte) {
+	if c.err != nil || len(b) == 0 {
+		return
+	}
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	c.err = err
+}
+
+var zeros [PageSize]byte
+
+func (c *countWriter) pad(n int64) {
+	for n > 0 && c.err == nil {
+		chunk := n
+		if chunk > PageSize {
+			chunk = PageSize
+		}
+		c.write(zeros[:chunk])
+		n -= chunk
+	}
+}
+
+// hostLittle reports whether this machine stores integers little-endian —
+// the on-disk byte order — enabling the zero-copy slice views below.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Int32s interprets a section payload as count little-endian int32 values.
+// On little-endian hosts with aligned payloads this is a zero-copy view of
+// the file bytes; otherwise the values are decoded into a fresh slice.
+func Int32s(b []byte, count int) ([]int32, error) {
+	if count < 0 || len(b) != count*4 {
+		return nil, fmt.Errorf("%w: section holds %d bytes, want %d int32 values (%d bytes)",
+			ErrCorrupt, len(b), count, count*4)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), count), nil
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// Float64s interprets a section payload as count little-endian float64
+// values, zero-copy on little-endian hosts like Int32s.
+func Float64s(b []byte, count int) ([]float64, error) {
+	if count < 0 || len(b) != count*8 {
+		return nil, fmt.Errorf("%w: section holds %d bytes, want %d float64 values (%d bytes)",
+			ErrCorrupt, len(b), count, count*8)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), count), nil
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// Int32Bytes returns v's bytes in file order, zero-copy on little-endian
+// hosts. The view aliases v; it is only valid while v is live and unchanged.
+func Int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+	}
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(x))
+	}
+	return out
+}
+
+// Float64Bytes returns v's bytes in file order, zero-copy on little-endian
+// hosts.
+func Float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package snapfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"math"
+	"reflect"
+	"testing"
+)
+
+const (
+	testMagic   = "SNPTEST1"
+	testVersion = uint32(3)
+)
+
+func buildTestFile(t *testing.T) ([]byte, []Section, []byte) {
+	t.Helper()
+	meta := []byte("hello meta")
+	sections := []Section{
+		{ID: 1, Data: Int32Bytes([]int32{1, -2, 3, math.MaxInt32, math.MinInt32})},
+		{ID: 2, Data: Float64Bytes([]float64{0, 1.5, -2.25, math.Inf(1)})},
+		{ID: 7, Data: []byte("raw payload")},
+		{ID: 9, Data: nil},
+	}
+	var buf bytes.Buffer
+	n, err := Write(&buf, testMagic, testVersion, meta, sections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Write reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes(), sections, meta
+}
+
+func TestRoundTrip(t *testing.T) {
+	data, sections, meta := buildTestFile(t)
+	if int64(len(data))%PageSize != 0 {
+		t.Fatalf("file length %d not page-granular", len(data))
+	}
+	f, err := Read(data, testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Meta, meta) {
+		t.Fatalf("meta = %q, want %q", f.Meta, meta)
+	}
+	for _, s := range sections {
+		got, ok := f.Section(s.ID)
+		if !ok {
+			t.Fatalf("section %d missing", s.ID)
+		}
+		if !bytes.Equal(got, s.Data) {
+			t.Fatalf("section %d payload differs", s.ID)
+		}
+	}
+	if _, ok := f.Section(42); ok {
+		t.Fatal("phantom section 42 present")
+	}
+
+	i32, err := Int32s(mustSection(t, f, 1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int32{1, -2, 3, math.MaxInt32, math.MinInt32}; !reflect.DeepEqual(i32, want) {
+		t.Fatalf("Int32s = %v, want %v", i32, want)
+	}
+	f64, err := Float64s(mustSection(t, f, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 1.5, -2.25, math.Inf(1)}; !reflect.DeepEqual(f64, want) {
+		t.Fatalf("Float64s = %v, want %v", f64, want)
+	}
+}
+
+func mustSection(t *testing.T, f *File, id uint32) []byte {
+	t.Helper()
+	b, ok := f.Section(id)
+	if !ok {
+		t.Fatalf("section %d missing", id)
+	}
+	return b
+}
+
+func TestTypedErrors(t *testing.T) {
+	data, _, _ := buildTestFile(t)
+
+	if _, err := Read(data, "WRONGMAG", testVersion); !errors.Is(err, ErrMagic) {
+		t.Fatalf("wrong magic: got %v, want ErrMagic", err)
+	}
+	if _, err := Read(data, testMagic, testVersion+1); !errors.Is(err, ErrVersion) {
+		t.Fatalf("wrong version: got %v, want ErrVersion", err)
+	}
+
+	// Truncation at every structurally interesting prefix must yield a typed
+	// error, never a panic or a nil error.
+	cuts := []int{0, 1, 7, 8, 16, headerSize - 1, headerSize, headerSize + 4, len(data) / 2, len(data) - 1}
+	for _, n := range cuts {
+		if n > len(data) {
+			continue
+		}
+		_, err := Read(data[:n], testMagic, testVersion)
+		if n >= len(data) {
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncation to %d bytes read successfully", n)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrMagic) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", n, err)
+		}
+	}
+
+	// A flipped byte anywhere in the file must surface as a checksum or
+	// structural error (flips inside zero padding are invisible and fine, so
+	// sample the regions that matter: header, meta+table, payloads).
+	flip := func(at int) error {
+		mut := append([]byte(nil), data...)
+		mut[at] ^= 0x40
+		_, err := Read(mut, testMagic, testVersion)
+		return err
+	}
+	for _, at := range []int{9, 13, 17, 24, headerSize, headerSize + 12, headerSize + 40, PageSize, PageSize + 9, 2 * PageSize} {
+		if at >= len(data) {
+			continue
+		}
+		err := flip(at)
+		if err == nil {
+			t.Fatalf("byte flip at %d read successfully", at)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrMagic) {
+			t.Fatalf("byte flip at %d: untyped error %v", at, err)
+		}
+	}
+}
+
+func TestSectionTableBounds(t *testing.T) {
+	data, _, _ := buildTestFile(t)
+	// Point section 0's offset beyond EOF, fixing up the header checksum so
+	// only the bounds check can catch it.
+	mut := append([]byte(nil), data...)
+	metaLen := binary.LittleEndian.Uint32(mut[16:])
+	tableOff := headerSize + int(metaLen)
+	binary.LittleEndian.PutUint64(mut[tableOff+8:], uint64(len(mut))+PageSize)
+	rehash(mut)
+	if _, err := Read(mut, testMagic, testVersion); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-bounds section: got %v, want ErrCorrupt", err)
+	}
+
+	// An unaligned section offset is structural corruption too.
+	mut = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(mut[tableOff+8:], PageSize+1)
+	rehash(mut)
+	if _, err := Read(mut, testMagic, testVersion); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unaligned section: got %v, want ErrCorrupt", err)
+	}
+}
+
+// rehash recomputes the header checksum after a deliberate table mutation.
+func rehash(data []byte) {
+	nsec := binary.LittleEndian.Uint32(data[12:])
+	metaLen := binary.LittleEndian.Uint32(data[16:])
+	end := headerSize + int(metaLen) + int(nsec)*secEntrySize
+	h := crc64.New(crcTable)
+	h.Write(data[headerSize:end])
+	binary.LittleEndian.PutUint64(data[24:], h.Sum64())
+}
+
+func TestValueCodecLengthChecks(t *testing.T) {
+	if _, err := Int32s(make([]byte, 7), 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short int32 payload: got %v, want ErrCorrupt", err)
+	}
+	if _, err := Float64s(make([]byte, 9), 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short float64 payload: got %v, want ErrCorrupt", err)
+	}
+	// Misaligned views must fall back to copying, not fault.
+	raw := make([]byte, 12+1)
+	copy(raw[1:], Int32Bytes([]int32{5, 6, 7}))
+	v, err := Int32s(raw[1:], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, []int32{5, 6, 7}) {
+		t.Fatalf("misaligned Int32s = %v", v)
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := t.TempDir() + "/x.snap"
+	if err := WriteFile(path, testMagic, testVersion, []byte("m"), []Section{{ID: 3, Data: []byte("abc")}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path, testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mustSection(t, f, 3)) != "abc" {
+		t.Fatal("payload mismatch after WriteFile/ReadFile")
+	}
+	if _, err := ReadFile(t.TempDir()+"/missing.snap", testMagic, testVersion); err == nil {
+		t.Fatal("missing file read successfully")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"netclus/internal/lbound"
 	"netclus/internal/network"
 	"netclus/internal/pagebuf"
+	"netclus/internal/shard"
 	"netclus/internal/storage"
 	"netclus/internal/viz"
 )
@@ -509,6 +510,75 @@ func (s StoreStats) Sub(o StoreStats) StoreStats {
 	}
 	return d
 }
+
+// Durable snapshot persistence (see internal/csr). A compiled Snapshot can be
+// written to a versioned, checksummed, page-aligned file and reopened with
+// zero store or network reads — the warm-start path of serving replicas.
+var (
+	// ErrSnapshotMagic reports a file that is not a netclus snapshot.
+	ErrSnapshotMagic = csr.ErrSnapshotMagic
+	// ErrSnapshotVersion reports an unsupported snapshot format version.
+	ErrSnapshotVersion = csr.ErrSnapshotVersion
+	// ErrSnapshotChecksum reports snapshot payload corruption.
+	ErrSnapshotChecksum = csr.ErrSnapshotChecksum
+	// ErrSnapshotCorrupt reports a structurally invalid snapshot.
+	ErrSnapshotCorrupt = csr.ErrSnapshotCorrupt
+)
+
+// WriteSnapshotFile persists a compiled snapshot to path (atomic rename).
+func WriteSnapshotFile(s *Snapshot, path string) error {
+	return csr.WriteSnapshotFile(s, path)
+}
+
+// OpenSnapshot loads a snapshot file written by WriteSnapshotFile. The load
+// validates magic, version and checksum and re-checks every structural
+// invariant; failures return typed ErrSnapshot* errors, never a panic.
+func OpenSnapshot(path string) (*Snapshot, error) { return csr.OpenSnapshot(path) }
+
+// IsSnapshotFile reports whether path begins with the snapshot magic.
+func IsSnapshotFile(path string) bool { return csr.IsSnapshotFile(path) }
+
+// Sharded serving (see internal/shard). A ShardedSet partitions a network
+// into K connected subnetworks compiled to per-shard CSR snapshots plus
+// explicit cut-edge and boundary-node tables. It implements Graph and every
+// kernel dispatch contract over global IDs, answering range, kNN, expansion
+// and assignment by scatter-gather with exact boundary stitching — results
+// are byte-identical to a single compiled Snapshot of the whole network.
+type (
+	// ShardedSet is the scatter-gather serving form of a partitioned
+	// network.
+	ShardedSet = shard.Set
+	// ShardedSetStats describes a built set: global cardinalities, cut
+	// tables and per-shard sizes.
+	ShardedSetStats = shard.Stats
+	// ShardedSetCounters is the cumulative scatter-gather telemetry:
+	// queries, rounds, fan-out, wall and modeled critical-path time, and
+	// per-shard kernel runs.
+	ShardedSetCounters = shard.Counters
+	// CutEdge is a network edge whose endpoints live in different shards.
+	CutEdge = shard.CutEdge
+)
+
+// PartitionNetwork cuts g into k connected shards (multi-seed balloon
+// growth over farthest-first seeds) and builds the sharded serving form.
+func PartitionNetwork(g Graph, k int) (*ShardedSet, error) { return shard.Partition(g, k) }
+
+// BuildShardedSet builds the sharded serving form from an explicit
+// node-to-shard assignment (len NumNodes, values in [0, k)).
+func BuildShardedSet(g Graph, assign []int32, k int) (*ShardedSet, error) {
+	return shard.Build(g, assign, k)
+}
+
+// SaveShardedSet persists a sharded set to a directory: one snapshot file
+// per shard plus a checksummed partition plan.
+func SaveShardedSet(s *ShardedSet, dir string) error { return shard.Save(s, dir) }
+
+// OpenShardedSet reloads a directory written by SaveShardedSet with zero
+// store reads; every file is checksum- and invariant-verified.
+func OpenShardedSet(dir string) (*ShardedSet, error) { return shard.Open(dir) }
+
+// IsShardedSetDir reports whether dir holds a saved sharded set.
+func IsShardedSetDir(dir string) bool { return shard.IsSetDir(dir) }
 
 // RenderSVG draws the network and a clustering to w as SVG.
 func RenderSVG(w io.Writer, n *Network, labels []int32, opts RenderOptions) error {
