@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -11,8 +12,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"netclus"
 	"netclus/internal/server/api"
 )
 
@@ -47,6 +50,17 @@ type ltCacheStats struct {
 	HitRatio           float64 `json:"hit_ratio"`
 }
 
+// ltWriteStats is the dataset's write-path delta over one run, scraped from
+// the live stats in /v1/datasets before and after: batches and ops the run
+// committed, rejections, and the compactions it caused the server to run.
+type ltWriteStats struct {
+	Batches     int64 `json:"batches"`
+	Ops         int64 `json:"ops"`
+	Rejected    int64 `json:"rejected"`
+	Compactions int64 `json:"compactions"`
+	PendingOps  int64 `json:"pending_ops"`
+}
+
 // ltSummary is the loadtest report written to -out. Seed and Zipf record the
 // generator inputs so a run is reproducible from its report alone.
 type ltSummary struct {
@@ -62,6 +76,7 @@ type ltSummary struct {
 	PerSecond   float64                    `json:"per_second"`
 	Endpoints   map[string]endpointSummary `json:"endpoints"`
 	ResultCache *ltCacheStats              `json:"result_cache,omitempty"`
+	Writes      *ltWriteStats              `json:"writes,omitempty"`
 }
 
 // percentile returns the p-th percentile of sorted (nearest-rank).
@@ -176,7 +191,8 @@ type mixEntry struct {
 	weight   int
 }
 
-// parseMix reads "knn:8,range:4,cluster:1".
+// parseMix reads "knn:8,range:4,cluster:1,write:2". The write entry sends
+// mutation batches against live datasets; -write-mix shapes their kind split.
 func parseMix(s string) ([]mixEntry, error) {
 	var mix []mixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -189,9 +205,9 @@ func parseMix(s string) ([]mixEntry, error) {
 			return nil, fmt.Errorf("bad mix weight %q", w)
 		}
 		switch name {
-		case "knn", "range", "cluster":
+		case "knn", "range", "cluster", "write":
 		default:
-			return nil, fmt.Errorf("unknown mix endpoint %q (want knn, range or cluster)", name)
+			return nil, fmt.Errorf("unknown mix endpoint %q (want knn, range, cluster or write)", name)
 		}
 		if weight > 0 {
 			mix = append(mix, mixEntry{endpoint: name, weight: weight})
@@ -199,6 +215,34 @@ func parseMix(s string) ([]mixEntry, error) {
 	}
 	if len(mix) == 0 {
 		return nil, fmt.Errorf("empty traffic mix")
+	}
+	return mix, nil
+}
+
+// parseWriteMix reads "insert:2,move:1,delete:1" — the kind split of the
+// mutation batches the mix's write entry sends.
+func parseWriteMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad write-mix entry %q (want kind:weight)", part)
+		}
+		var weight int
+		if _, err := fmt.Sscanf(w, "%d", &weight); err != nil || weight < 0 {
+			return nil, fmt.Errorf("bad write-mix weight %q", w)
+		}
+		switch name {
+		case "insert", "move", "delete":
+		default:
+			return nil, fmt.Errorf("unknown write kind %q (want insert, move or delete)", name)
+		}
+		if weight > 0 {
+			mix = append(mix, mixEntry{endpoint: name, weight: weight})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty write mix")
 	}
 	return mix, nil
 }
@@ -220,30 +264,31 @@ func pickEndpoint(mix []mixEntry, rng *rand.Rand) string {
 }
 
 // datasetProbe asks the target about the dataset: its point count (so query
-// point IDs can be drawn from the real ID space) and its result-cache
-// counters (nil when the dataset is served uncached).
-func datasetProbe(client *http.Client, target, dataset string) (int, *api.ResultCacheStats, error) {
+// point IDs can be drawn from the real ID space), its result-cache counters
+// (nil when the dataset is served uncached), and its live write-path stats
+// (nil when the dataset is immutable).
+func datasetProbe(client *http.Client, target, dataset string) (int, *api.ResultCacheStats, *netclus.LiveStats, error) {
 	resp, err := client.Get(target + "/v1/datasets")
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, nil, fmt.Errorf("GET /v1/datasets: %s", resp.Status)
+		return 0, nil, nil, fmt.Errorf("GET /v1/datasets: %s", resp.Status)
 	}
 	var body api.DatasetsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	for _, d := range body.Datasets {
 		if d.Name == dataset {
 			if d.Points == 0 {
-				return 0, nil, fmt.Errorf("dataset %q has no points", dataset)
+				return 0, nil, nil, fmt.Errorf("dataset %q has no points", dataset)
 			}
-			return d.Points, d.ResultCache, nil
+			return d.Points, d.ResultCache, d.Live, nil
 		}
 	}
-	return 0, nil, fmt.Errorf("dataset %q not served (have %d datasets)", dataset, len(body.Datasets))
+	return 0, nil, nil, fmt.Errorf("dataset %q not served (have %d datasets)", dataset, len(body.Datasets))
 }
 
 // ltConfig is one loadtest run: target and dataset, the traffic shape, and
@@ -255,22 +300,35 @@ type ltConfig struct {
 	workers  int
 	duration time.Duration
 	mix      []mixEntry
+	writeMix []mixEntry // kind split of write batches; nil when the mix has no writes
 	eps      float64
 	k        int
 	seed     int64
 	zipf     float64 // 0 = uniform, > 1 = zipf skew exponent
 	scale    float64 // dataset scale, recorded in the report only
 	run      int     // substream index: 0 primary leg, 1 the -compare leg
+
+	// livePoints tracks the dataset's moving point count under writes, fed
+	// back from MutateResponse so target IDs stay within the live ID space.
+	livePoints *atomic.Int64
 }
 
 // runLoadtest drives the mixed workload and returns the summary. It is the
 // testable core of the loadtest subcommand.
 func runLoadtest(client *http.Client, cfg ltConfig) ltSummary {
 	var before api.ResultCacheStats
-	hasCache := false
-	if _, rc, err := datasetProbe(client, cfg.target, cfg.dataset); err == nil && rc != nil {
-		before, hasCache = *rc, true
+	var liveBefore netclus.LiveStats
+	hasCache, hasLive := false, false
+	if _, rc, ls, err := datasetProbe(client, cfg.target, cfg.dataset); err == nil {
+		if rc != nil {
+			before, hasCache = *rc, true
+		}
+		if ls != nil {
+			liveBefore, hasLive = *ls, true
+		}
 	}
+	cfg.livePoints = new(atomic.Int64)
+	cfg.livePoints.Store(int64(cfg.points))
 	var (
 		mu      sync.Mutex
 		samples []ltSample
@@ -287,16 +345,21 @@ func runLoadtest(client *http.Client, cfg ltConfig) ltSummary {
 			var local []ltSample
 			for time.Now().Before(deadline) {
 				ep, vals := picker.pick()
-				url := cfg.target + "/v1/" + cfg.dataset + "/" + ep + "?" + vals.Encode()
-				start := time.Now()
-				resp, err := client.Get(url)
-				s := ltSample{endpoint: ep, latency: time.Since(start)}
-				if err != nil {
-					s.failed = true
+				var s ltSample
+				if ep == "write" {
+					s = doWrite(client, &cfg, picker.pickWrite())
 				} else {
-					s.code = resp.StatusCode
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
+					url := cfg.target + "/v1/" + cfg.dataset + "/" + ep + "?" + vals.Encode()
+					start := time.Now()
+					resp, err := client.Get(url)
+					s = ltSample{endpoint: ep, latency: time.Since(start)}
+					if err != nil {
+						s.failed = true
+					} else {
+						s.code = resp.StatusCode
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
 				}
 				local = append(local, s)
 			}
@@ -310,8 +373,9 @@ func runLoadtest(client *http.Client, cfg ltConfig) ltSummary {
 	sum.Seed = cfg.seed
 	sum.Zipf = cfg.zipf
 	sum.Scale = cfg.scale
-	if hasCache {
-		if _, rc, err := datasetProbe(client, cfg.target, cfg.dataset); err == nil && rc != nil {
+	if hasCache || hasLive {
+		_, rc, ls, err := datasetProbe(client, cfg.target, cfg.dataset)
+		if err == nil && hasCache && rc != nil {
 			delta := api.ResultCacheStats{
 				Hits:               rc.Hits - before.Hits,
 				Misses:             rc.Misses - before.Misses,
@@ -326,8 +390,40 @@ func runLoadtest(client *http.Client, cfg ltConfig) ltSummary {
 				HitRatio:           delta.HitRatio(),
 			}
 		}
+		if err == nil && hasLive && ls != nil {
+			sum.Writes = &ltWriteStats{
+				Batches:     ls.Batches - liveBefore.Batches,
+				Ops:         ls.Ops - liveBefore.Ops,
+				Rejected:    ls.Rejected - liveBefore.Rejected,
+				Compactions: ls.Compactions - liveBefore.Compactions,
+				PendingOps:  ls.PendingOps,
+			}
+		}
 	}
 	return sum
+}
+
+// doWrite posts one mutation batch and feeds the server's post-batch point
+// count back into the shared counter, keeping later target IDs in range.
+func doWrite(client *http.Client, cfg *ltConfig, body []byte) ltSample {
+	url := cfg.target + "/v1/datasets/" + cfg.dataset + "/points"
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	s := ltSample{endpoint: "write", latency: time.Since(start)}
+	if err != nil {
+		s.failed = true
+		return s
+	}
+	s.code = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var mr api.MutateResponse
+		if json.NewDecoder(resp.Body).Decode(&mr) == nil && mr.Points > 0 {
+			cfg.livePoints.Store(int64(mr.Points))
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return s
 }
 
 func loadtest(args []string) error {
@@ -336,7 +432,8 @@ func loadtest(args []string) error {
 	dataset := fs.String("dataset", "", "dataset name to query (required)")
 	duration := fs.Duration("duration", 10*time.Second, "how long to drive traffic")
 	workers := fs.Int("workers", 8, "concurrent client connections")
-	mixFlag := fs.String("mix", "knn:8,range:4,cluster:1", "traffic mix as endpoint:weight[,...]")
+	mixFlag := fs.String("mix", "knn:8,range:4,cluster:1", "traffic mix as endpoint:weight[,...]; include write:N to mutate live datasets")
+	writeMixFlag := fs.String("write-mix", "insert:2,move:1,delete:1", "mutation kind split for the write share of the mix")
 	eps := fs.Float64("eps", 1, "eps for range and clustering requests")
 	k := fs.Int("k", 8, "k for kNN requests")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -356,9 +453,18 @@ func loadtest(args []string) error {
 	if err != nil {
 		return err
 	}
+	var writeMix []mixEntry
+	for _, e := range mix {
+		if e.endpoint == "write" {
+			if writeMix, err = parseWriteMix(*writeMixFlag); err != nil {
+				return err
+			}
+			break
+		}
+	}
 	base := strings.TrimRight(*target, "/")
 	client := &http.Client{Timeout: 2 * time.Minute}
-	points, _, err := datasetProbe(client, base, *dataset)
+	points, _, _, err := datasetProbe(client, base, *dataset)
 	if err != nil {
 		return err
 	}
@@ -367,7 +473,7 @@ func loadtest(args []string) error {
 	cfg := ltConfig{
 		target: base, dataset: *dataset, points: points, workers: *workers,
 		duration: *duration, mix: mix, eps: *eps, k: *k, seed: *seed, zipf: *zipf,
-		scale: *scaleFlag,
+		scale: *scaleFlag, writeMix: writeMix,
 	}
 	sum := runLoadtest(client, cfg)
 	printSummary(sum)
@@ -375,7 +481,7 @@ func loadtest(args []string) error {
 	var report any = sum
 	errors := sum.Errors
 	if *compare != "" {
-		cpoints, _, err := datasetProbe(client, base, *compare)
+		cpoints, _, _, err := datasetProbe(client, base, *compare)
 		if err != nil {
 			return err
 		}
@@ -428,6 +534,10 @@ func printSummary(sum ltSummary) {
 	if rc := sum.ResultCache; rc != nil {
 		fmt.Printf("cache: %d hits, %d containment, %d misses, %d shared (hit ratio %.2f)\n",
 			rc.Hits, rc.ContainmentHits, rc.Misses, rc.SingleflightShared, rc.HitRatio)
+	}
+	if w := sum.Writes; w != nil {
+		fmt.Printf("writes: %d batches (%d ops, %d rejected), %d compactions, %d ops pending\n",
+			w.Batches, w.Ops, w.Rejected, w.Compactions, w.PendingOps)
 	}
 	eps := make([]string, 0, len(sum.Endpoints))
 	for ep := range sum.Endpoints {

@@ -181,7 +181,7 @@ func TestLoadtestAgainstServer(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
-	points, cacheStats, err := datasetProbe(client, ts.URL, "disk")
+	points, cacheStats, _, err := datasetProbe(client, ts.URL, "disk")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestLoadtestAgainstServer(t *testing.T) {
 	if cacheStats == nil {
 		t.Fatal("no result-cache stats for a cached dataset")
 	}
-	if _, _, err := datasetProbe(client, ts.URL, "nope"); err == nil {
+	if _, _, _, err := datasetProbe(client, ts.URL, "nope"); err == nil {
 		t.Fatal("unknown dataset did not error")
 	}
 
@@ -355,7 +355,7 @@ func TestLoadtestCompareHotCold(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
-	points, _, err := datasetProbe(client, ts.URL, "hot")
+	points, _, _, err := datasetProbe(client, ts.URL, "hot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,6 +382,76 @@ func TestLoadtestCompareHotCold(t *testing.T) {
 		if d.P50Speedup <= 0 || d.MeanSpeedup <= 0 || d.Throughput <= 0 {
 			t.Errorf("%s: implausible delta %+v", ep, d)
 		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestLoadtestWriteMix drives a read-write mix against a live dataset and
+// checks the summary: write latencies recorded, applied batches counted from
+// the server's own delta stats, and at least some mutations acknowledged.
+func TestLoadtestWriteMix(t *testing.T) {
+	prefix, _ := writeTestData(t)
+	logger := log.New(os.Stderr, "", 0)
+	reg, err := buildRegistry([]dataSpec{
+		{name: "live", path: prefix, live: true},
+	}, 256, 4, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	points, _, live, err := datasetProbe(client, ts.URL, "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live == nil {
+		t.Fatal("live dataset reports no delta stats")
+	}
+	mix, err := parseMix("knn:4,range:2,write:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeMix, err := parseWriteMix("insert:2,move:1,delete:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ltConfig{
+		target: ts.URL, dataset: "live", points: points, workers: 4,
+		duration: 400 * time.Millisecond, mix: mix, writeMix: writeMix,
+		eps: 20, k: 5, seed: 1,
+	}
+	sum := runLoadtest(client, cfg)
+	if sum.Errors != 0 {
+		t.Fatalf("transport errors: %d", sum.Errors)
+	}
+	es, ok := sum.Endpoints["write"]
+	if !ok || es.Requests == 0 {
+		t.Fatalf("no write samples recorded: %+v", sum.Endpoints)
+	}
+	if es.P50MS <= 0 || es.P99MS < es.P50MS {
+		t.Fatalf("implausible write latencies: %+v", es)
+	}
+	if es.Status["200"] == 0 {
+		t.Fatalf("no write succeeded: %+v", es.Status)
+	}
+	if sum.Writes == nil {
+		t.Fatal("summary has no write stats for a live dataset")
+	}
+	if sum.Writes.Batches == 0 || sum.Writes.Ops < sum.Writes.Batches {
+		t.Fatalf("implausible write stats: %+v", *sum.Writes)
+	}
+	if int64(es.Status["200"]) != sum.Writes.Batches {
+		t.Fatalf("acked writes %d != applied batches %d", es.Status["200"], sum.Writes.Batches)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -493,14 +563,14 @@ func TestLoadtestCacheCompare(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
-	points, rc, err := datasetProbe(client, ts.URL, "cached")
+	points, rc, _, err := datasetProbe(client, ts.URL, "cached")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rc == nil {
 		t.Fatal("cached dataset reports no cache stats")
 	}
-	if _, rc, err := datasetProbe(client, ts.URL, "nocache"); err != nil || rc != nil {
+	if _, rc, _, err := datasetProbe(client, ts.URL, "nocache"); err != nil || rc != nil {
 		t.Fatalf("nocache dataset probe = %+v, %v", rc, err)
 	}
 	mix, err := parseMix("knn:6,range:3")

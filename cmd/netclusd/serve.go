@@ -28,12 +28,19 @@ import (
 // set directory, or a snapshot file for hot datasets) and warm-starts from
 // it on later boots with zero store reads. path may also point directly at a
 // saved snapshot file or sharded-set directory.
+// live serves the dataset behind a mutable delta overlay accepting
+// POST /v1/datasets/{name}/points; eps=F,minpts=K configure its incrementally
+// maintained ε-Link/DBSCAN labelling and compact=N its compaction threshold.
 type dataSpec struct {
 	name, path string
 	hot        bool
 	nocache    bool
 	shards     int
 	save       string
+	live       bool
+	eps        float64
+	minpts     int
+	compact    int
 }
 
 // dataFlags collects repeated -data flags.
@@ -54,6 +61,15 @@ func (d *dataFlags) String() string {
 		}
 		if s.save != "" {
 			parts[i] += ",save=" + s.save
+		}
+		if s.live {
+			parts[i] += ",live"
+			if s.eps > 0 {
+				parts[i] += fmt.Sprintf(",eps=%g,minpts=%d", s.eps, s.minpts)
+			}
+			if s.compact > 0 {
+				parts[i] += fmt.Sprintf(",compact=%d", s.compact)
+			}
 		}
 	}
 	return strings.Join(parts, " ")
@@ -88,12 +104,38 @@ func (d *dataFlags) Set(v string) error {
 				return fmt.Errorf("save= needs a path in %q", v)
 			}
 			spec.save = val
+		case "live":
+			spec.live = true
+		case "eps":
+			e, err := strconv.ParseFloat(val, 64)
+			if err != nil || e <= 0 {
+				return fmt.Errorf("bad eps=%q in %q (want a positive float)", val, v)
+			}
+			spec.eps = e
+		case "minpts":
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 1 {
+				return fmt.Errorf("bad minpts=%q in %q (want a positive integer)", val, v)
+			}
+			spec.minpts = k
+		case "compact":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad compact=%q in %q (want a positive integer)", val, v)
+			}
+			spec.compact = n
 		default:
-			return fmt.Errorf("unknown dataset option %q in %q (want hot, nocache, shards=K or save=DIR)", opt, v)
+			return fmt.Errorf("unknown dataset option %q in %q (want hot, nocache, shards=K, save=DIR, live, eps=F, minpts=K or compact=N)", opt, v)
 		}
 	}
 	if spec.hot && spec.shards > 0 {
 		return fmt.Errorf("hot and shards=K are mutually exclusive in %q", v)
+	}
+	if spec.live && (spec.shards > 0 || spec.hot || spec.save != "") {
+		return fmt.Errorf("live is mutually exclusive with hot, shards=K and save=DIR in %q", v)
+	}
+	if (spec.eps > 0 || spec.minpts > 0 || spec.compact > 0) && !spec.live {
+		return fmt.Errorf("eps=, minpts= and compact= need live in %q", v)
 	}
 	*d = append(*d, spec)
 	return nil
@@ -166,10 +208,48 @@ func loadShardedDataset(spec dataSpec, bufKB int, logger *log.Logger) (*server.D
 	return server.NewShardedDataset(spec.name, spec.path, set)
 }
 
-// loadDataset resolves one -data spec, picking the serving form: sharded
-// scatter-gather, a durable snapshot file (direct or via save=), a disk
-// store, or in-memory network files.
+// loadLiveDataset resolves the mutable form of a spec: the path's graph
+// (snapshot file, disk store, or network files) compiles into an immutable
+// CSR base, and a delta overlay over it accepts writes. The compiled form
+// matters — reads between writes run the flat-array kernels, and background
+// compactions recompile into the same shape.
+func loadLiveDataset(spec dataSpec, bufKB int, logger *log.Logger) (*server.Dataset, error) {
+	var sn *netclus.Snapshot
+	if netclus.IsSnapshotFile(spec.path) {
+		var err error
+		if sn, err = netclus.OpenSnapshot(spec.path); err != nil {
+			return nil, err
+		}
+	} else {
+		g, closeGraph, err := loadGraph(spec, bufKB)
+		if err != nil {
+			return nil, err
+		}
+		sn, err = netclus.Compile(g)
+		closeGraph()
+		if err != nil {
+			return nil, err
+		}
+	}
+	opts := netclus.LiveOptions{CompactOps: spec.compact}
+	if spec.eps > 0 {
+		minpts := spec.minpts
+		if minpts == 0 {
+			minpts = 3
+		}
+		opts.Live = &netclus.LiveClusterOptions{Eps: spec.eps, MinPts: minpts}
+		logger.Printf("dataset %s: live clustering maintained at eps=%g minpts=%d", spec.name, spec.eps, minpts)
+	}
+	return server.NewLiveDataset(spec.name, spec.path, sn, opts)
+}
+
+// loadDataset resolves one -data spec, picking the serving form: a live
+// mutable overlay, sharded scatter-gather, a durable snapshot file (direct or
+// via save=), a disk store, or in-memory network files.
 func loadDataset(spec dataSpec, bufKB, landmarks int, logger *log.Logger) (*server.Dataset, error) {
+	if spec.live {
+		return loadLiveDataset(spec, bufKB, logger)
+	}
 	if spec.shards > 0 || netclus.IsShardedSetDir(spec.path) {
 		return loadShardedDataset(spec, bufKB, logger)
 	}
@@ -258,6 +338,7 @@ func serve(args []string) error {
 	capacity := fs.Int64("capacity", 0, "admission capacity in cost units (0 = 2x GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "admission wait-queue depth (0 = 64)")
 	clusterCost := fs.Int64("cluster-cost", 0, "admission cost of a clustering request (0 = 8)")
+	writeCost := fs.Int64("write-cost", 0, "admission cost of a mutation batch (0 = 2)")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeout_ms")
 	workers := fs.Int("cluster-workers", 8, "cap on the workers parameter of clustering requests")
@@ -279,7 +360,7 @@ func serve(args []string) error {
 		Registry:          reg,
 		Capacity:          *capacity,
 		MaxQueue:          *queue,
-		Costs:             server.EndpointCosts{Cluster: *clusterCost},
+		Costs:             server.EndpointCosts{Cluster: *clusterCost, Write: *writeCost},
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		MaxClusterWorkers: *workers,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/url"
 	"sort"
@@ -78,6 +79,10 @@ func (p *reqPicker) pick() (string, url.Values) {
 		point = p.rng.Intn(p.cfg.points)
 	}
 	switch ep {
+	case "write":
+		// Mutations POST a JSON body, not query values: the worker calls
+		// pickWrite for the payload when it sees this endpoint.
+		return ep, nil
 	case "knn":
 		return ep, api.KNNRequest{Point: netclus.PointID(point), K: p.cfg.k, Prune: true}.Values()
 	case "range":
@@ -91,4 +96,35 @@ func (p *reqPicker) pick() (string, url.Values) {
 		req := api.ClusterRequest{Algo: "dbscan", Eps: p.cfg.eps, MinPts: 3, K: 8, Restarts: 1, Seed: 1}
 		return ep, req.Values()
 	}
+}
+
+// pickWrite builds a single-op mutation body. Target points are drawn from
+// the shared live point counter — the server's post-batch count fed back by
+// every acked write — so IDs stay inside the dataset's current ID space even
+// as inserts grow it and deletes never shrink it below the draw range.
+func (p *reqPicker) pickWrite() []byte {
+	n := int64(p.cfg.points)
+	if p.cfg.livePoints != nil {
+		if live := p.cfg.livePoints.Load(); live > 0 {
+			n = live
+		}
+	}
+	var point int32
+	if p.pointZ != nil {
+		point = int32(int64(p.pointZ.Uint64()) % n)
+	} else {
+		point = int32(p.rng.Int63n(n))
+	}
+	frac := p.rng.Float64()
+	var op api.MutateOp
+	switch pickEndpoint(p.cfg.writeMix, p.rng) {
+	case "insert":
+		op = api.MutateOp{Op: "insert", Near: &point, Pos: frac}
+	case "move":
+		op = api.MutateOp{Op: "move", Point: &point, Pos: frac}
+	default: // delete
+		op = api.MutateOp{Op: "delete", Point: &point}
+	}
+	body, _ := json.Marshal(api.MutateRequest{Ops: []api.MutateOp{op}})
+	return body
 }

@@ -1,0 +1,853 @@
+// Package delta adds a write path on top of the immutable netclus graphs: an
+// epoch-versioned overlay that accepts point insert/move/delete batches while
+// the base stays frozen. Writes land in per-shard buffers (the split-store
+// batching of Doppel, Narula et al.) and a single reconciler goroutine drains
+// them, applies each batch atomically, freezes an immutable merged view, and
+// publishes it with one epoch bump per batch. Readers pin whatever view was
+// current when their request began; a background compactor recompiles the
+// view into a fresh CSR snapshot when the delta crosses a size or age
+// threshold and swaps it in with one more epoch bump. Frozen views satisfy
+// the network.Graph contract and the §4.1 point-group invariant, so every
+// kernel and clustering algorithm runs on them unchanged and byte-identical
+// to a from-scratch rebuild of the same logical content. See DESIGN.md §13.
+package delta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netclus/internal/network"
+)
+
+// ErrClosed reports an operation against a closed overlay.
+var ErrClosed = errors.New("delta: overlay closed")
+
+// OpKind selects the mutation an Op performs.
+type OpKind uint8
+
+const (
+	// OpInsert adds a new point to an edge.
+	OpInsert OpKind = iota + 1
+	// OpMove repositions an existing point (same edge or another).
+	OpMove
+	// OpDelete removes an existing point.
+	OpDelete
+)
+
+// EdgeSel says how an Op names its destination edge.
+type EdgeSel uint8
+
+const (
+	// EdgeExplicit uses (N1, N2) and an absolute Pos offset in [0, weight].
+	EdgeExplicit EdgeSel = iota
+	// EdgeNear uses the edge currently holding point Near; Pos is a fraction
+	// of the edge weight, clamped to [0, 1]. This lets writers place points
+	// knowing only point IDs, not the edge structure.
+	EdgeNear
+	// EdgeSame keeps a moved point on its current edge; Pos is a fraction of
+	// the edge weight, clamped to [0, 1]. Only valid for OpMove.
+	EdgeSame
+)
+
+// Op is one point mutation. Point and Near are canonical point IDs of the
+// epoch the batch resolves against (the published view just before it
+// applies); IDs are renumbered by every batch, so a writer that interleaves
+// with others should re-read before writing.
+type Op struct {
+	Kind   OpKind
+	Point  network.PointID // target of move/delete
+	N1, N2 network.NodeID  // destination edge when Edge == EdgeExplicit
+	Near   network.PointID // destination edge donor when Edge == EdgeNear
+	Edge   EdgeSel
+	Pos    float64
+	Tag    int32 // insert only; moves keep their tag
+}
+
+// Insert builds an explicit-edge insert op.
+func Insert(n1, n2 network.NodeID, pos float64, tag int32) Op {
+	return Op{Kind: OpInsert, Edge: EdgeExplicit, N1: n1, N2: n2, Pos: pos, Tag: tag}
+}
+
+// InsertNear builds an insert on the edge holding point near, at fraction
+// frac of its weight.
+func InsertNear(near network.PointID, frac float64, tag int32) Op {
+	return Op{Kind: OpInsert, Edge: EdgeNear, Near: near, Pos: frac, Tag: tag}
+}
+
+// Move builds an explicit-edge move of point p.
+func Move(p network.PointID, n1, n2 network.NodeID, pos float64) Op {
+	return Op{Kind: OpMove, Edge: EdgeExplicit, Point: p, N1: n1, N2: n2, Pos: pos}
+}
+
+// MoveSame builds a same-edge reposition of point p to fraction frac.
+func MoveSame(p network.PointID, frac float64) Op {
+	return Op{Kind: OpMove, Edge: EdgeSame, Point: p, Pos: frac}
+}
+
+// Delete builds a delete of point p.
+func Delete(p network.PointID) Op {
+	return Op{Kind: OpDelete, Point: p}
+}
+
+// LiveOptions enables incrementally maintained clustering: the overlay keeps
+// ε-Link and DBSCAN labellings at these parameters continuously fresh,
+// updating only the clusters within ε of each mutation.
+type LiveOptions struct {
+	Eps    float64
+	MinPts int // DBSCAN core threshold; default 3
+}
+
+// Options configure an overlay.
+type Options struct {
+	// Bump is called exactly once per applied batch and once per compaction
+	// swap; the returned value is the epoch the published view carries. Nil
+	// uses an internal counter. The server wires Dataset.BumpEpoch here so
+	// every write strands the dataset's cached results.
+	Bump func() int64
+	// InitialEpoch is the epoch of the unmodified base view (default 1). It
+	// must match what Bump's counter would have returned before any bump.
+	InitialEpoch int64
+	// WriteShards is the number of write buffers (default min(4, GOMAXPROCS)).
+	WriteShards int
+	// CompactOps triggers a background recompile once this many resolved ops
+	// are pending (default 4096; negative disables the size trigger).
+	CompactOps int
+	// CompactAge triggers a recompile once the oldest pending op is this old
+	// (0 disables the age trigger).
+	CompactAge time.Duration
+	// Live enables incremental ε-Link/DBSCAN maintenance.
+	Live *LiveOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialEpoch == 0 {
+		o.InitialEpoch = 1
+	}
+	if o.WriteShards <= 0 {
+		o.WriteShards = min(4, runtime.GOMAXPROCS(0))
+	}
+	if o.CompactOps == 0 {
+		o.CompactOps = 4096
+	}
+	if o.Live != nil && o.Live.MinPts <= 0 {
+		live := *o.Live
+		live.MinPts = 3
+		o.Live = &live
+	}
+	return o
+}
+
+// Result reports what a batch produced: the epoch of the first view that
+// contains it and the point count of that view.
+type Result struct {
+	Epoch  int64
+	Points int
+}
+
+// Current is one published read view. Everything reachable from it is
+// immutable: queries that loaded it keep a consistent (graph, epoch, labels)
+// triple however many batches land while they run.
+type Current struct {
+	// Graph is the merged view — the base snapshot itself while the delta is
+	// empty, so the specialized CSR kernels stay on the fast path.
+	Graph network.Graph
+	// Epoch is the content version Bump returned for this view.
+	Epoch int64
+	// Points is Graph.NumPoints(), cached for cheap stats.
+	Points int
+
+	idToSlot []int32 // canonical point ID -> stable slot
+	live     *liveSnap
+}
+
+// listEntry is one point in an adopted edge list: its offset, tag, and the
+// stable slot identity that survives canonical renumbering.
+type listEntry struct {
+	pos  float64
+	tag  int32
+	slot int32
+}
+
+// edgeList is the mutable form of one edge's point group. An edge is adopted
+// — copied out of the base — the first time a mutation touches it; untouched
+// edges are read straight from the base at freeze time.
+type edgeList struct {
+	n1, n2 network.NodeID
+	weight float64
+	pts    []listEntry // ascending pos; equal-pos ties keep insertion order
+}
+
+// insert places (pos, tag, slot) at the upper bound among equal offsets —
+// the same arrangement a stable sort by offset of the insertion sequence
+// produces, which is what Builder.Build does on a from-scratch rebuild.
+func (el *edgeList) insert(pos float64, tag, slot int32) {
+	i := len(el.pts)
+	for i > 0 && el.pts[i-1].pos > pos {
+		i--
+	}
+	el.pts = append(el.pts, listEntry{})
+	copy(el.pts[i+1:], el.pts[i:])
+	el.pts[i] = listEntry{pos: pos, tag: tag, slot: slot}
+}
+
+// remove deletes the entry with the given slot, reporting whether it existed.
+func (el *edgeList) remove(slot int32) (listEntry, bool) {
+	for i, e := range el.pts {
+		if e.slot == slot {
+			el.pts = append(el.pts[:i], el.pts[i+1:]...)
+			return e, true
+		}
+	}
+	return listEntry{}, false
+}
+
+// rKind tags a resolved op in the replay tail.
+type rKind uint8
+
+const (
+	rInsert rKind = iota + 1
+	rDelete
+)
+
+// resolvedOp is a mutation with every name resolved to stable coordinates:
+// an edge key, an absolute offset, and a slot. Replaying a resolved tail
+// against a recompiled base reproduces the live content exactly.
+type resolvedOp struct {
+	kind rKind
+	key  uint64
+	pos  float64
+	tag  int32
+	slot int32
+}
+
+type applyResult struct {
+	r   Result
+	err error
+}
+
+type batch struct {
+	ctx context.Context
+	ops []Op
+	res chan applyResult
+}
+
+type writeShard struct {
+	mu     sync.Mutex
+	q      []*batch
+	closed bool
+}
+
+// Overlay is an epoch-versioned mutable overlay over an immutable base
+// graph. All mutable state below the write shards is owned by the reconciler
+// goroutine; readers only ever touch the published *Current.
+type Overlay struct {
+	opts Options
+
+	cur atomic.Pointer[Current]
+
+	shards []writeShard
+	rr     atomic.Uint64
+	wakeup chan struct{}
+
+	// reconciler-owned state
+	base       network.Graph
+	baseSlots  []int32 // slot of base point p
+	baseTags   []int32 // tag of base point p, cached so freeze bulk-copies
+	baseKeys   []uint64
+	baseGroups []network.PointGroup
+	adopted    map[uint64]*edgeList
+	sortedKeys []uint64
+	keysDirty  bool
+	nextSlot   int32
+	tail       []resolvedOp
+	firstDelta time.Time
+	compacting bool
+	waiters    []chan error
+	epoch      int64 // internal counter when opts.Bump == nil
+	live       *live
+
+	compactCh chan pinned
+	installCh chan installMsg
+	forceCh   chan chan error
+	closed    chan struct{}
+	closeOnce sync.Once
+	recDone   chan struct{}
+	compDone  chan struct{}
+
+	stats statCells
+}
+
+// statCells mirrors reconciler-owned counters into atomics for Stats().
+type statCells struct {
+	batches     atomic.Int64
+	ops         atomic.Int64
+	rejected    atomic.Int64
+	compactions atomic.Int64
+	compactRun  atomic.Bool
+	pendingOps  atomic.Int64
+	adopted     atomic.Int64
+	pauseNs     atomic.Int64
+	maxPauseNs  atomic.Int64
+	compileNs   atomic.Int64
+	liveRQ      atomic.Int64
+	liveNs      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the overlay's write-path counters,
+// serialized into /v1/datasets for live datasets.
+type Stats struct {
+	Epoch          int64   `json:"epoch"`
+	Points         int     `json:"points"`
+	PendingOps     int64   `json:"pending_ops"`
+	AdoptedEdges   int64   `json:"adopted_edges"`
+	Batches        int64   `json:"batches"`
+	Ops            int64   `json:"ops"`
+	Rejected       int64   `json:"rejected"`
+	Compactions    int64   `json:"compactions"`
+	CompactRunning bool    `json:"compact_running,omitempty"`
+	LastPauseMS    float64 `json:"last_compact_pause_ms"`
+	MaxPauseMS     float64 `json:"max_compact_pause_ms"`
+	LastCompileMS  float64 `json:"last_compile_ms"`
+	LiveClustering bool    `json:"live_clustering,omitempty"`
+	LiveRangeQs    int64   `json:"live_range_queries,omitempty"`
+	// LiveMaintainNS is the cumulative time spent maintaining the labelling
+	// (ε-graph repair, re-floods, label derivation) — the incremental
+	// re-cluster cost, as opposed to the write-apply machinery around it.
+	LiveMaintainNS int64 `json:"live_maintain_ns,omitempty"`
+}
+
+// New wraps base in a mutable overlay. The base must satisfy the §4.1
+// point-group invariant with groups in ascending canonical edge-key order —
+// every Builder output, CSR snapshot, and store does.
+func New(base network.Graph, opts Options) (*Overlay, error) {
+	o := &Overlay{
+		opts:      opts.withDefaults(),
+		base:      base,
+		adopted:   make(map[uint64]*edgeList),
+		wakeup:    make(chan struct{}, 1),
+		compactCh: make(chan pinned, 1),
+		installCh: make(chan installMsg),
+		forceCh:   make(chan chan error),
+		closed:    make(chan struct{}),
+		recDone:   make(chan struct{}),
+		compDone:  make(chan struct{}),
+	}
+	o.shards = make([]writeShard, o.opts.WriteShards)
+	if err := o.indexBase(); err != nil {
+		return nil, err
+	}
+	o.baseSlots = make([]int32, base.NumPoints())
+	for i := range o.baseSlots {
+		o.baseSlots[i] = int32(i)
+	}
+	o.nextSlot = int32(base.NumPoints())
+	o.epoch = o.opts.InitialEpoch
+	cur := &Current{
+		Graph: base, Epoch: o.opts.InitialEpoch,
+		Points: base.NumPoints(), idToSlot: o.baseSlots,
+	}
+	if o.opts.Live != nil {
+		o.live = newLive(o.opts.Live.Eps, o.opts.Live.MinPts, &o.stats.liveRQ)
+		snap, err := o.live.bootstrap(base, o.baseSlots)
+		if err != nil {
+			return nil, fmt.Errorf("delta: bootstrapping live clustering: %w", err)
+		}
+		cur.live = snap
+	}
+	o.cur.Store(cur)
+	go o.reconcile()
+	go o.compactor()
+	return o, nil
+}
+
+// indexBase validates and indexes the base's group order: strictly ascending
+// canonical edge keys with dense First offsets, the shape freeze() merges
+// against.
+func (o *Overlay) indexBase() error {
+	var next network.PointID
+	prev := uint64(0)
+	return o.base.ScanGroups(func(gid network.GroupID, pg network.PointGroup, offs []float64) error {
+		key := network.EdgeKey(pg.N1, pg.N2)
+		if gid > 0 && key <= prev {
+			return fmt.Errorf("delta: base group %d out of edge-key order", gid)
+		}
+		if pg.First != next {
+			return fmt.Errorf("delta: base group %d not dense (first %d, want %d)", gid, pg.First, next)
+		}
+		prev = key
+		next += network.PointID(pg.Count)
+		o.baseKeys = append(o.baseKeys, key)
+		o.baseGroups = append(o.baseGroups, pg)
+		for k := 0; k < int(pg.Count); k++ {
+			o.baseTags = append(o.baseTags, tagOf(o.base, pg.First+network.PointID(k)))
+		}
+		return nil
+	})
+}
+
+// Current returns the published read view. Callers use one Current for a
+// whole request: graph, epoch, and live labels stay mutually consistent.
+func (o *Overlay) Current() *Current { return o.cur.Load() }
+
+// Stats snapshots the write-path counters.
+func (o *Overlay) Stats() Stats {
+	c := o.cur.Load()
+	s := Stats{
+		Epoch:          c.Epoch,
+		Points:         c.Points,
+		PendingOps:     o.stats.pendingOps.Load(),
+		AdoptedEdges:   o.stats.adopted.Load(),
+		Batches:        o.stats.batches.Load(),
+		Ops:            o.stats.ops.Load(),
+		Rejected:       o.stats.rejected.Load(),
+		Compactions:    o.stats.compactions.Load(),
+		CompactRunning: o.stats.compactRun.Load(),
+		LastPauseMS:    float64(o.stats.pauseNs.Load()) / 1e6,
+		MaxPauseMS:     float64(o.stats.maxPauseNs.Load()) / 1e6,
+		LastCompileMS:  float64(o.stats.compileNs.Load()) / 1e6,
+	}
+	if o.live != nil {
+		s.LiveClustering = true
+		s.LiveRangeQs = o.stats.liveRQ.Load()
+		s.LiveMaintainNS = o.stats.liveNs.Load()
+	}
+	return s
+}
+
+// LiveParams returns the maintained clustering parameters, false when live
+// clustering is off.
+func (o *Overlay) LiveParams() (eps float64, minPts int, ok bool) {
+	if o.opts.Live == nil {
+		return 0, 0, false
+	}
+	return o.opts.Live.Eps, o.opts.Live.MinPts, true
+}
+
+// Apply queues one mutation batch and waits for it to commit. The batch is
+// atomic: either every op applies and the new view (one epoch newer) contains
+// them all, or none do and the error names the first bad op. A ctx error
+// abandons the wait, not necessarily the batch.
+func (o *Overlay) Apply(ctx context.Context, ops []Op) (Result, error) {
+	if len(ops) == 0 {
+		return Result{}, fmt.Errorf("%w: empty mutation batch", network.ErrInvalidOptions)
+	}
+	b := &batch{ctx: ctx, ops: ops, res: make(chan applyResult, 1)}
+	sh := &o.shards[o.rr.Add(1)%uint64(len(o.shards))]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	sh.q = append(sh.q, b)
+	sh.mu.Unlock()
+	select {
+	case o.wakeup <- struct{}{}:
+	default:
+	}
+	select {
+	case r := <-b.res:
+		return r.r, r.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close stops the reconciler and compactor, failing queued batches with
+// ErrClosed. Published views stay readable.
+func (o *Overlay) Close() {
+	o.closeOnce.Do(func() { close(o.closed) })
+	<-o.recDone
+	<-o.compDone
+}
+
+// reconcile is the single writer: it drains the shard buffers, applies each
+// batch, publishes views, and installs compaction results.
+func (o *Overlay) reconcile() {
+	defer close(o.recDone)
+	for {
+		var ageC <-chan time.Time
+		var ageTimer *time.Timer
+		if !o.compacting && len(o.tail) > 0 && o.opts.CompactAge > 0 {
+			d := o.opts.CompactAge - time.Since(o.firstDelta)
+			if d < 0 {
+				d = 0
+			}
+			ageTimer = time.NewTimer(d)
+			ageC = ageTimer.C
+		}
+		select {
+		case <-o.wakeup:
+			o.drainAndApply()
+		case msg := <-o.installCh:
+			o.install(msg)
+		case done := <-o.forceCh:
+			o.startCompact(done)
+		case <-ageC:
+			o.startCompact(nil)
+		case <-o.closed:
+			if ageTimer != nil {
+				ageTimer.Stop()
+			}
+			o.shutdown()
+			return
+		}
+		if ageTimer != nil {
+			ageTimer.Stop()
+		}
+	}
+}
+
+// drainAndApply takes every queued batch, in per-shard FIFO order, and
+// applies them until the buffers are empty.
+func (o *Overlay) drainAndApply() {
+	for {
+		var got []*batch
+		for i := range o.shards {
+			sh := &o.shards[i]
+			sh.mu.Lock()
+			got = append(got, sh.q...)
+			sh.q = sh.q[:0]
+			sh.mu.Unlock()
+		}
+		if len(got) == 0 {
+			return
+		}
+		for _, b := range got {
+			o.applyBatch(b)
+		}
+	}
+}
+
+func (o *Overlay) applyBatch(b *batch) {
+	if err := b.ctx.Err(); err != nil {
+		b.res <- applyResult{err: err}
+		return
+	}
+	resolved, err := o.applyOps(b.ops)
+	if err != nil {
+		o.stats.rejected.Add(1)
+		b.res <- applyResult{err: err}
+		return
+	}
+	if len(o.tail) == 0 {
+		o.firstDelta = time.Now()
+	}
+	o.tail = append(o.tail, resolved...)
+	cur, err := o.publish(resolved)
+	if err != nil {
+		// Live maintenance self-healed by full rebuild; the view itself is
+		// always published. Only a bootstrap failure reaches here.
+		b.res <- applyResult{err: err}
+		return
+	}
+	o.stats.batches.Add(1)
+	o.stats.ops.Add(int64(len(b.ops)))
+	b.res <- applyResult{r: Result{Epoch: cur.Epoch, Points: cur.Points}}
+	o.maybeCompact()
+}
+
+// publish freezes the merged view, bumps the epoch exactly once, refreshes
+// the live labelling over the resolved ops, and swaps the new Current in.
+func (o *Overlay) publish(resolved []resolvedOp) (*Current, error) {
+	g, idToSlot := o.freeze()
+	epoch := o.bumpEpoch()
+	cur := &Current{Graph: g, Epoch: epoch, Points: len(idToSlot), idToSlot: idToSlot}
+	if o.live != nil {
+		t0 := time.Now()
+		snap, err := o.live.apply(g, idToSlot, resolved)
+		o.stats.liveNs.Add(time.Since(t0).Nanoseconds())
+		if err != nil {
+			return nil, err
+		}
+		cur.live = snap
+	}
+	o.cur.Store(cur)
+	o.stats.pendingOps.Store(int64(len(o.tail)))
+	o.stats.adopted.Store(int64(len(o.adopted)))
+	return cur, nil
+}
+
+func (o *Overlay) bumpEpoch() int64 {
+	if o.opts.Bump != nil {
+		return o.opts.Bump()
+	}
+	o.epoch++
+	return o.epoch
+}
+
+// shutdown fails every queued batch and pending compaction waiter.
+func (o *Overlay) shutdown() {
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		q := sh.q
+		sh.q = nil
+		sh.mu.Unlock()
+		for _, b := range q {
+			b.res <- applyResult{err: ErrClosed}
+		}
+	}
+	for _, w := range o.waiters {
+		w <- ErrClosed
+	}
+	o.waiters = nil
+}
+
+// touchedList remembers an edge list's pre-batch contents for rollback.
+type touchedList struct {
+	el      *edgeList
+	saved   []listEntry
+	existed bool // false when this batch adopted the edge
+}
+
+// applyOps applies one batch atomically against the reconciler state: every
+// op validates and applies, or the state rolls back to the pre-batch content
+// and the error names the offending op.
+func (o *Overlay) applyOps(ops []Op) ([]resolvedOp, error) {
+	pre := o.cur.Load()
+	touched := make(map[uint64]*touchedList)
+	savedSlot := o.nextSlot
+	resolved := make([]resolvedOp, 0, len(ops))
+
+	fail := func(i int, err error) ([]resolvedOp, error) {
+		for key, t := range touched {
+			if !t.existed {
+				delete(o.adopted, key)
+				o.keysDirty = true
+				continue
+			}
+			t.el.pts = t.saved
+		}
+		o.nextSlot = savedSlot
+		return nil, fmt.Errorf("op %d: %w", i, err)
+	}
+	// touch adopts key (copying the base group on first contact ever) and
+	// saves its pre-batch contents on first contact this batch.
+	touch := func(key uint64) (*edgeList, error) {
+		if t, ok := touched[key]; ok {
+			return t.el, nil
+		}
+		_, existed := o.adopted[key]
+		el, err := o.adopt(key)
+		if err != nil {
+			return nil, err
+		}
+		saved := append([]listEntry(nil), el.pts...)
+		touched[key] = &touchedList{el: el, saved: saved, existed: existed}
+		return el, nil
+	}
+	// resolve maps a canonical pre-batch point ID to its slot and edge key.
+	resolve := func(p network.PointID) (int32, uint64, error) {
+		if p < 0 || int(p) >= pre.Points {
+			return 0, 0, fmt.Errorf("%w: point %d of %d", network.ErrPointRange, p, pre.Points)
+		}
+		pi, err := pre.Graph.PointInfo(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		return pre.idToSlot[p], network.EdgeKey(pi.N1, pi.N2), nil
+	}
+
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			key, pos, err := o.resolveDest(op, resolve)
+			if err != nil {
+				return fail(i, err)
+			}
+			el, err := touch(key)
+			if err != nil {
+				return fail(i, err)
+			}
+			if op.Edge == EdgeExplicit && (op.Pos < 0 || op.Pos > el.weight) {
+				return fail(i, fmt.Errorf("%w: pos %g outside [0, %g]", network.ErrInvalidOptions, op.Pos, el.weight))
+			}
+			slot := o.nextSlot
+			o.nextSlot++
+			el.insert(pos, op.Tag, slot)
+			resolved = append(resolved, resolvedOp{kind: rInsert, key: key, pos: pos, tag: op.Tag, slot: slot})
+
+		case OpDelete:
+			slot, key, err := resolve(op.Point)
+			if err != nil {
+				return fail(i, err)
+			}
+			el, err := touch(key)
+			if err != nil {
+				return fail(i, err)
+			}
+			if _, ok := el.remove(slot); !ok {
+				return fail(i, fmt.Errorf("%w: point %d already mutated in this batch", network.ErrInvalidOptions, op.Point))
+			}
+			resolved = append(resolved, resolvedOp{kind: rDelete, key: key, slot: slot})
+
+		case OpMove:
+			slot, srcKey, err := resolve(op.Point)
+			if err != nil {
+				return fail(i, err)
+			}
+			src, err := touch(srcKey)
+			if err != nil {
+				return fail(i, err)
+			}
+			ent, ok := src.remove(slot)
+			if !ok {
+				return fail(i, fmt.Errorf("%w: point %d already mutated in this batch", network.ErrInvalidOptions, op.Point))
+			}
+			dstKey, pos := srcKey, clampFrac(op.Pos)*src.weight
+			if op.Edge != EdgeSame {
+				dstKey, pos, err = o.resolveDest(op, resolve)
+				if err != nil {
+					return fail(i, err)
+				}
+			}
+			dst, err := touch(dstKey)
+			if err != nil {
+				return fail(i, err)
+			}
+			if op.Edge == EdgeExplicit && (op.Pos < 0 || op.Pos > dst.weight) {
+				return fail(i, fmt.Errorf("%w: pos %g outside [0, %g]", network.ErrInvalidOptions, op.Pos, dst.weight))
+			}
+			slot2 := o.nextSlot
+			o.nextSlot++
+			dst.insert(pos, ent.tag, slot2)
+			resolved = append(resolved,
+				resolvedOp{kind: rDelete, key: srcKey, slot: slot},
+				resolvedOp{kind: rInsert, key: dstKey, pos: pos, tag: ent.tag, slot: slot2})
+
+		default:
+			return fail(i, fmt.Errorf("%w: unknown op kind %d", network.ErrInvalidOptions, op.Kind))
+		}
+	}
+	return resolved, nil
+}
+
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// resolveDest names an insert/move destination: an explicit canonical edge
+// with an absolute offset, or a near-point's edge with a fractional one.
+func (o *Overlay) resolveDest(op Op, resolve func(network.PointID) (int32, uint64, error)) (uint64, float64, error) {
+	switch op.Edge {
+	case EdgeExplicit:
+		if op.N1 == op.N2 {
+			return 0, 0, fmt.Errorf("%w: self-loop edge (%d,%d)", network.ErrInvalidOptions, op.N1, op.N2)
+		}
+		if op.N1 < 0 || int(op.N1) >= o.base.NumNodes() || op.N2 < 0 || int(op.N2) >= o.base.NumNodes() {
+			return 0, 0, fmt.Errorf("%w: edge (%d,%d)", network.ErrNodeRange, op.N1, op.N2)
+		}
+		n1, n2 := network.CanonEdge(op.N1, op.N2)
+		return network.EdgeKey(n1, n2), op.Pos, nil
+	case EdgeNear:
+		_, key, err := resolve(op.Near)
+		if err != nil {
+			return 0, 0, err
+		}
+		el, ok := o.adopted[key]
+		var w float64
+		if ok {
+			w = el.weight
+		} else {
+			n1, n2 := network.UnpackEdgeKey(key)
+			if w, err = network.EdgeWeight(o.base, n1, n2); err != nil {
+				return 0, 0, err
+			}
+		}
+		return key, clampFrac(op.Pos) * w, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: bad edge selector %d for op", network.ErrInvalidOptions, op.Edge)
+	}
+}
+
+// adopt copies an edge's base point group into the mutable overlay (empty for
+// point-free edges), validating that the edge exists.
+func (o *Overlay) adopt(key uint64) (*edgeList, error) {
+	if el, ok := o.adopted[key]; ok {
+		return el, nil
+	}
+	n1, n2 := network.UnpackEdgeKey(key)
+	el := &edgeList{n1: n1, n2: n2}
+	if gi, ok := o.baseGroupIndex(key); ok {
+		pg := o.baseGroups[gi]
+		offs, err := o.base.GroupOffsets(network.GroupID(gi))
+		if err != nil {
+			return nil, err
+		}
+		el.weight = pg.Weight
+		el.pts = make([]listEntry, pg.Count)
+		for i := range el.pts {
+			p := pg.First + network.PointID(i)
+			el.pts[i] = listEntry{pos: offs[i], tag: o.baseTags[p], slot: o.baseSlots[p]}
+		}
+	} else {
+		w, err := network.EdgeWeight(o.base, n1, n2)
+		if err != nil {
+			if errors.Is(err, network.ErrNoEdge) {
+				err = fmt.Errorf("%w: %v", network.ErrInvalidOptions, err)
+			}
+			return nil, err
+		}
+		el.weight = w
+	}
+	o.adopted[key] = el
+	o.keysDirty = true
+	return el, nil
+}
+
+// baseGroupIndex finds the base group holding edge key, by binary search over
+// the ascending key index.
+func (o *Overlay) baseGroupIndex(key uint64) (int, bool) {
+	lo, hi := 0, len(o.baseKeys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o.baseKeys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(o.baseKeys) && o.baseKeys[lo] == key
+}
+
+func (o *Overlay) sortedAdoptedKeys() []uint64 {
+	if !o.keysDirty {
+		return o.sortedKeys
+	}
+	keys := o.sortedKeys[:0]
+	for k := range o.adopted {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	o.sortedKeys, o.keysDirty = keys, false
+	return keys
+}
+
+// tagged is the optional fast tag accessor (Network, Snapshot, View).
+type tagged interface {
+	Tag(network.PointID) int32
+}
+
+func tagOf(g network.Graph, p network.PointID) int32 {
+	if t, ok := g.(tagged); ok {
+		return t.Tag(p)
+	}
+	pi, err := g.PointInfo(p)
+	if err != nil {
+		return 0
+	}
+	return pi.Tag
+}

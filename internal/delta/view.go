@@ -1,0 +1,234 @@
+package delta
+
+import (
+	"fmt"
+
+	"netclus/internal/network"
+)
+
+// View is one frozen merged read view: base point groups interleaved with
+// adopted edge lists, renumbered into dense canonical IDs in ascending
+// edge-key order — the same §4.1 shape Builder.Build and csr.Compile emit.
+// Everything is materialized at freeze time, so a View is immutable, safe to
+// share across request goroutines, and a valid csr.Compile input.
+type View struct {
+	base network.Graph
+
+	groups   []network.PointGroup
+	ptPos    []float64
+	ptTag    []int32
+	ptGrp    []int32
+	idToSlot []int32
+
+	// adj/adjOff hold a translated adjacency when the populated-edge set
+	// differs from the base's (group IDs shifted); both nil when the base
+	// numbering still applies and Neighbors delegates.
+	adj    []network.Neighbor
+	adjOff []int32
+
+	numNodes, numEdges int
+}
+
+var _ network.Graph = (*View)(nil)
+
+// freeze materializes the current merged content. While the delta is empty
+// it returns the base itself, keeping the specialized CSR kernels (and their
+// scratch) on the fast path.
+func (o *Overlay) freeze() (network.Graph, []int32) {
+	if len(o.adopted) == 0 {
+		return o.base, o.baseSlots
+	}
+	keys := o.sortedAdoptedKeys()
+	v := &View{
+		base:     o.base,
+		numNodes: o.base.NumNodes(),
+		numEdges: o.base.NumEdges(),
+	}
+	nPts := o.countPoints()
+	v.ptPos = make([]float64, 0, nPts)
+	v.ptTag = make([]int32, 0, nPts)
+	v.ptGrp = make([]int32, 0, nPts)
+	v.idToSlot = make([]int32, 0, nPts)
+	keyOf := make([]uint64, 0, len(o.baseGroups))
+
+	sameKeys := true
+	emit := func(key uint64, n1, n2 network.NodeID, w float64, n int, at func(int) (float64, int32, int32)) {
+		gid := int32(len(v.groups))
+		v.groups = append(v.groups, network.PointGroup{
+			N1: n1, N2: n2, Weight: w,
+			First: network.PointID(len(v.ptPos)), Count: int32(n),
+		})
+		keyOf = append(keyOf, key)
+		for i := 0; i < n; i++ {
+			pos, tag, slot := at(i)
+			v.ptPos = append(v.ptPos, pos)
+			v.ptTag = append(v.ptTag, tag)
+			v.ptGrp = append(v.ptGrp, gid)
+			v.idToSlot = append(v.idToSlot, slot)
+		}
+	}
+	// Base groups dominate every freeze, so they bypass the per-point
+	// closure: four bulk appends from the base's own flat arrays.
+	emitBase := func(i int) {
+		pg := o.baseGroups[i]
+		offs, _ := o.base.GroupOffsets(network.GroupID(i))
+		gid := int32(len(v.groups))
+		v.groups = append(v.groups, network.PointGroup{
+			N1: pg.N1, N2: pg.N2, Weight: pg.Weight,
+			First: network.PointID(len(v.ptPos)), Count: pg.Count,
+		})
+		keyOf = append(keyOf, o.baseKeys[i])
+		lo, hi := int(pg.First), int(pg.First)+int(pg.Count)
+		v.ptPos = append(v.ptPos, offs...)
+		v.ptTag = append(v.ptTag, o.baseTags[lo:hi]...)
+		v.idToSlot = append(v.idToSlot, o.baseSlots[lo:hi]...)
+		for k := 0; k < int(pg.Count); k++ {
+			v.ptGrp = append(v.ptGrp, gid)
+		}
+	}
+	emitList := func(key uint64, el *edgeList) {
+		emit(key, el.n1, el.n2, el.weight, len(el.pts), func(k int) (float64, int32, int32) {
+			e := el.pts[k]
+			return e.pos, e.tag, e.slot
+		})
+	}
+
+	i, j := 0, 0
+	for i < len(o.baseGroups) || j < len(keys) {
+		switch {
+		case j >= len(keys) || (i < len(o.baseGroups) && o.baseKeys[i] < keys[j]):
+			emitBase(i)
+			i++
+		case i < len(o.baseGroups) && o.baseKeys[i] == keys[j]:
+			el := o.adopted[keys[j]]
+			if len(el.pts) == 0 {
+				sameKeys = false // base group emptied out
+			} else {
+				emitList(keys[j], el)
+			}
+			i++
+			j++
+		default:
+			el := o.adopted[keys[j]]
+			if len(el.pts) > 0 {
+				sameKeys = false // a previously point-free edge gained points
+				emitList(keys[j], el)
+			}
+			j++
+		}
+	}
+	if !sameKeys {
+		v.translateAdjacency(keyOf)
+	}
+	return v, v.idToSlot
+}
+
+// countPoints sizes the freeze output: base points, minus adopted base
+// groups, plus adopted list contents.
+func (o *Overlay) countPoints() int {
+	n := o.base.NumPoints()
+	for key, el := range o.adopted {
+		if gi, ok := o.baseGroupIndex(key); ok {
+			n -= int(o.baseGroups[gi].Count)
+		}
+		n += len(el.pts)
+	}
+	return n
+}
+
+// translateAdjacency copies the base adjacency with Group fields renumbered
+// to the view's group IDs. Only needed when the set of populated edges
+// changed; otherwise base numbering is already correct and Neighbors
+// delegates.
+func (v *View) translateAdjacency(keyOf []uint64) {
+	gidOf := make(map[uint64]network.GroupID, len(keyOf))
+	for gid, key := range keyOf {
+		gidOf[key] = network.GroupID(gid)
+	}
+	v.adjOff = make([]int32, v.numNodes+1)
+	for n := 0; n < v.numNodes; n++ {
+		nbs, _ := v.base.Neighbors(network.NodeID(n))
+		for _, nb := range nbs {
+			g := network.NoGroup
+			if id, ok := gidOf[network.EdgeKey(network.NodeID(n), nb.Node)]; ok {
+				g = id
+			}
+			v.adj = append(v.adj, network.Neighbor{Node: nb.Node, Weight: nb.Weight, Group: g})
+		}
+		v.adjOff[n+1] = int32(len(v.adj))
+	}
+}
+
+// NumNodes returns the node count (the overlay never mutates the network).
+func (v *View) NumNodes() int { return v.numNodes }
+
+// NumEdges returns the edge count.
+func (v *View) NumEdges() int { return v.numEdges }
+
+// NumPoints returns the merged point count.
+func (v *View) NumPoints() int { return len(v.ptPos) }
+
+// NumGroups returns the merged group count.
+func (v *View) NumGroups() int { return len(v.groups) }
+
+// Neighbors returns n's adjacency with view group IDs.
+func (v *View) Neighbors(n network.NodeID) ([]network.Neighbor, error) {
+	if v.adj == nil {
+		return v.base.Neighbors(n)
+	}
+	if n < 0 || int(n) >= v.numNodes {
+		return nil, fmt.Errorf("%w: %d of %d", network.ErrNodeRange, n, v.numNodes)
+	}
+	return v.adj[v.adjOff[n]:v.adjOff[n+1]], nil
+}
+
+// Group returns group g's descriptor.
+func (v *View) Group(g network.GroupID) (network.PointGroup, error) {
+	if g < 0 || int(g) >= len(v.groups) {
+		return network.PointGroup{}, fmt.Errorf("%w: %d of %d", network.ErrGroupRange, g, len(v.groups))
+	}
+	return v.groups[g], nil
+}
+
+// GroupOffsets returns group g's ascending offsets (aliased; callers must
+// not mutate, same contract as the other Graph implementations).
+func (v *View) GroupOffsets(g network.GroupID) ([]float64, error) {
+	if g < 0 || int(g) >= len(v.groups) {
+		return nil, fmt.Errorf("%w: %d of %d", network.ErrGroupRange, g, len(v.groups))
+	}
+	pg := v.groups[g]
+	return v.ptPos[pg.First : int(pg.First)+int(pg.Count)], nil
+}
+
+// PointInfo returns point p's full placement.
+func (v *View) PointInfo(p network.PointID) (network.PointInfo, error) {
+	if p < 0 || int(p) >= len(v.ptPos) {
+		return network.PointInfo{}, fmt.Errorf("%w: %d of %d", network.ErrPointRange, p, len(v.ptPos))
+	}
+	g := v.ptGrp[p]
+	pg := v.groups[g]
+	return network.PointInfo{
+		Group: network.GroupID(g), N1: pg.N1, N2: pg.N2,
+		Pos: v.ptPos[p], Weight: pg.Weight, Tag: v.ptTag[p],
+	}, nil
+}
+
+// ScanGroups visits every group in canonical (ascending edge-key) order.
+func (v *View) ScanGroups(fn func(network.GroupID, network.PointGroup, []float64) error) error {
+	for g, pg := range v.groups {
+		offs := v.ptPos[pg.First : int(pg.First)+int(pg.Count)]
+		if err := fn(network.GroupID(g), pg, offs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tag returns point p's application tag (0 out of range), the fast accessor
+// csr.Compile uses.
+func (v *View) Tag(p network.PointID) int32 {
+	if p < 0 || int(p) >= len(v.ptTag) {
+		return 0
+	}
+	return v.ptTag[p]
+}

@@ -36,14 +36,24 @@ type RangeScratch struct {
 
 // NewRangeScratch allocates scratch space sized for g.
 func NewRangeScratch(g Graph) *RangeScratch {
+	return NewRangeScratchSize(g.NumNodes(), g.NumPoints())
+}
+
+// NewRangeScratchSize allocates scratch space for graphs of up to the given
+// node and point counts. A scratch sized with headroom serves any smaller
+// graph: every array is indexed by IDs of the queried graph and invalidated
+// by epoch stamps, never scanned in full, so extra capacity is inert. Mutable
+// overlays use this to keep one scratch across views whose point count
+// drifts.
+func NewRangeScratchSize(nodes, points int) *RangeScratch {
 	return &RangeScratch{
-		nodeDist:  make([]float64, g.NumNodes()),
-		nodeEpoch: make([]int32, g.NumNodes()),
-		ptEpoch:   make([]int32, g.NumPoints()),
-		ptDist:    make([]float64, g.NumPoints()),
-		lbDist:    make([]float64, g.NumNodes()),
-		lbEpoch:   make([]int32, g.NumNodes()),
-		pendEpoch: make([]int32, g.NumPoints()),
+		nodeDist:  make([]float64, nodes),
+		nodeEpoch: make([]int32, nodes),
+		ptEpoch:   make([]int32, points),
+		ptDist:    make([]float64, points),
+		lbDist:    make([]float64, nodes),
+		lbEpoch:   make([]int32, nodes),
+		pendEpoch: make([]int32, points),
 		heap:      heapx.New(lessEntry),
 	}
 }

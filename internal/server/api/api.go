@@ -324,6 +324,107 @@ func (r ClusterRequest) Values() url.Values {
 	}
 }
 
+// MutateOp is one point mutation in a POST /v1/datasets/{dataset}/points
+// batch. Op selects the kind:
+//
+//   - "insert": place a new point. Either n1+n2 name the edge and pos is the
+//     absolute offset from the canonical endpoint, or near names an existing
+//     point and pos is a [0,1] fraction along that point's edge.
+//   - "move": relocate point. With n1+n2 the destination is explicit
+//     (absolute pos); without, the point slides along its own edge to the
+//     [0,1] fraction pos.
+//   - "delete": remove point.
+//
+// Pointer fields distinguish "absent" from node/point 0.
+type MutateOp struct {
+	Op    string  `json:"op"`
+	Point *int32  `json:"point,omitempty"`
+	N1    *int32  `json:"n1,omitempty"`
+	N2    *int32  `json:"n2,omitempty"`
+	Near  *int32  `json:"near,omitempty"`
+	Pos   float64 `json:"pos"`
+	Tag   int32   `json:"tag,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/datasets/{dataset}/points: one batch
+// of mutations, applied atomically — all ops commit under a single epoch bump
+// or the whole batch is rejected.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+}
+
+// DecodeMutate decodes a mutation batch from a JSON body. Shape validation
+// (which fields each op kind needs) happens in LiveOps.
+func DecodeMutate(body io.Reader) (MutateRequest, error) {
+	var req MutateRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return req, fmt.Errorf("bad request body: %v", err)
+	}
+	if len(req.Ops) == 0 {
+		return req, fmt.Errorf("ops must be non-empty")
+	}
+	return req, nil
+}
+
+// LiveOps converts the batch to engine ops, validating each op's shape.
+// Target IDs resolve against the pre-batch view; range checks happen in the
+// engine where the view is known.
+func (r MutateRequest) LiveOps() ([]netclus.LiveOp, error) {
+	ops := make([]netclus.LiveOp, 0, len(r.Ops))
+	for i, m := range r.Ops {
+		edge := m.N1 != nil && m.N2 != nil
+		if (m.N1 != nil) != (m.N2 != nil) {
+			return nil, fmt.Errorf("ops[%d]: n1 and n2 must be given together", i)
+		}
+		switch m.Op {
+		case "insert":
+			if edge == (m.Near != nil) {
+				return nil, fmt.Errorf("ops[%d]: insert needs either n1+n2 or near", i)
+			}
+			if m.Point != nil {
+				return nil, fmt.Errorf("ops[%d]: insert does not take point", i)
+			}
+			if edge {
+				ops = append(ops, netclus.LiveInsert(netclus.NodeID(*m.N1), netclus.NodeID(*m.N2), m.Pos, m.Tag))
+			} else {
+				ops = append(ops, netclus.LiveInsertNear(netclus.PointID(*m.Near), m.Pos, m.Tag))
+			}
+		case "move":
+			if m.Point == nil {
+				return nil, fmt.Errorf("ops[%d]: move needs point", i)
+			}
+			if m.Near != nil {
+				return nil, fmt.Errorf("ops[%d]: move does not take near", i)
+			}
+			if edge {
+				ops = append(ops, netclus.LiveMove(netclus.PointID(*m.Point), netclus.NodeID(*m.N1), netclus.NodeID(*m.N2), m.Pos))
+			} else {
+				ops = append(ops, netclus.LiveMoveSame(netclus.PointID(*m.Point), m.Pos))
+			}
+		case "delete":
+			if m.Point == nil {
+				return nil, fmt.Errorf("ops[%d]: delete needs point", i)
+			}
+			if edge || m.Near != nil {
+				return nil, fmt.Errorf("ops[%d]: delete takes only point", i)
+			}
+			ops = append(ops, netclus.LiveDelete(netclus.PointID(*m.Point)))
+		default:
+			return nil, fmt.Errorf("ops[%d]: unknown op %q (want insert, move or delete)", i, m.Op)
+		}
+	}
+	return ops, nil
+}
+
+// MutateResponse is the body of a committed mutation batch. Epoch is the
+// epoch the batch produced — the first epoch whose reads reflect it.
+type MutateResponse struct {
+	Dataset string `json:"dataset"`
+	Epoch   int64  `json:"epoch"`
+	Applied int    `json:"applied"`
+	Points  int    `json:"points"`
+}
+
 // PointDist is one (point, distance) result row.
 type PointDist struct {
 	Point netclus.PointID `json:"point"`
@@ -442,6 +543,12 @@ type DatasetInfo struct {
 	Shards     int                         `json:"shards,omitempty"`
 	ShardSet   *netclus.ShardedSetStats    `json:"shard_set,omitempty"`
 	ShardServe *netclus.ShardedSetCounters `json:"shard_serve,omitempty"`
+
+	// Live-dataset write-path telemetry (absent for immutable datasets):
+	// epoch, point count, pending delta ops, batch/op/rejection counters,
+	// compactions and pause timings. Additive, so the golden contract above
+	// is untouched.
+	Live *netclus.LiveStats `json:"live,omitempty"`
 }
 
 // DatasetsResponse is the /v1/datasets payload.

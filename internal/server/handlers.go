@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -61,10 +62,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *Dataset)
 		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	epoch := d.Epoch()
+	va := d.viewAt()
+	epoch := va.epoch
 	c := s.cacheFor(d)
 	if c == nil {
-		resp, _, err := s.computeRange(r.Context(), d, epoch, req)
+		resp, _, err := s.computeRange(r.Context(), d, va, req)
 		if err != nil {
 			s.queryError(w, r, err)
 			return
@@ -97,7 +99,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *Dataset)
 	}
 	d.cstats.misses.Add(1)
 	body, shared, err := c.Do(r.Context(), key, func() ([]byte, error) {
-		resp, vec, err := s.computeRange(r.Context(), d, epoch, req)
+		resp, vec, err := s.computeRange(r.Context(), d, va, req)
 		if err != nil {
 			return nil, err
 		}
@@ -120,11 +122,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *Dataset)
 // computeRange runs the engine for a range request. For the dists flavour it
 // also returns a caller-owned copy of the distance vector, which the cache
 // stores for ε-containment reuse.
-func (s *Server) computeRange(ctx context.Context, d *Dataset, epoch int64, req api.RangeRequest) (api.RangeResponse, []netclus.PointDist, error) {
-	view := d.View()
-	box := d.getScratch()
+func (s *Server) computeRange(ctx context.Context, d *Dataset, va viewAt, req api.RangeRequest) (api.RangeResponse, []netclus.PointDist, error) {
+	view := va.graph
+	box := d.getScratchFor(view)
 	defer d.putScratch(box)
-	resp := api.RangeResponse{Dataset: d.Name, Epoch: epoch, Point: req.Point, Eps: req.Eps}
+	resp := api.RangeResponse{Dataset: d.Name, Epoch: va.epoch, Point: req.Point, Eps: req.Eps}
 	if req.Dists {
 		res, err := box.sc.RangeQueryDistCtx(ctx, view, req.Point, req.Eps)
 		if err != nil {
@@ -134,8 +136,10 @@ func (s *Server) computeRange(ctx context.Context, d *Dataset, epoch int64, req 
 		resp.Results = api.PointDists(res)
 		return resp, append([]netclus.PointDist(nil), res...), nil
 	}
-	if req.Prune {
-		box.sc.SetBounder(d.bounds) // nil bounds = plain expansion
+	// The guard matters: a typed-nil *Bounds stored through the interface
+	// would read as a live bounder and send the query down the pruned path.
+	if req.Prune && d.bounds != nil {
+		box.sc.SetBounder(d.bounds)
 	}
 	res, err := box.sc.RangeQueryCtx(ctx, view, req.Point, req.Eps)
 	if err != nil {
@@ -176,10 +180,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
 		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
-	epoch := d.Epoch()
+	va := d.viewAt()
 	c := s.cacheFor(d)
 	if c == nil {
-		resp, err := s.computeKNN(r.Context(), d, epoch, req)
+		resp, err := s.computeKNN(r.Context(), d, va, req)
 		if err != nil {
 			s.queryError(w, r, err)
 			return
@@ -187,7 +191,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
 		writeBody(w, encodeBody(resp), "")
 		return
 	}
-	key := resultKey(d.Name, epoch, "knn", req.Canonical())
+	key := resultKey(d.Name, va.epoch, "knn", req.Canonical())
 	if body, ok := c.Get(key, ""); ok {
 		d.cstats.hits.Add(1)
 		writeBody(w, body, "hit")
@@ -195,7 +199,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
 	}
 	d.cstats.misses.Add(1)
 	body, shared, err := c.Do(r.Context(), key, func() ([]byte, error) {
-		resp, err := s.computeKNN(r.Context(), d, epoch, req)
+		resp, err := s.computeKNN(r.Context(), d, va, req)
 		if err != nil {
 			return nil, err
 		}
@@ -216,8 +220,8 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, d *Dataset) {
 }
 
 // computeKNN runs the engine for a kNN request.
-func (s *Server) computeKNN(ctx context.Context, d *Dataset, epoch int64, req api.KNNRequest) (api.KNNResponse, error) {
-	view := d.View()
+func (s *Server) computeKNN(ctx context.Context, d *Dataset, va viewAt, req api.KNNRequest) (api.KNNResponse, error) {
+	view := va.graph
 	var (
 		res    []netclus.PointDist
 		err    error
@@ -239,7 +243,7 @@ func (s *Server) computeKNN(ctx context.Context, d *Dataset, epoch int64, req ap
 		return api.KNNResponse{}, err
 	}
 	return api.KNNResponse{
-		Dataset: d.Name, Epoch: epoch, Point: req.Point, K: req.K,
+		Dataset: d.Name, Epoch: va.epoch, Point: req.Point, K: req.K,
 		Pruned: pruned, Results: api.PointDists(res),
 	}, nil
 }
@@ -269,10 +273,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 	if req.Workers > s.cfg.MaxClusterWorkers {
 		req.Workers = s.cfg.MaxClusterWorkers
 	}
-	epoch := d.Epoch()
+	va := d.viewAt()
 	c := s.cacheFor(d)
 	if c == nil {
-		resp, err := s.computeCluster(r.Context(), d, epoch, req)
+		resp, err := s.computeCluster(r.Context(), d, va, req)
 		if err != nil {
 			s.queryError(w, r, err)
 			return
@@ -280,7 +284,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 		writeBody(w, encodeBody(resp), "")
 		return
 	}
-	key := resultKey(d.Name, epoch, "cluster", req.Canonical())
+	key := resultKey(d.Name, va.epoch, "cluster", req.Canonical())
 	if body, ok := c.Get(key, ""); ok {
 		d.cstats.hits.Add(1)
 		writeBody(w, body, "hit")
@@ -288,7 +292,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 	}
 	d.cstats.misses.Add(1)
 	body, shared, err := c.Do(r.Context(), key, func() ([]byte, error) {
-		resp, err := s.computeCluster(r.Context(), d, epoch, req)
+		resp, err := s.computeCluster(r.Context(), d, va, req)
 		if err != nil {
 			return nil, err
 		}
@@ -308,14 +312,20 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request, d *Datase
 	writeBody(w, body, tag)
 }
 
-// computeCluster runs one clustering job against the dataset.
-func (s *Server) computeCluster(ctx context.Context, d *Dataset, epoch int64, req api.ClusterRequest) (api.ClusterResponse, error) {
+// computeCluster runs one clustering job against the dataset. On live
+// datasets with incrementally maintained labellings, matching dbscan/epslink
+// requests are answered from the view's published labels — identical to the
+// full recompute (the overlay's equivalence tests pin that) at a copy's cost.
+func (s *Server) computeCluster(ctx context.Context, d *Dataset, va viewAt, req api.ClusterRequest) (api.ClusterResponse, error) {
+	if resp, ok := liveCluster(d, va, req); ok {
+		return resp, nil
+	}
 	var bounds netclus.Bounder
 	if d.bounds != nil && req.PruneEnabled() {
 		bounds = d.bounds
 	}
-	view := d.View()
-	resp := api.ClusterResponse{Dataset: d.Name, Epoch: epoch, Algo: req.Algo}
+	view := va.graph
+	resp := api.ClusterResponse{Dataset: d.Name, Epoch: va.epoch, Algo: req.Algo}
 	var labels []int32
 	switch req.Algo {
 	case "dbscan":
@@ -373,6 +383,54 @@ func (s *Server) computeCluster(ctx context.Context, d *Dataset, epoch int64, re
 	return resp, nil
 }
 
+// liveCluster tries to answer a clustering request from the incrementally
+// maintained labelling the live view carries. It applies when the algorithm
+// and its density parameters match the overlay's configuration — Workers and
+// Prune never change clustering output, so they don't gate the path. Labels
+// are copied (MinSup suppression mutates); Stats stay zero: no traversal ran,
+// which is the point. The epslink fast path additionally requires MinSup <= 1
+// because core.EpsLink folds MinSup into its labelling.
+func liveCluster(d *Dataset, va viewAt, req api.ClusterRequest) (api.ClusterResponse, bool) {
+	if va.live == nil {
+		return api.ClusterResponse{}, false
+	}
+	resp := api.ClusterResponse{Dataset: d.Name, Epoch: va.epoch, Algo: req.Algo}
+	var labels []int32
+	switch req.Algo {
+	case "dbscan":
+		ls, _, corePts, ok := va.live.LiveDBSCAN(req.Eps, req.MinPts)
+		if !ok {
+			return resp, false
+		}
+		labels = append([]int32(nil), ls...)
+		resp.CorePoints = corePts
+	case "epslink":
+		if req.MinSup > 1 {
+			return resp, false
+		}
+		ls, _, ok := va.live.LiveEpsLink(req.Eps)
+		if !ok {
+			return resp, false
+		}
+		labels = append([]int32(nil), ls...)
+	default:
+		return resp, false
+	}
+	if req.MinSup > 1 {
+		netclus.SuppressSmallClusters(labels, req.MinSup)
+	}
+	resp.Clusters = netclus.CountClusters(labels)
+	for _, l := range labels {
+		if l == netclus.Noise {
+			resp.Noise++
+		}
+	}
+	if req.Labels {
+		resp.Labels = labels
+	}
+	return resp, true
+}
+
 func statsJSON(st netclus.ClusterStats) api.ClusterStats {
 	return api.ClusterStats{
 		NodesSettled: st.NodesSettled,
@@ -381,6 +439,40 @@ func statsJSON(st netclus.ClusterStats) api.ClusterStats {
 		GroupsRead:   st.GroupsRead,
 		RangeQueries: st.RangeQueries,
 	}
+}
+
+// handleMutate serves POST /v1/datasets/{dataset}/points: one batch of point
+// mutations, applied atomically under a single epoch bump. The response's
+// Epoch is the first epoch whose reads reflect the batch — by the time the
+// client sees it, the new view is published and every result cached under an
+// older epoch is unreachable (its key names the stale epoch). Mutations ride
+// the standard query middleware, so they flow through the uniform error
+// envelope and pay their own admission weight class ("write").
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	ov := d.Live()
+	if ov == nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("dataset %q is immutable (serve it with the live option to accept writes)", d.Name))
+		return
+	}
+	req, err := api.DecodeMutate(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	ops, err := req.LiveOps()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	res, err := ov.Apply(r.Context(), ops)
+	if err != nil {
+		s.queryError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.MutateResponse{
+		Dataset: d.Name, Epoch: res.Epoch, Applied: len(ops), Points: res.Points,
+	})
 }
 
 // handleDatasets serves GET /v1/datasets: the registry with live counters,
@@ -410,6 +502,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			info.Shards = st.Shards
 			info.ShardSet = &st
 			info.ShardServe = &ct
+		}
+		if ov := d.Live(); ov != nil {
+			st := ov.Stats()
+			info.Live = &st
+			// The static point count is the load-time one; live datasets
+			// report the published view's.
+			info.Points = st.Points
+			info.Epoch = st.Epoch
 		}
 		out = append(out, info)
 	}

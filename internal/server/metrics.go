@@ -294,6 +294,34 @@ func writeDatasetMetrics(w io.Writer, reg *Registry) {
 			fmt.Fprintf(w, "netclusd_csr_resident_bytes{dataset=%q} %d\n", d.Name, cs.ResidentBytes)
 		}
 	}
+	fmt.Fprintf(w, "# HELP netclusd_dataset_live Dataset accepts writes through a mutable overlay.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_dataset_live gauge\n")
+	for _, d := range reg.List() {
+		live := 0
+		if d.Live() != nil {
+			live = 1
+		}
+		fmt.Fprintf(w, "netclusd_dataset_live{dataset=%q} %d\n", d.Name, live)
+	}
+	fmt.Fprintf(w, "# HELP netclusd_dataset_epoch Current content epoch of the dataset.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_dataset_epoch gauge\n")
+	for _, d := range reg.List() {
+		fmt.Fprintf(w, "netclusd_dataset_epoch{dataset=%q} %d\n", d.Name, d.Epoch())
+	}
+	fmt.Fprintf(w, "# HELP netclusd_delta_pending_ops Delta ops awaiting the next compaction, per live dataset.\n")
+	fmt.Fprintf(w, "# TYPE netclusd_delta_pending_ops gauge\n")
+	for _, d := range reg.List() {
+		if ov := d.Live(); ov != nil {
+			fmt.Fprintf(w, "netclusd_delta_pending_ops{dataset=%q} %d\n", d.Name, ov.Stats().PendingOps)
+		}
+	}
+	fmt.Fprintf(w, "# HELP netclusd_compact_pause_seconds Swap pause of the most recent compaction (replay plus refreeze).\n")
+	fmt.Fprintf(w, "# TYPE netclusd_compact_pause_seconds gauge\n")
+	for _, d := range reg.List() {
+		if ov := d.Live(); ov != nil {
+			fmt.Fprintf(w, "netclusd_compact_pause_seconds{dataset=%q} %g\n", d.Name, ov.Stats().LastPauseMS/1e3)
+		}
+	}
 	fmt.Fprintf(w, "# HELP netclusd_dataset_shards Shard count of scatter-gather datasets (0 = unsharded).\n")
 	fmt.Fprintf(w, "# TYPE netclusd_dataset_shards gauge\n")
 	for _, d := range reg.List() {
@@ -315,6 +343,13 @@ func writeDatasetMetrics(w io.Writer, reg *Registry) {
 	for _, d := range reg.List() {
 		ds := fmt.Sprintf("dataset=%q", d.Name)
 		add("netclusd_dataset_queries_total", ds, d.Queries())
+		if ov := d.Live(); ov != nil {
+			st := ov.Stats()
+			add("netclusd_write_batches_total", ds, st.Batches)
+			add("netclusd_write_ops_total", ds, st.Ops)
+			add("netclusd_write_rejected_total", ds, st.Rejected)
+			add("netclusd_compactions_total", ds, st.Compactions)
+		}
 		if sh := d.Sharded(); sh != nil {
 			ct := sh.Counters()
 			add("netclusd_shard_queries_total", ds, ct.Queries)

@@ -42,6 +42,7 @@ type Dataset struct {
 	store   *netclus.Store      // nil for in-memory datasets
 	hot     *netclus.Snapshot   // compiled CSR replica; nil unless requested
 	sharded *netclus.ShardedSet // scatter-gather set; nil for unsharded datasets
+	live    *netclus.LiveOverlay // mutable overlay; nil for immutable datasets
 	bounds  *netclus.Bounds
 	knnb    *knnBatcher // coalesces kNN requests on hot datasets; wired by New
 
@@ -163,8 +164,40 @@ func NewShardedDataset(name, source string, set *netclus.ShardedSet) (*Dataset, 
 	return d, nil
 }
 
+// NewLiveDataset serves base (a compiled snapshot or in-memory network)
+// behind a mutable delta overlay: POST /v1/datasets/{name}/points mutates it,
+// reads resolve through the overlay's published views, and every committed
+// batch or compaction swap bumps the dataset epoch exactly once — which is
+// what strands stale result-cache entries. Kind is "live". Pruning bounds and
+// the kNN batcher are not built: both are compiled against one immutable
+// point numbering, and a live dataset's changes every epoch.
+func NewLiveDataset(name, source string, base netclus.Graph, opts netclus.LiveOptions) (*Dataset, error) {
+	d := &Dataset{
+		Name: name, Kind: "live", Source: source,
+	}
+	d.epoch.Store(1)
+	// The overlay owns the epoch counter: its reconciler bumps d.epoch as the
+	// final step of publishing each view, before the writer is acked, so a
+	// client that saw its write commit can never read a stale cached result.
+	opts.Bump = d.BumpEpoch
+	opts.InitialEpoch = 1
+	ov, err := netclus.NewLiveOverlay(base, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: building live overlay: %w", name, err)
+	}
+	d.live = ov
+	d.graph = base
+	d.nodes = base.NumNodes()
+	d.edges = base.NumEdges()
+	d.points = base.NumPoints()
+	return d, nil
+}
+
 // Sharded returns the dataset's scatter-gather set, nil when unsharded.
 func (d *Dataset) Sharded() *netclus.ShardedSet { return d.sharded }
+
+// Live returns the dataset's mutable overlay, nil for immutable datasets.
+func (d *Dataset) Live() *netclus.LiveOverlay { return d.live }
 
 // HotSnapshot returns the compiled CSR replica, nil when the dataset is not
 // hot — the handle the serve command persists with WriteSnapshotFile.
@@ -192,11 +225,35 @@ func (d *Dataset) buildBounds(landmarks int) error {
 	return nil
 }
 
-// View returns a graph read view for one request goroutine: the hot CSR
-// replica when one was compiled (shared and immutable, so no per-request
-// state), else a fresh Store reader for disk datasets, else the shared
-// immutable network.
+// viewAt is one request's atomic (graph, epoch) pair, plus the live view it
+// came from when the dataset is mutable. Handlers must resolve both together:
+// on a live dataset the epoch moves under them, and a response stamped with
+// epoch E must have been computed on exactly the view published at E.
+type viewAt struct {
+	graph netclus.Graph
+	epoch int64
+	live  *netclus.LiveView // non-nil only for live datasets
+}
+
+// viewAt pins the graph and epoch a request runs against. For live datasets
+// the published LiveView carries both (one atomic load); immutable datasets
+// never move, so reading them separately is equivalent.
+func (d *Dataset) viewAt() viewAt {
+	if d.live != nil {
+		cur := d.live.Current()
+		return viewAt{graph: cur.Graph, epoch: cur.Epoch, live: cur}
+	}
+	return viewAt{graph: d.View(), epoch: d.Epoch()}
+}
+
+// View returns a graph read view for one request goroutine: the current live
+// view for mutable datasets, the hot CSR replica when one was compiled
+// (shared and immutable, so no per-request state), else a fresh Store reader
+// for disk datasets, else the shared immutable network.
 func (d *Dataset) View() netclus.Graph {
+	if d.live != nil {
+		return d.live.Current().Graph
+	}
 	if d.hot != nil {
 		return d.hot
 	}
@@ -239,12 +296,25 @@ func (d *Dataset) ResultCacheStats() api.ResultCacheStats {
 	}
 }
 
-// NumPoints returns the dataset's point count without touching the graph.
-func (d *Dataset) NumPoints() int { return d.points }
+// NumPoints returns the dataset's current point count; for live datasets this
+// tracks the published view.
+func (d *Dataset) NumPoints() int {
+	if d.live != nil {
+		return d.live.Current().Points
+	}
+	return d.points
+}
 
-// getScratch takes pooled range-query scratch; steady-state queries therefore
-// allocate no traversal state. The box must go back via putScratch.
-func (d *Dataset) getScratch() *scratchBox {
+// getScratchFor takes range-query scratch for one request against view.
+// Immutable datasets pool it, so steady-state queries allocate no traversal
+// state. Live datasets allocate fresh scratch per request: range scratch is
+// sized to the point count of the graph it was created for, and a live view's
+// count moves every epoch — pooled scratch from a larger epoch would be
+// wasteful and from a smaller one unsafe.
+func (d *Dataset) getScratchFor(view netclus.Graph) *scratchBox {
+	if d.live != nil {
+		return &scratchBox{sc: netclus.ScratchFor(view)}
+	}
 	if b, ok := d.scratch.Get().(*scratchBox); ok {
 		return b
 	}
@@ -256,8 +326,9 @@ func (d *Dataset) getScratch() *scratchBox {
 	return &scratchBox{sc: netclus.ScratchFor(d.graph)}
 }
 
-// putScratch returns scratch to the pool, folding the prune work it did since
-// the last harvest into the dataset aggregate.
+// putScratch folds the prune work the scratch did since the last harvest into
+// the dataset aggregate, then returns it to the pool (live scratch is
+// per-epoch and just dropped).
 func (d *Dataset) putScratch(b *scratchBox) {
 	b.sc.SetBounder(nil)
 	now := b.sc.PruneStats()
@@ -266,6 +337,9 @@ func (d *Dataset) putScratch(b *scratchBox) {
 	d.mu.Lock()
 	d.prune.Add(delta)
 	d.mu.Unlock()
+	if d.live != nil {
+		return
+	}
 	d.scratch.Put(b)
 }
 
@@ -307,8 +381,12 @@ func (d *Dataset) StoreStats() (netclus.StoreStats, bool) {
 	return netclus.SnapshotStore(d.store).Sub(d.base), true
 }
 
-// Close releases the dataset's disk resources (a no-op for in-memory ones).
+// Close stops the live overlay's background goroutines and releases the
+// dataset's disk resources (a no-op for plain in-memory datasets).
 func (d *Dataset) Close() error {
+	if d.live != nil {
+		d.live.Close()
+	}
 	if d.store == nil {
 		return nil
 	}

@@ -26,6 +26,11 @@ type EndpointCosts struct {
 	Range   int64 `json:"range"`
 	KNN     int64 `json:"knn"`
 	Cluster int64 `json:"cluster"`
+	// Write is the admission cost of a mutation batch. Writes serialize
+	// through the dataset's reconciler and trigger incremental re-clustering,
+	// so they weigh more than a point query but far less than a full
+	// clustering job.
+	Write int64 `json:"write"`
 }
 
 func (c EndpointCosts) withDefaults() EndpointCosts {
@@ -37,6 +42,9 @@ func (c EndpointCosts) withDefaults() EndpointCosts {
 	}
 	if c.Cluster <= 0 {
 		c.Cluster = 8
+	}
+	if c.Write <= 0 {
+		c.Write = 2
 	}
 	return c
 }
@@ -137,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/{dataset}/knn", s.query("knn", s.cfg.Costs.KNN, s.handleKNN))
 	s.mux.HandleFunc("GET /v1/{dataset}/cluster", s.query("cluster", s.cfg.Costs.Cluster, s.handleCluster))
 	s.mux.HandleFunc("POST /v1/{dataset}/cluster", s.query("cluster", s.cfg.Costs.Cluster, s.handleCluster))
+	s.mux.HandleFunc("POST /v1/datasets/{dataset}/points", s.query("write", s.cfg.Costs.Write, s.handleMutate))
 	s.http = &http.Server{Addr: cfg.Addr, Handler: s.mux}
 	return s, nil
 }
@@ -325,7 +334,7 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 		status, code = http.StatusNotFound, api.CodeNotFound
 	case errors.Is(err, netclus.ErrInvalidOptions):
 		status, code = http.StatusBadRequest, api.CodeBadRequest
-	case errors.Is(err, netclus.ErrStoreClosed):
+	case errors.Is(err, netclus.ErrStoreClosed), errors.Is(err, netclus.ErrLiveClosed):
 		status, code = http.StatusServiceUnavailable, api.CodeUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status, code = http.StatusGatewayTimeout, api.CodeTimeout

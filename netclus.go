@@ -48,6 +48,7 @@ import (
 
 	"netclus/internal/core"
 	"netclus/internal/csr"
+	"netclus/internal/delta"
 	"netclus/internal/lbound"
 	"netclus/internal/network"
 	"netclus/internal/pagebuf"
@@ -587,3 +588,48 @@ func RenderSVG(w io.Writer, n *Network, labels []int32, opts RenderOptions) erro
 
 // RenderOptions configure RenderSVG.
 type RenderOptions = viz.Options
+
+// --- Live mutable overlays (internal/delta): the write path. -------------
+
+// LiveOverlay is an epoch-versioned mutable overlay over an immutable base
+// graph: point insert/move/delete batches land in per-shard write buffers, a
+// reconciler applies them atomically and publishes frozen merged views, and
+// a background compactor recompiles the base when the delta grows. See
+// DESIGN.md §13.
+type LiveOverlay = delta.Overlay
+
+// LiveOptions configure a LiveOverlay.
+type LiveOptions = delta.Options
+
+// LiveClusterOptions enable incrementally maintained ε-Link/DBSCAN labels.
+type LiveClusterOptions = delta.LiveOptions
+
+// LiveOp is one point mutation in a batch.
+type LiveOp = delta.Op
+
+// LiveResult reports the epoch and point count a committed batch produced.
+type LiveResult = delta.Result
+
+// LiveView is one published read view of a LiveOverlay.
+type LiveView = delta.Current
+
+// LiveStats snapshots a LiveOverlay's write-path counters.
+type LiveStats = delta.Stats
+
+// ErrLiveClosed reports a mutation against a closed overlay.
+var ErrLiveClosed = delta.ErrClosed
+
+// NewLiveOverlay wraps base (a Network or Snapshot; store readers are not
+// supported) in a mutable overlay.
+func NewLiveOverlay(base Graph, opts LiveOptions) (*LiveOverlay, error) {
+	return delta.New(base, opts)
+}
+
+// Mutation constructors, re-exported for writers.
+var (
+	LiveInsert     = delta.Insert
+	LiveInsertNear = delta.InsertNear
+	LiveMove       = delta.Move
+	LiveMoveSame   = delta.MoveSame
+	LiveDelete     = delta.Delete
+)
