@@ -21,12 +21,14 @@ package netclus_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"netclus"
 )
@@ -42,6 +44,13 @@ type benchCSREntry struct {
 	// GOMAXPROCS is recorded per entry: parallel legs are meaningless
 	// without the processor count they actually ran under.
 	GOMAXPROCS int `json:"gomaxprocs"`
+	// CritNsPerOp is the modeled critical path of the fused clustering
+	// legs (min over iterations of Stats.CritNs): the slowest worker
+	// stripe plus the serial merge, i.e. what a host with one core per
+	// worker would pay. On hosts with fewer cores than workers the wall
+	// time cannot scale, but the critical path still does — the same
+	// convention the shard suite's crit entries use.
+	CritNsPerOp float64 `json:"crit_ns_per_op,omitempty"`
 }
 
 type benchCSRReport struct {
@@ -58,15 +67,61 @@ type benchCSRReport struct {
 	// stripping the worker leg and then trailing -variant segments
 	// (knn-batch/workers=2 scores against network/knn).
 	SpeedupVsNetwork map[string]float64 `json:"speedup_vs_network"`
+	// ParallelScaling is crit(workers=1) / crit(workers=4) per fused
+	// clustering workload: how much of the engine's work parallelizes,
+	// measured on the modeled critical path so the number is meaningful
+	// even when GOMAXPROCS caps the realized wall time.
+	ParallelScaling map[string]float64 `json:"parallel_scaling,omitempty"`
 }
 
 func recordBenchCSR(b *testing.B, name string, nsPerOp float64) {
+	recordBenchCSRCrit(b, name, nsPerOp, 0)
+}
+
+func recordBenchCSRCrit(b *testing.B, name string, nsPerOp, critNsPerOp float64) {
 	b.Helper()
 	benchCSRMu.Lock()
 	benchCSRResults[name] = benchCSREntry{
 		NsPerOp: nsPerOp, Iters: b.N, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CritNsPerOp: critNsPerOp,
 	}
 	benchCSRMu.Unlock()
+}
+
+// minIterCrit is minIter for the fused clustering legs: fn reports each
+// iteration's modeled critical path (Stats.CritNs) and both minima are
+// returned — wall for the speedup map, crit for the scaling map.
+func minIterCrit(b *testing.B, fn func() int64) (minNs, minCrit float64) {
+	minNs, minCrit = math.Inf(1), math.Inf(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		crit := fn()
+		if d := float64(time.Since(t0).Nanoseconds()); d < minNs {
+			minNs = d
+		}
+		if c := float64(crit); c < minCrit {
+			minCrit = c
+		}
+	}
+	b.StopTimer()
+	return minNs, minCrit
+}
+
+// csrParallelScaling derives crit(workers=1)/crit(workers=4) per fused
+// clustering workload from the recorded entries.
+func csrParallelScaling(results map[string]benchCSREntry) map[string]float64 {
+	out := map[string]float64{}
+	for name, w1 := range results {
+		op, ok := strings.CutSuffix(name, "/workers=1")
+		if !ok || w1.CritNsPerOp <= 0 {
+			continue
+		}
+		if w4, ok := results[op+"/workers=4"]; ok && w4.CritNsPerOp > 0 {
+			out[strings.TrimPrefix(op, "csr/")] = w1.CritNsPerOp / w4.CritNsPerOp
+		}
+	}
+	return out
 }
 
 // csrSpeedups derives the speedup map from the recorded entries: every
@@ -139,6 +194,7 @@ func BenchmarkCSRSuite(b *testing.B) {
 			return
 		}
 		report.SpeedupVsNetwork = csrSpeedups(benchCSRResults)
+		report.ParallelScaling = csrParallelScaling(benchCSRResults)
 		writeBenchReport(b, "BENCH_csr.json", report)
 	})
 
@@ -152,6 +208,12 @@ func BenchmarkCSRSuite(b *testing.B) {
 	}
 	eps := gen.Eps()
 	epsWide := eps * 16
+	// ε-Link links at half the DBSCAN radius: at the full radius the run
+	// degenerates to a handful of giant clusters found in about one network
+	// traversal, where fixed per-run costs dominate both backends. Half the
+	// radius is the fine-grained regime the algorithm targets (hundreds of
+	// kept clusters after min_sup) and keeps the legs traversal-bound.
+	epsEL := eps * 0.5
 	rng := rand.New(rand.NewSource(1))
 	probes := make([]netclus.PointID, 256)
 	for i := range probes {
@@ -164,7 +226,7 @@ func BenchmarkCSRSuite(b *testing.B) {
 	// Label equivalence across all backends before any timing, both
 	// k-medoids modes (the incremental default and the recompute ablation
 	// both ride the Δ-stepping expansion on snapshots).
-	var wantDB, wantKM, wantMP []int32
+	var wantDB, wantKM, wantMP, wantEL []int32
 	for _, bk := range backends {
 		db, err := netclus.DBSCANCtx(ctx, bk.g, netclus.DBSCANOptions{Eps: eps, MinPts: 3})
 		if err != nil {
@@ -178,13 +240,32 @@ func BenchmarkCSRSuite(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		el, err := netclus.EpsLinkCtx(ctx, bk.g, netclus.EpsLinkOptions{Eps: epsEL, MinSup: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if bk.name == "csr" {
-			wantDB, wantKM, wantMP = db.Labels, km.Labels, mp.Labels
+			wantDB, wantKM, wantMP, wantEL = db.Labels, km.Labels, mp.Labels, el.Labels
 			continue
 		}
 		if !reflect.DeepEqual(wantDB, db.Labels) || !reflect.DeepEqual(wantKM, km.Labels) ||
-			!reflect.DeepEqual(wantMP, mp.Labels) {
+			!reflect.DeepEqual(wantMP, mp.Labels) || !reflect.DeepEqual(wantEL, el.Labels) {
 			b.Fatalf("backend %s: labels differ from csr", bk.name)
+		}
+	}
+	// The fused engine (Workers >= 1 on the snapshot) must reproduce the
+	// sequential labels exactly before its legs are timed.
+	for _, workers := range []int{1, 4} {
+		db, err := netclus.DBSCANCtx(ctx, sn, netclus.DBSCANOptions{Eps: eps, MinPts: 3, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		el, err := netclus.EpsLinkCtx(ctx, sn, netclus.EpsLinkOptions{Eps: epsEL, MinSup: 3, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantDB, db.Labels) || !reflect.DeepEqual(wantEL, el.Labels) {
+			b.Fatalf("fused engine workers=%d: labels differ from sequential", workers)
 		}
 	}
 
@@ -229,6 +310,14 @@ func BenchmarkCSRSuite(b *testing.B) {
 				}
 			})
 			recordBenchCSR(b, bk.name+"/dbscan", minNs)
+		})
+		b.Run(bk.name+"/epslink", func(b *testing.B) {
+			minNs := minIter(b, func() {
+				if _, err := netclus.EpsLinkCtx(ctx, bk.g, netclus.EpsLinkOptions{Eps: epsEL, MinSup: 3}); err != nil {
+					b.Fatal(err)
+				}
+			})
+			recordBenchCSR(b, bk.name+"/epslink", minNs)
 		})
 		b.Run(bk.name+"/kmedoids", func(b *testing.B) {
 			minNs := minIter(b, func() {
@@ -278,6 +367,26 @@ func BenchmarkCSRSuite(b *testing.B) {
 				}
 			})
 			recordBenchCSR(b, fmt.Sprintf("csr/range-wide-par/workers=%d", workers), minNs)
+		})
+		b.Run(fmt.Sprintf("csr/dbscan/workers=%d", workers), func(b *testing.B) {
+			minNs, minCrit := minIterCrit(b, func() int64 {
+				res, err := netclus.DBSCANCtx(ctx, sn, netclus.DBSCANOptions{Eps: eps, MinPts: 3, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Stats.CritNs
+			})
+			recordBenchCSRCrit(b, fmt.Sprintf("csr/dbscan/workers=%d", workers), minNs, minCrit)
+		})
+		b.Run(fmt.Sprintf("csr/epslink/workers=%d", workers), func(b *testing.B) {
+			minNs, minCrit := minIterCrit(b, func() int64 {
+				res, err := netclus.EpsLinkCtx(ctx, sn, netclus.EpsLinkOptions{Eps: epsEL, MinSup: 3, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Stats.CritNs
+			})
+			recordBenchCSRCrit(b, fmt.Sprintf("csr/epslink/workers=%d", workers), minNs, minCrit)
 		})
 		b.Run(fmt.Sprintf("csr/knn-batch/workers=%d", workers), func(b *testing.B) {
 			kb := sn.NewKNNBatch()

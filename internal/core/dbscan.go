@@ -70,6 +70,13 @@ func DBSCANCtx(ctx context.Context, g network.Graph, opts DBSCANOptions) (*DBSCA
 	if opts.MinPts < 1 {
 		return nil, fmt.Errorf("%w: DBSCAN: MinPts must be >= 1 (got %d)", ErrInvalidOptions, opts.MinPts)
 	}
+	// An explicit Workers request (>= 1) on a graph with a fused clustering
+	// engine runs the kernel path; Workers left zero keeps the sequential
+	// expansion, and graphs without a kernel fall back to the generic
+	// two-pass fan-out. All three produce identical labels.
+	if ck, ok := g.(network.ClusterKernel); ok && opts.Workers >= 1 {
+		return dbscanKernel(ctx, g, ck, opts, normWorkers(opts.Workers))
+	}
 	if workers := normWorkers(opts.Workers); workers > 1 {
 		return dbscanParallel(ctx, g, opts, workers)
 	}

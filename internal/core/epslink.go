@@ -97,8 +97,18 @@ func EpsLinkCtx(ctx context.Context, g network.Graph, opts EpsLinkOptions) (*Eps
 	if !(opts.Eps > 0) {
 		return nil, fmt.Errorf("%w: EpsLink: Eps must be > 0 (got %v)", ErrInvalidOptions, opts.Eps)
 	}
+	// An explicit Workers request (>= 1) on a graph with a fused clustering
+	// engine runs the kernel path; otherwise graphs with a native flat
+	// Fig. 6 port run it sequentially, and everything else runs the generic
+	// traversal below. All paths produce identical labels.
+	if ck, ok := g.(network.ClusterKernel); ok && opts.Workers >= 1 {
+		return epsLinkKernel(ctx, g, ck, opts, normWorkers(opts.Workers))
+	}
 	if workers := normWorkers(opts.Workers); workers > 1 {
 		return epsLinkParallel(ctx, g, opts, workers)
+	}
+	if lk, ok := g.(network.EpsLinkKernel); ok {
+		return epsLinkFlat(ctx, g, lk, opts)
 	}
 	n := g.NumPoints()
 	res := &EpsLinkResult{Labels: make([]int32, n)}
@@ -138,8 +148,7 @@ func EpsLinkCtx(ctx context.Context, g network.Graph, opts EpsLinkOptions) (*Eps
 		next++
 	}
 	res.ClustersFound = int(next)
-	SuppressSmallClusters(res.Labels, opts.MinSup)
-	res.NumClusters = CountClusters(res.Labels)
+	res.NumClusters = suppressAndCountDense(res.Labels, opts.MinSup, int(next))
 	return res, nil
 }
 
@@ -324,7 +333,6 @@ func epsLinkParallel(ctx context.Context, g network.Graph, opts EpsLinkOptions, 
 	for _, st := range statsArr {
 		res.Stats.add(st)
 	}
-	SuppressSmallClusters(res.Labels, opts.MinSup)
-	res.NumClusters = CountClusters(res.Labels)
+	res.NumClusters = suppressAndCountDense(res.Labels, opts.MinSup, res.ClustersFound)
 	return res, nil
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"netclus/internal/network"
 	"netclus/internal/unionfind"
@@ -115,11 +117,56 @@ func mergeUnionFinds(ufs []*unionfind.UF) *unionfind.UF {
 			dst = src
 			continue
 		}
-		for i := 0; i < src.Len(); i++ {
-			dst.Union(i, src.Find(i))
-		}
+		src.MergeInto(dst)
 	}
 	return dst
+}
+
+// mergeUnionFindsCrit folds the shards pairwise in log2(len) rounds — the
+// merges within a round touch disjoint shard pairs, so they run concurrently
+// (when the host has spare processors) and each round charges only its
+// slowest merge to the returned critical path. Unions commute, so the folded
+// partition is identical to the sequential left fold. wallNs is the realized
+// elapsed time. All shards must be non-nil (the kernel paths build one per
+// worker upfront).
+func mergeUnionFindsCrit(ufs []*unionfind.UF) (uf *unionfind.UF, critNs, wallNs int64) {
+	live := make([]*unionfind.UF, len(ufs))
+	copy(live, ufs)
+	t0 := time.Now()
+	for len(live) > 1 {
+		half := (len(live) + 1) / 2
+		pairs := len(live) - half
+		roundNs := make([]int64, pairs)
+		run := func(i int) {
+			m0 := time.Now()
+			live[half+i].MergeInto(live[i])
+			roundNs[i] = time.Since(m0).Nanoseconds()
+		}
+		if pairs > 1 && runtime.GOMAXPROCS(0) > 1 {
+			var wg sync.WaitGroup
+			for i := 0; i < pairs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					run(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < pairs; i++ {
+				run(i)
+			}
+		}
+		var max int64
+		for _, ns := range roundNs {
+			if ns > max {
+				max = ns
+			}
+		}
+		critNs += max
+		live = live[:half]
+	}
+	return live[0], critNs, time.Since(t0).Nanoseconds()
 }
 
 // labelComponents assigns cluster labels by ascending minimum member: it

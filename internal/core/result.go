@@ -30,6 +30,14 @@ type Stats struct {
 	GroupsRead   int // point-group fetches
 	RangeQueries int // ε-range queries issued (DBSCAN)
 
+	// CritNs and WallNs model parallel clustering runs through a fused
+	// kernel (network.ClusterKernel): CritNs is the critical path — the
+	// slowest worker stripe plus the serial merge — i.e. what a host with
+	// one core per worker would pay, WallNs the realized wall time on this
+	// host. Both zero for runs that did not go through a kernel.
+	CritNs int64
+	WallNs int64
+
 	// Prune counts the work saved by lower-bound pruning; all-zero when no
 	// Bounder was configured.
 	Prune network.PruneStats
@@ -41,6 +49,8 @@ func (s *Stats) add(o Stats) {
 	s.EdgesVisited += o.EdgesVisited
 	s.GroupsRead += o.GroupsRead
 	s.RangeQueries += o.RangeQueries
+	s.CritNs += o.CritNs
+	s.WallNs += o.WallNs
 	s.Prune.Add(o.Prune)
 }
 
@@ -83,6 +93,40 @@ func SuppressSmallClusters(labels []int32, minSup int) []int32 {
 		}
 	}
 	return labels
+}
+
+// suppressAndCountDense is SuppressSmallClusters followed by CountClusters
+// for label slices whose non-noise values are dense in [0, found) — the
+// shape every ε-Link path produces (sequential Fig. 6 numbers clusters
+// 0,1,2,… as it discovers them; the parallel paths label components by
+// ascending minimum member). One counting pass over a slice replaces the
+// generic map bookkeeping, which profiles as the dominant cost of ε-Link
+// runs on small-to-medium datasets.
+func suppressAndCountDense(labels []int32, minSup, found int) int {
+	if found <= 0 {
+		return 0
+	}
+	counts := make([]int32, found)
+	for _, l := range labels {
+		if l >= 0 {
+			counts[l]++
+		}
+	}
+	sup := int32(minSup)
+	if sup > 1 {
+		for i, l := range labels {
+			if l >= 0 && counts[l] < sup {
+				labels[i] = Noise
+			}
+		}
+	}
+	num := 0
+	for _, c := range counts {
+		if c >= sup && c > 0 {
+			num++
+		}
+	}
+	return num
 }
 
 // allPointInfos resolves every point once. Several algorithms need a

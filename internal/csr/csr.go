@@ -100,6 +100,14 @@ type Snapshot struct {
 	// prangePool recycles the coordination state of the frontier-parallel
 	// range expansion (bucket queue, proposal buffers, worker slots).
 	prangePool sync.Pool
+
+	// clusterPool recycles the per-stripe coordination state of the fused
+	// clustering passes (CoreFlags / EpsUnions).
+	clusterPool sync.Pool
+
+	// epsPool recycles the flat-array ε-Link traversal state (per-cluster
+	// epoch-stamped NNdist plus the run's clustered flags).
+	epsPool sync.Pool
 }
 
 // tagSource and coordSource are the optional Graph extensions Compile reads

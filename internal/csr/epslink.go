@@ -1,0 +1,274 @@
+package csr
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"netclus/internal/heapx"
+	"netclus/internal/network"
+)
+
+// This file is the flat-array port of the paper's Fig. 6 ε-Link traversal
+// (core.EpsLinkCtx's sequential path): the same algorithm, line for line,
+// but reading the snapshot's rowOff/adjNode/adjW/adjGroup and ptPos arrays
+// directly instead of going through the Graph interface, with the NNdist
+// array epoch-stamped per cluster and the whole state pooled. Clusters are
+// grown from ascending seed point IDs, so the labels are identical to the
+// generic run by construction.
+
+var _ network.EpsLinkKernel = (*Snapshot)(nil)
+
+// noiseLabel mirrors core.Noise: the label of suppressed cluster members.
+const noiseLabel int32 = -1
+
+// epsState is the pooled traversal state of one EpsLinkLabels run.
+type epsState struct {
+	nnDist    []float64
+	nnEpoch   []int32
+	epoch     int32
+	heap      *heapx.Heap4[entry]
+	clustered []bool
+	sizes     []int32 // per-cluster member counts, indexed by label
+	cnt       int32   // members of the cluster being grown
+}
+
+func (s *Snapshot) acquireEps() *epsState {
+	st, ok := s.epsPool.Get().(*epsState)
+	if !ok {
+		st = &epsState{heap: heapx.New4(lessEntry)}
+	}
+	if cap(st.nnDist) < s.NumNodes() {
+		st.nnDist = make([]float64, s.NumNodes())
+		st.nnEpoch = make([]int32, s.NumNodes())
+		st.epoch = 0
+	} else {
+		st.nnDist = st.nnDist[:s.NumNodes()]
+		st.nnEpoch = st.nnEpoch[:s.NumNodes()]
+	}
+	n := len(s.ptPos)
+	if cap(st.clustered) < n {
+		st.clustered = make([]bool, n)
+	} else {
+		st.clustered = st.clustered[:n]
+		for i := range st.clustered {
+			st.clustered[i] = false
+		}
+	}
+	return st
+}
+
+func (st *epsState) nnd(n int32) float64 {
+	if st.nnEpoch[n] != st.epoch {
+		return network.Inf
+	}
+	return st.nnDist[n]
+}
+
+// bump opens a fresh cluster: O(1) NNdist reset plus a heap clear.
+func (st *epsState) bump() {
+	if st.epoch == math.MaxInt32 {
+		for i := range st.nnEpoch {
+			st.nnEpoch[i] = 0
+		}
+		st.epoch = 0
+	}
+	st.epoch++
+	st.heap.Clear()
+}
+
+// EpsLinkLabels runs the sequential ε-Link clustering over every point and
+// fills labels with a cluster index per point, clusters numbered in the
+// order Fig. 6 discovers them (ascending smallest member). Members of
+// clusters smaller than minSup are relabelled Noise (the paper's min_sup
+// post-filter, §4.3.1); cluster sizes are counted as scalars while each
+// cluster grows, so the filter costs one extra pass over labels. Returns
+// the cluster count before and after suppression. Satisfies
+// network.EpsLinkKernel.
+func (s *Snapshot) EpsLinkLabels(ctx context.Context, eps float64, minSup int, labels []int32) (found, kept int, err error) {
+	n := len(s.ptPos)
+	if len(labels) != n {
+		return 0, 0, fmt.Errorf("%w: EpsLinkLabels needs len(labels) == %d, got %d", network.ErrInvalidOptions, n, len(labels))
+	}
+	if !(eps > 0) {
+		return 0, 0, fmt.Errorf("%w: EpsLinkLabels needs eps > 0 (got %v)", network.ErrInvalidOptions, eps)
+	}
+	st := s.acquireEps()
+	defer s.epsPool.Put(st)
+	sizes := st.sizes[:0]
+	ticks := 0
+	next := int32(0)
+	for p := 0; p < n; p++ {
+		if st.clustered[p] {
+			continue
+		}
+		if err := cancelCheck(ctx, &ticks); err != nil {
+			return 0, 0, err
+		}
+		st.bump()
+		st.cnt = 0
+		if err := st.grow(ctx, &ticks, s, int32(p), next, eps, labels); err != nil {
+			return 0, 0, err
+		}
+		sizes = append(sizes, st.cnt)
+		next++
+	}
+	st.sizes = sizes
+	found = int(next)
+	kept = found
+	if sup := int32(minSup); sup > 1 {
+		kept = 0
+		for _, c := range sizes {
+			if c >= sup {
+				kept++
+			}
+		}
+		if kept < found {
+			// Every point carries a valid label here — the grow loop covers
+			// all of them — so the suppress pass needs no Noise check.
+			for i, l := range labels {
+				if sizes[l] < sup {
+					labels[i] = noiseLabel
+				}
+			}
+		}
+	}
+	return found, kept, nil
+}
+
+// grow discovers the whole cluster of seed point m and labels its members
+// (Fig. 6 lines 5-37 on the flat arrays).
+func (st *epsState) grow(ctx context.Context, ticks *int, sn *Snapshot, m, label int32, eps float64, labels []int32) error {
+	pg := &sn.groups[sn.ptGrp[m]]
+	first := int32(pg.First)
+	off := sn.ptPos[first : first+pg.Count]
+	st.clustered[m] = true
+	labels[m] = label
+	st.cnt++
+	idx := int(m - first)
+
+	// Lines 5-11: populate the seed edge in both directions, then enqueue
+	// its endpoints at their distance from the last clustered point.
+	last := idx
+	for j := idx - 1; j >= 0; j-- {
+		pid := first + int32(j)
+		if st.clustered[pid] || off[last]-off[j] > eps {
+			break
+		}
+		st.clustered[pid] = true
+		labels[pid] = label
+		st.cnt++
+		last = j
+	}
+	if d := off[last]; d <= eps {
+		st.heap.Push(entry{node: int32(pg.N1), dist: d})
+	}
+	last = idx
+	for j := idx + 1; j < len(off); j++ {
+		pid := first + int32(j)
+		if st.clustered[pid] || off[j]-off[last] > eps {
+			break
+		}
+		st.clustered[pid] = true
+		labels[pid] = label
+		st.cnt++
+		last = j
+	}
+	if d := pg.Weight - off[last]; d <= eps {
+		st.heap.Push(entry{node: int32(pg.N2), dist: d})
+	}
+
+	// Lines 12-37: expand the network around the cluster.
+	for !st.heap.Empty() {
+		b := st.heap.Pop()
+		if b.dist >= st.nnd(b.node) {
+			continue // the node's distance from the cluster has not improved
+		}
+		if err := cancelCheck(ctx, ticks); err != nil {
+			return err
+		}
+		st.nnEpoch[b.node] = st.epoch
+		st.nnDist[b.node] = b.dist
+		for i, end := sn.rowOff[b.node], sn.rowOff[b.node+1]; i < end; i++ {
+			st.expandEdge(sn, b, i, label, eps, labels)
+		}
+	}
+	return nil
+}
+
+// expandEdge traverses adjacency slot i leaving the dequeued node b (Fig. 6
+// lines 16-37): cluster reachable points on the edge, then re-enqueue
+// whichever endpoints got closer to the cluster.
+func (st *epsState) expandEdge(sn *Snapshot, b entry, i int32, label int32, eps float64, labels []int32) {
+	gid := sn.adjGroup[i]
+	nz := sn.adjNode[i]
+	if gid < 0 {
+		// Lines 32-37 (point-free edge): the cluster can reach n_z only
+		// through the full edge.
+		if d := b.dist + sn.adjW[i]; d <= eps && d < st.nnd(nz) {
+			st.heap.Push(entry{node: nz, dist: d})
+		}
+		return
+	}
+	pg := &sn.groups[gid]
+	first := int32(pg.First)
+	off := sn.ptPos[first : first+pg.Count]
+	count := len(off)
+	fromN1 := b.node == int32(pg.N1)
+
+	newdB, newdNz := network.Inf, network.Inf
+	if fromN1 {
+		if !st.clustered[first] && off[0]+b.dist <= eps {
+			// Lines 18-27: cluster the first point, then chain while gaps
+			// stay within eps.
+			st.clustered[first] = true
+			labels[first] = label
+			st.cnt++
+			newdB = off[0]
+			newdNz = pg.Weight - off[0]
+			prevDL := off[0]
+			for j := 1; j < count; j++ {
+				pid := first + int32(j)
+				if st.clustered[pid] || off[j]-prevDL > eps {
+					break
+				}
+				st.clustered[pid] = true
+				labels[pid] = label
+				st.cnt++
+				newdNz = pg.Weight - off[j]
+				prevDL = off[j]
+			}
+		}
+	} else {
+		p0 := first + int32(count-1)
+		if dl0 := pg.Weight - off[count-1]; !st.clustered[p0] && dl0+b.dist <= eps {
+			st.clustered[p0] = true
+			labels[p0] = label
+			st.cnt++
+			newdB = dl0
+			newdNz = pg.Weight - dl0
+			prevDL := dl0
+			for j := count - 2; j >= 0; j-- {
+				pid := first + int32(j)
+				dl := pg.Weight - off[j]
+				if st.clustered[pid] || dl-prevDL > eps {
+					break
+				}
+				st.clustered[pid] = true
+				labels[pid] = label
+				st.cnt++
+				newdNz = pg.Weight - dl
+				prevDL = dl
+			}
+		}
+	}
+	// Lines 28-31: the cluster may now be closer to b.node than b.dist was.
+	if newdB < st.nnd(b.node) {
+		st.heap.Push(entry{node: b.node, dist: newdB})
+	}
+	// Lines 34-37: reach n_z past the clustered points (never past an
+	// unclustered one: it would be farther than eps along this edge).
+	if newdNz <= eps && newdNz < st.nnd(nz) {
+		st.heap.Push(entry{node: nz, dist: newdNz})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package csr_test
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// its shadow memory updates allocate, so allocation gates don't hold.
+const raceEnabled = true

@@ -225,26 +225,65 @@ func (l *live) apply(g network.Graph, idToSlot []int32, resolved []resolvedOp) (
 				}
 			}
 		}
-		sc := l.scratch(g)
 		ctx := context.Background()
-		for _, s := range inserts {
-			delete(pending, s)
-			l.alive[s] = true
-			res, err := sc.RangeQueryCtx(ctx, g, network.PointID(idOf[s]), l.eps)
-			l.rq.Add(1)
+		if rb, ok := g.(network.RangeBatcher); ok {
+			// Snapshot-backed view (freshly compacted, no overlay): one
+			// batched multi-source expansion over the kernel's pooled SoA
+			// scratches replaces the per-insert generic queries. The batch
+			// may visit in any order, so the sequential pending-skip rule is
+			// replayed positionally: the edge between two inserts is added
+			// only by the later-indexed one, exactly the pair the loop below
+			// would have kept. derive canonicalizes labels by ascending
+			// canonical ID, so adjacency and touch order stay invisible.
+			order := make(map[int32]int, len(inserts))
+			pts := make([]network.PointID, len(inserts))
+			for i, s := range inserts {
+				order[s] = i
+				pts[i] = network.PointID(idOf[s])
+				l.alive[s] = true
+			}
+			err := rb.RangeEach(ctx, pts, l.eps, 1, func(i int, _ network.PointID, res []network.PointID, _ []float64) error {
+				s := inserts[i]
+				l.rq.Add(1)
+				for _, q := range res {
+					t := idToSlot[q]
+					if t == s {
+						continue
+					}
+					if j, ins := order[t]; ins && j > i {
+						continue // the later insert's own visit adds this edge
+					}
+					l.adj[s] = append(l.adj[s], t)
+					l.adj[t] = append(l.adj[t], s)
+					touch(t)
+				}
+				touch(s)
+				return nil
+			})
 			if err != nil {
 				return l.bootstrap(g, idToSlot)
 			}
-			for _, q := range res {
-				t := idToSlot[q]
-				if t == s || pending[t] {
-					continue
+		} else {
+			sc := l.scratch(g)
+			for _, s := range inserts {
+				delete(pending, s)
+				l.alive[s] = true
+				res, err := sc.RangeQueryCtx(ctx, g, network.PointID(idOf[s]), l.eps)
+				l.rq.Add(1)
+				if err != nil {
+					return l.bootstrap(g, idToSlot)
 				}
-				l.adj[s] = append(l.adj[s], t)
-				l.adj[t] = append(l.adj[t], s)
-				touch(t)
+				for _, q := range res {
+					t := idToSlot[q]
+					if t == s || pending[t] {
+						continue
+					}
+					l.adj[s] = append(l.adj[s], t)
+					l.adj[t] = append(l.adj[t], s)
+					touch(t)
+				}
+				touch(s)
 			}
-			touch(s)
 		}
 	}
 

@@ -1,0 +1,75 @@
+package delta
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"netclus/internal/csr"
+	"netclus/internal/network"
+	"netclus/internal/testnet"
+)
+
+// plainGraph hides every kernel interface of the wrapped graph, forcing the
+// generic scratch path of the insert repair.
+type plainGraph struct{ network.Graph }
+
+// TestLiveInsertRepairBatched checks the snapshot-backed insert repair — the
+// batched multi-source expansion through the kernel's RangeEach — against
+// the generic per-insert scratch path and against a full bootstrap. An
+// all-insert batch is the worst case for the positional dedup rule: every
+// ε-pair is an insert-insert pair, so every edge depends on the replayed
+// pending-skip order.
+func TestLiveInsertRepairBatched(t *testing.T) {
+	g, err := testnet.Random(31, 50, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := csr.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := network.Graph(sn).(network.RangeBatcher); !ok {
+		t.Fatal("snapshot lost its batched range mode; the test premise is gone")
+	}
+	n := sn.NumPoints()
+	idToSlot := make([]int32, n)
+	resolved := make([]resolvedOp, n)
+	for p := 0; p < n; p++ {
+		idToSlot[p] = int32(p)
+		resolved[p] = resolvedOp{kind: rInsert, slot: int32(p)}
+	}
+	const eps, minPts = 0.8, 3
+
+	var rqBoot atomic.Int64
+	boot := newLive(eps, minPts, &rqBoot)
+	want, err := boot.bootstrap(sn, idToSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		view network.Graph
+	}{
+		{"batched", sn},
+		{"generic", plainGraph{sn}},
+	} {
+		var rq atomic.Int64
+		l := newLive(eps, minPts, &rq)
+		got, err := l.apply(tc.view, idToSlot, resolved)
+		if err != nil {
+			t.Fatalf("%s: apply: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(want.elLabels, got.elLabels) || want.elClusters != got.elClusters {
+			t.Fatalf("%s: insert repair ε-Link labelling diverged from bootstrap", tc.name)
+		}
+		if !reflect.DeepEqual(want.dbLabels, got.dbLabels) || want.dbClusters != got.dbClusters ||
+			want.corePoints != got.corePoints {
+			t.Fatalf("%s: insert repair DBSCAN labelling diverged from bootstrap", tc.name)
+		}
+		if rq.Load() != int64(n) {
+			t.Fatalf("%s: repair ran %d range queries, want one per insert (%d)", tc.name, rq.Load(), n)
+		}
+	}
+}

@@ -106,6 +106,10 @@ type Set struct {
 	pointShard  []int32
 	pointLocal  []int32
 	pointGlobal [][]int32
+	// cutPts lists the points of cut groups in ascending ID order — the
+	// points no shard owns, which the fused clustering passes always send
+	// through the global executor.
+	cutPts []network.PointID
 
 	// Cut edges, plus a CSR index over them by global endpoint: the cut
 	// edges incident to node n are cutEdges[cutAdj[i]] for i in
@@ -302,6 +306,7 @@ func (set *Set) buildOwnership() {
 			for i := int32(0); i < pg.Count; i++ {
 				p := int32(pg.First) + i
 				set.pointShard[p], set.pointLocal[p] = -1, -1
+				set.cutPts = append(set.cutPts, network.PointID(p))
 			}
 			continue
 		}

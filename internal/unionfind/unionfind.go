@@ -73,3 +73,15 @@ func (u *UF) Grow() int {
 	u.sets++
 	return i
 }
+
+// MergeInto folds u's partition into dst: after the call, any two elements
+// joined in u are joined in dst too. Only the parent edges are replayed —
+// one union per non-root element — so merging a shard whose sets are mostly
+// singletons costs little more than a scan.
+func (u *UF) MergeInto(dst *UF) {
+	for i, p := range u.parent {
+		if int32(i) != p {
+			dst.Union(i, int(p))
+		}
+	}
+}
